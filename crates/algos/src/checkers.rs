@@ -1,0 +1,280 @@
+//! Centralized validators for the classical LOCAL problems.
+//!
+//! These are the ground-truth checkers used by the test suite, the pruning-algorithm tests and
+//! the benchmark harness. They are *centralized* (they see the whole graph), in contrast to the
+//! paper's *local checking* and *pruning* procedures, which are distributed; the unit tests of
+//! the pruning algorithms cross-validate the two.
+
+use local_runtime::{Graph, NodeId};
+
+/// A violation discovered by a validator, pointing at the offending nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two adjacent nodes are both in the independent set.
+    AdjacentInSet(usize, usize),
+    /// A node outside the set has no neighbor in the set (MIS maximality violation).
+    NotDominated(usize),
+    /// A node outside the set has no set node within the required distance.
+    NotRuled(usize),
+    /// Two set nodes are closer than the required distance.
+    TooClose(usize, usize),
+    /// Two adjacent nodes share a colour.
+    SameColor(usize, usize),
+    /// A colour exceeds the allowed palette.
+    ColorOutOfRange(usize),
+    /// A node claims a partner that is not a neighbor, or the partner disagrees.
+    BadPartner(usize),
+    /// Two edges of the matching share an endpoint.
+    NotAMatching(usize),
+    /// An edge could still be added to the matching (maximality violation).
+    AugmentableEdge(usize, usize),
+    /// Two incident edges share a colour, or endpoints disagree on an edge colour.
+    BadEdgeColor(usize, usize),
+}
+
+/// Checks that `in_set` is an independent set of `g`.
+pub fn check_independent_set(g: &Graph, in_set: &[bool]) -> Result<(), Violation> {
+    for (u, v) in g.edges() {
+        if in_set[u] && in_set[v] {
+            return Err(Violation::AdjacentInSet(u, v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_set` is a *maximal* independent set of `g`.
+pub fn check_mis(g: &Graph, in_set: &[bool]) -> Result<(), Violation> {
+    check_independent_set(g, in_set)?;
+    for v in 0..g.node_count() {
+        if !in_set[v] && !g.neighbors(v).iter().any(|&w| in_set[w]) {
+            return Err(Violation::NotDominated(v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `in_set` is an (α, β)-ruling set of `g`: set nodes pairwise at distance ≥ α,
+/// and every node within distance β of a set node.
+pub fn check_ruling_set(g: &Graph, in_set: &[bool], alpha: usize, beta: usize) -> Result<(), Violation> {
+    let n = g.node_count();
+    for v in 0..n {
+        if !in_set[v] {
+            continue;
+        }
+        // BFS to depth max(alpha - 1, beta) from each set node.
+        let dist = g.bfs_distances(v);
+        for u in 0..n {
+            if u != v && in_set[u] && dist[u] != usize::MAX && dist[u] < alpha {
+                return Err(Violation::TooClose(v, u));
+            }
+        }
+    }
+    for v in 0..n {
+        if in_set[v] {
+            continue;
+        }
+        let dist = g.bfs_distances(v);
+        let ruled = (0..n).any(|u| in_set[u] && dist[u] != usize::MAX && dist[u] <= beta);
+        if !ruled {
+            return Err(Violation::NotRuled(v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `colors` is a proper vertex colouring of `g`.
+pub fn check_coloring(g: &Graph, colors: &[u64]) -> Result<(), Violation> {
+    for (u, v) in g.edges() {
+        if colors[u] == colors[v] {
+            return Err(Violation::SameColor(u, v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `colors` is a proper colouring using at most `palette` distinct colour values,
+/// all smaller than `palette`.
+pub fn check_coloring_with_palette(g: &Graph, colors: &[u64], palette: u64) -> Result<(), Violation> {
+    check_coloring(g, colors)?;
+    for (v, &c) in colors.iter().enumerate() {
+        if c >= palette {
+            return Err(Violation::ColorOutOfRange(v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `partner` (per-node identity of the matched neighbor, `None` if unmatched)
+/// encodes a *maximal* matching of `g`.
+pub fn check_maximal_matching(g: &Graph, partner: &[Option<NodeId>]) -> Result<(), Violation> {
+    check_matching(g, partner)?;
+    // Maximality: no edge with both endpoints unmatched.
+    for (u, v) in g.edges() {
+        if partner[u].is_none() && partner[v].is_none() {
+            return Err(Violation::AugmentableEdge(u, v));
+        }
+    }
+    Ok(())
+}
+
+/// Checks that `partner` encodes a (not necessarily maximal) matching: partners are neighbors
+/// and the relation is symmetric.
+pub fn check_matching(g: &Graph, partner: &[Option<NodeId>]) -> Result<(), Violation> {
+    let n = g.node_count();
+    let mut id_to_index = std::collections::HashMap::new();
+    for v in 0..n {
+        id_to_index.insert(g.id(v), v);
+    }
+    for v in 0..n {
+        if let Some(pid) = partner[v] {
+            let Some(&p) = id_to_index.get(&pid) else {
+                return Err(Violation::BadPartner(v));
+            };
+            if !g.has_edge(v, p) {
+                return Err(Violation::BadPartner(v));
+            }
+            if partner[p] != Some(g.id(v)) {
+                return Err(Violation::NotAMatching(v));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks a proper edge colouring given, for every node, the colour of each of its incident
+/// edges indexed by port: endpoints must agree on every edge's colour and no two edges
+/// incident to the same node may share a colour.
+pub fn check_edge_coloring(g: &Graph, port_colors: &[Vec<u64>]) -> Result<(), Violation> {
+    for v in 0..g.node_count() {
+        if port_colors[v].len() != g.degree(v) {
+            return Err(Violation::BadEdgeColor(v, v));
+        }
+        // No two incident edges share a colour.
+        let mut seen = std::collections::BTreeSet::new();
+        for &c in &port_colors[v] {
+            if !seen.insert(c) {
+                return Err(Violation::BadEdgeColor(v, v));
+            }
+        }
+        // Endpoints agree.
+        for port in 0..g.degree(v) {
+            let w = g.neighbor(v, port);
+            let back = g.reverse_port(v, port);
+            if port_colors[w][back] != port_colors[v][port] {
+                return Err(Violation::BadEdgeColor(v, w));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Number of distinct colours used.
+pub fn palette_size(colors: &[u64]) -> usize {
+    let set: std::collections::BTreeSet<_> = colors.iter().collect();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::{cycle, path, star};
+
+    #[test]
+    fn mis_checker_accepts_and_rejects() {
+        let g = path(4); // 0-1-2-3
+        assert!(check_mis(&g, &[true, false, true, false]).is_ok());
+        assert!(check_mis(&g, &[true, false, false, true]).is_ok());
+        assert_eq!(
+            check_mis(&g, &[true, true, false, true]),
+            Err(Violation::AdjacentInSet(0, 1))
+        );
+        assert_eq!(
+            check_mis(&g, &[true, false, false, false]),
+            Err(Violation::NotDominated(2))
+        );
+    }
+
+    #[test]
+    fn independent_but_not_maximal() {
+        let g = path(5);
+        let set = [true, false, false, false, true];
+        assert!(check_independent_set(&g, &set).is_ok());
+        assert!(check_mis(&g, &set).is_err());
+    }
+
+    #[test]
+    fn ruling_set_checker() {
+        let g = path(7);
+        // {0, 6}: distance 6 ≥ 2, every node within distance 3 of one of them.
+        assert!(check_ruling_set(&g, &[true, false, false, false, false, false, true], 2, 3).is_ok());
+        // Not within β = 2: node 3 is at distance 3 from both.
+        assert_eq!(
+            check_ruling_set(&g, &[true, false, false, false, false, false, true], 2, 2),
+            Err(Violation::NotRuled(3))
+        );
+        // Too close for α = 3.
+        assert_eq!(
+            check_ruling_set(&g, &[true, false, true, false, false, false, true], 3, 3),
+            Err(Violation::TooClose(0, 2))
+        );
+    }
+
+    #[test]
+    fn mis_is_a_2_1_ruling_set() {
+        let g = cycle(9);
+        let mis = [true, false, false, true, false, false, true, false, false];
+        assert!(check_mis(&g, &mis).is_ok());
+        assert!(check_ruling_set(&g, &mis, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn coloring_checker() {
+        let g = cycle(4);
+        assert!(check_coloring(&g, &[0, 1, 0, 1]).is_ok());
+        // The violating edge reported first in iteration order is (0, 3).
+        assert_eq!(check_coloring(&g, &[0, 1, 1, 0]), Err(Violation::SameColor(0, 3)));
+        assert!(check_coloring_with_palette(&g, &[0, 1, 0, 1], 2).is_ok());
+        assert_eq!(
+            check_coloring_with_palette(&g, &[0, 5, 0, 1], 3),
+            Err(Violation::ColorOutOfRange(1))
+        );
+    }
+
+    #[test]
+    fn matching_checker() {
+        let g = path(4);
+        // 0-1 matched, 2-3 matched.
+        let ok = [Some(1), Some(0), Some(3), Some(2)];
+        assert!(check_maximal_matching(&g, &ok).is_ok());
+        // 1-2 matched only: maximal (0 and 3 have no unmatched neighbor... 0's neighbor 1 is matched).
+        let mid = [None, Some(2), Some(1), None];
+        assert!(check_maximal_matching(&g, &mid).is_ok());
+        // Empty matching is not maximal.
+        let empty = [None, None, None, None];
+        assert!(matches!(check_maximal_matching(&g, &empty), Err(Violation::AugmentableEdge(_, _))));
+        // Asymmetric partner claims.
+        let bad = [Some(1), None, None, None];
+        assert!(matches!(check_maximal_matching(&g, &bad), Err(Violation::NotAMatching(0))));
+        // Partner is not a neighbor.
+        let far = [Some(3), None, None, Some(0)];
+        assert!(matches!(check_matching(&g, &far), Err(Violation::BadPartner(0))));
+    }
+
+    #[test]
+    fn edge_coloring_checker() {
+        let g = star(4); // center 0 with leaves 1, 2, 3
+        // Center's ports must all differ; leaves have a single port each and must agree.
+        let ok = vec![vec![0, 1, 2], vec![0], vec![1], vec![2]];
+        assert!(check_edge_coloring(&g, &ok).is_ok());
+        let clash = vec![vec![0, 0, 2], vec![0], vec![0], vec![2]];
+        assert!(check_edge_coloring(&g, &clash).is_err());
+        let disagree = vec![vec![0, 1, 2], vec![1], vec![1], vec![2]];
+        assert!(check_edge_coloring(&g, &disagree).is_err());
+    }
+
+    #[test]
+    fn palette_size_counts_distinct() {
+        assert_eq!(palette_size(&[3, 3, 1, 7]), 3);
+        assert_eq!(palette_size(&[]), 0);
+    }
+}

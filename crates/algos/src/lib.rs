@@ -1,0 +1,40 @@
+//! # local-algos — baseline LOCAL algorithms
+//!
+//! The algorithm library underneath the reproduction of *"Toward more localized local
+//! algorithms"* (Korman, Sereni, Viennot): the non-uniform and uniform LOCAL algorithms that
+//! the paper's transformers take as black boxes (Table 1's "Ref." column), plus centralized
+//! validators for the classical problems.
+//!
+//! | Module | Contents |
+//! |--------|----------|
+//! | [`coloring`] | Linial colour reduction, (Δ+1)- and λ(Δ+1)-colouring, colouring→MIS |
+//! | [`mis`] | Luby's randomized MIS, greedy-by-identity MIS, colouring-based MIS |
+//! | [`matching`] | randomized proposal matching, pointer matching, matching from edge colouring |
+//! | [`edge_coloring`] | (2Δ−1)-edge colouring via the line graph |
+//! | [`arboricity`] | H-partition (degree peeling), arboricity-parameterised MIS and colouring |
+//! | [`ruling`] | budgeted-Luby (2, β)-ruling sets (weak Monte-Carlo) |
+//! | [`synthetic`] | synthetic timed black boxes for time bounds we do not re-implement |
+//! | [`checkers`] | centralized validators (ground truth for tests and benches) |
+//!
+//! ```
+//! use local_algos::mis::LubyMis;
+//! use local_algos::checkers::check_mis;
+//! use local_runtime::GraphAlgorithm;
+//!
+//! let g = local_graphs::gnp(50, 0.1, 7);
+//! let run = LubyMis.execute(&g, &vec![(); 50], None, 0);
+//! assert!(run.completed);
+//! check_mis(&g, &run.outputs).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arboricity;
+pub mod checkers;
+pub mod coloring;
+pub mod edge_coloring;
+pub mod matching;
+pub mod mis;
+pub mod ruling;
+pub mod synthetic;

@@ -1,0 +1,43 @@
+//! Ablations over the design choices called out in DESIGN.md §7: guess-schedule base,
+//! sequence-number choice for the product bound, and pruning radius β.
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_graphs::{Family, GraphParams};
+use local_uniform::catalog;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    // Pruning radius β: larger β prunes more per iteration but costs more per pruning call.
+    for beta in [1usize, 2, 4] {
+        group.bench_function(format!("ruling_set_pruning_beta{beta}_n96"), |b| {
+            b.iter(|| local_bench::row_ruling_set(96, beta, 1))
+        });
+    }
+
+    // Arboricity product-form set-sequence (log-many guesses) vs. the single-guess additive
+    // route through the Δ-based black box on the same sparse instances.
+    let g = Family::Forest3.generate(96, 1);
+    let n = g.node_count();
+    group.bench_function("sparse_mis_product_seqnum", |b| {
+        b.iter(|| catalog::uniform_arboricity_mis().solve(&g, &vec![(); n], 0))
+    });
+    group.bench_function("sparse_mis_additive_seqnum", |b| {
+        b.iter(|| catalog::uniform_coloring_mis().solve(&g, &vec![(); n], 0))
+    });
+
+    // Correct-guess baseline for reference.
+    let p = GraphParams::of(&g);
+    group.bench_function("sparse_mis_nonuniform_correct_guesses", |b| {
+        b.iter(|| {
+            let bx = catalog::arboricity_mis_black_box();
+            let algo = (bx.build)(&[p.degeneracy.max(1), p.n, p.max_id]);
+            local_runtime::GraphAlgorithm::execute(algo.as_ref(), &g, &vec![(); n], None, 0)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

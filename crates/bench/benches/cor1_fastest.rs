@@ -1,0 +1,18 @@
+//! Corollary 1(i) / Theorem 4: the fastest-of combinator vs. its components.
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_graphs::Family;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary1/fastest_of");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for family in [Family::Forest3, Family::Regular6] {
+        group.bench_function(format!("combined_vs_components_{}", family.name()), |b| {
+            b.iter(|| local_bench::fastest_of_point(family, 96, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Figure 1: the alternating-algorithm execution (guess schedule, budgets, pruning progress).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure1/alternation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("uniform_mis_trace_n128", |b| {
+        b.iter(|| local_bench::alternation_trace(128, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Figure-style scaling: the uniform/non-uniform round ratio as n grows.
+use criterion::{criterion_group, criterion_main, Criterion};
+use local_graphs::Family;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/overhead");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for n in [64usize, 128, 256] {
+        group.bench_function(format!("uniform_vs_nonuniform_regular6_n{n}"), |b| {
+            b.iter(|| local_bench::scaling_series(&[n], Family::Regular6, 2))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Table 1 rows 3–4: arboricity-parameterised MIS — uniform vs non-uniform.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/arboricity");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("rows3_4_forest_union_n96", |b| {
+        b.iter(|| local_bench::row_mis_arboricity(96, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

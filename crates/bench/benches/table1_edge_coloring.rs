@@ -1,0 +1,15 @@
+//! Table 1 rows 6–7: O(Δ)-edge-colouring via the line graph + Theorem 5.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/edge_coloring");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("rows6_7_regular6_n64", |b| {
+        b.iter(|| local_bench::row_edge_coloring(64, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Table 1 row 5: λ(Δ+1)-colouring via Theorem 5 — uniform vs non-uniform.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/lambda_coloring");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for lambda in [1u64, 4] {
+        group.bench_function(format!("row5_lambda{lambda}_n96"), |b| {
+            b.iter(|| local_bench::row_lambda_coloring(96, lambda, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

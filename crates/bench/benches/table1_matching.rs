@@ -1,0 +1,18 @@
+//! Table 1 row 8: deterministic maximal matching (edge-colouring based and synthetic log⁴ n).
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/matching");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("row8_edge_coloring_mm_n96", |b| {
+        b.iter(|| local_bench::row_matching(96, 1))
+    });
+    group.bench_function("row8_log4_mm_n96", |b| {
+        b.iter(|| local_bench::row_matching_log4(96, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

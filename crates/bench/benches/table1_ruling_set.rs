@@ -1,0 +1,18 @@
+//! Table 1 rows 9–10: randomized (2,β)-ruling set (Theorem 2) and the uniform Luby baseline.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/ruling_set");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("row9_ruling_set_beta2_n96", |b| {
+        b.iter(|| local_bench::row_ruling_set(96, 2, 1))
+    });
+    group.bench_function("row10_uniform_luby_n96", |b| {
+        b.iter(|| local_bench::row_uniform_luby(96, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

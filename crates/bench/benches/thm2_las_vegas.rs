@@ -1,0 +1,15 @@
+//! Theorem 2: expected running time of the uniform Las Vegas ruling set.
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem2/las_vegas");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("ruling_set_beta2_n96_mean3", |b| {
+        b.iter(|| local_bench::las_vegas_mean_rounds(96, 2, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! The figure-style scaling series: rounds vs. n for the uniform and non-uniform MIS on
+//! several graph families, plus the Theorem 4 (fastest-of) and Theorem 2 (Las Vegas) evidence.
+//!
+//! Usage: `cargo run -p local-bench --bin scaling`
+
+use local_graphs::Family;
+
+fn main() {
+    let sizes = [64usize, 128, 256, 512];
+    for family in [Family::Regular6, Family::SparseGnp, Family::Forest3] {
+        println!("== scaling on {} ==", family.name());
+        println!("{:>8} {:>14} {:>10} {:>7}", "n", "non-uniform", "uniform", "ratio");
+        for p in local_bench::scaling_series(&sizes, family, 7) {
+            println!(
+                "{:>8} {:>14} {:>10} {:>7.2}",
+                p.n,
+                p.nonuniform_rounds,
+                p.uniform_rounds,
+                p.uniform_rounds as f64 / p.nonuniform_rounds.max(1) as f64
+            );
+        }
+        println!();
+    }
+
+    println!("== Corollary 1(i): run-as-fast-as-the-fastest (Theorem 4) ==");
+    println!("{:<18} {:>6} {:>10} {:>12} {:>12}", "family", "n", "combined", "Δ-based", "arboricity");
+    for family in [Family::Forest3, Family::Regular6, Family::DenseGnp] {
+        let p = local_bench::fastest_of_point(family, 128, 3);
+        println!(
+            "{:<18} {:>6} {:>10} {:>12} {:>12}",
+            p.family, p.n, p.combined_rounds, p.delta_based_rounds, p.arboricity_rounds
+        );
+    }
+
+    println!("\n== Theorem 2: Las Vegas ruling set (mean over 5 runs) ==");
+    let (mean, bound) = local_bench::las_vegas_mean_rounds(128, 2, 5);
+    println!("mean uniform Las Vegas rounds: {mean:.1}   weak-Monte-Carlo bound f(n): {bound:.1}");
+}

@@ -1,0 +1,477 @@
+//! # local-bench — the experiment harness.
+//!
+//! Regenerates the paper's evaluation artefacts:
+//!
+//! * **Table 1** ([`table1_rows`]): for every row, the measured round count of the non-uniform
+//!   baseline run with *correct* guesses versus the uniform algorithm produced by the paper's
+//!   transformer, on the same instances. The paper's claim is that the two agree up to a
+//!   constant factor; the `ratio` column exhibits it.
+//! * **Figure 1** ([`alternation_trace`]): the execution trace of an alternating algorithm —
+//!   per sub-iteration guesses, budgets and pruned-node counts.
+//! * **Scaling series** ([`scaling_series`]): rounds versus `n` for the uniform and
+//!   non-uniform algorithms, the figure-style evidence that the overhead does not grow with
+//!   the instance.
+//!
+//! The Criterion benches under `benches/` wrap these same harness entry points so that
+//! `cargo bench` exercises every table and figure.
+
+use local_algos::mis::LubyMis;
+use local_graphs::{Family, GraphParams};
+use local_runtime::GraphAlgorithm;
+use local_uniform::catalog;
+use local_uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
+use serde::Serialize;
+
+/// One row of the Table 1 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table1Row {
+    /// Row identifier matching the paper's table (e.g. "1 det. MIS / (Δ+1)-col (n, Δ)").
+    pub row: String,
+    /// Problem name.
+    pub problem: String,
+    /// Graph family used.
+    pub family: String,
+    /// Number of nodes of the instance.
+    pub n: usize,
+    /// Measured rounds of the non-uniform baseline with correct guesses.
+    pub nonuniform_rounds: u64,
+    /// Measured rounds of the transformed uniform algorithm.
+    pub uniform_rounds: u64,
+    /// `uniform_rounds / nonuniform_rounds`.
+    pub ratio: f64,
+    /// Whether both runs produced validated solutions.
+    pub valid: bool,
+}
+
+impl Table1Row {
+    fn new(
+        row: &str,
+        problem: &str,
+        family: Family,
+        n: usize,
+        nonuniform: u64,
+        uniform: u64,
+        valid: bool,
+    ) -> Self {
+        Table1Row {
+            row: row.to_string(),
+            problem: problem.to_string(),
+            family: family.name().to_string(),
+            n,
+            nonuniform_rounds: nonuniform,
+            uniform_rounds: uniform,
+            ratio: uniform as f64 / nonuniform.max(1) as f64,
+            valid,
+        }
+    }
+}
+
+fn units(n: usize) -> Vec<()> {
+    vec![(); n]
+}
+
+/// Row 1: deterministic MIS (and (Δ+1)-colouring) with parameters `{Δ, m}`.
+pub fn row_mis_delta(n: usize, seed: u64) -> Table1Row {
+    let family = Family::SparseGnp;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    let black_box = catalog::coloring_mis_black_box();
+    let nu = (black_box.build)(&[p.max_degree, p.max_id])
+        .execute(&g, &units(g.node_count()), None, seed);
+    let uni = catalog::uniform_coloring_mis().solve(&g, &units(g.node_count()), seed);
+    let valid = MisProblem.validate(&g, &units(g.node_count()), &nu.outputs).is_ok()
+        && MisProblem.validate(&g, &units(g.node_count()), &uni.outputs).is_ok();
+    Table1Row::new(
+        "1 det. MIS O(Δ²+log* m)",
+        "MIS",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds,
+        valid,
+    )
+}
+
+/// Row 2: deterministic MIS with the `2^{O(√log n)}` (synthetic) bound, parameter `{n}`.
+pub fn row_mis_sqrt_log(n: usize, seed: u64) -> Table1Row {
+    let family = Family::DenseGnp;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    let black_box = catalog::panconesi_srinivasan_mis_black_box();
+    let nu = (black_box.build)(&[p.n]).execute(&g, &units(g.node_count()), None, seed);
+    let uni = catalog::uniform_ps_mis().solve(&g, &units(g.node_count()), seed);
+    let valid = MisProblem.validate(&g, &units(g.node_count()), &nu.outputs).is_ok()
+        && MisProblem.validate(&g, &units(g.node_count()), &uni.outputs).is_ok();
+    Table1Row::new(
+        "2 det. MIS 2^O(√log n) [synthetic]",
+        "MIS",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds,
+        valid,
+    )
+}
+
+/// Rows 3–4: deterministic MIS on bounded-arboricity graphs, parameters `{a, n, m}`.
+pub fn row_mis_arboricity(n: usize, seed: u64) -> Table1Row {
+    let family = Family::Forest3;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    let black_box = catalog::arboricity_mis_black_box();
+    let nu = (black_box.build)(&[p.degeneracy.max(1), p.n, p.max_id])
+        .execute(&g, &units(g.node_count()), None, seed);
+    let uni = catalog::uniform_arboricity_mis().solve(&g, &units(g.node_count()), seed);
+    let valid = MisProblem.validate(&g, &units(g.node_count()), &nu.outputs).is_ok()
+        && MisProblem.validate(&g, &units(g.node_count()), &uni.outputs).is_ok();
+    Table1Row::new(
+        "3-4 det. MIS arboricity",
+        "MIS",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds,
+        valid,
+    )
+}
+
+/// Row 5: λ(Δ+1)-colouring via Theorem 5.
+pub fn row_lambda_coloring(n: usize, lambda: u64, seed: u64) -> Table1Row {
+    let family = Family::SparseGnp;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    let black_box = catalog::lambda_coloring_box(lambda);
+    let nu =
+        (black_box.build)(p.max_degree, p.max_id).execute(&g, &units(g.node_count()), None, seed);
+    let transformer = catalog::uniform_lambda_coloring(lambda);
+    let uni = transformer.solve(&g, seed);
+    let nu_valid = local_algos::checkers::check_coloring_with_palette(
+        &g,
+        &nu.outputs,
+        (black_box.palette)(p.max_degree),
+    )
+    .is_ok();
+    let uni_valid = local_algos::checkers::check_coloring(&g, &uni.colors).is_ok()
+        && (local_algos::checkers::palette_size(&uni.colors) as u64)
+            <= transformer.palette_bound(p.max_degree);
+    Table1Row::new(
+        &format!("5 det. {lambda}(Δ+1)-coloring"),
+        "coloring",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds,
+        nu_valid && uni_valid,
+    )
+}
+
+/// Rows 6–7: O(Δ)-edge-colouring via the line graph + Theorem 5.
+pub fn row_edge_coloring(n: usize, seed: u64) -> Table1Row {
+    let family = Family::Regular6;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    // Non-uniform baseline: edge colouring with correct guesses.
+    let baseline = local_algos::edge_coloring::LineGraphEdgeColoring {
+        delta_guess: p.max_degree,
+        id_bound_guess: p.max_id,
+    };
+    let nu = baseline.execute(&g, &units(g.node_count()), None, seed);
+    let nu_valid = local_algos::checkers::check_edge_coloring(&g, &nu.outputs).is_ok();
+    // Uniform: Theorem 5 on the line graph (vertex colouring of L(G) = edge colouring of G).
+    let (lg, edges) = g.line_graph();
+    let transformer = catalog::uniform_lambda_coloring(1);
+    let uni = transformer.solve(&lg, seed);
+    let mut edge_color = std::collections::HashMap::new();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        edge_color.insert((u.min(v), u.max(v)), uni.colors[i]);
+    }
+    let port_colors: Vec<Vec<u64>> = (0..g.node_count())
+        .map(|v| g.neighbors(v).iter().map(|&w| edge_color[&(v.min(w), v.max(w))]).collect())
+        .collect();
+    let uni_valid = local_algos::checkers::check_edge_coloring(&g, &port_colors).is_ok();
+    Table1Row::new(
+        "6-7 det. O(Δ)-edge-coloring",
+        "edge-coloring",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds + 1,
+        nu_valid && uni_valid,
+    )
+}
+
+/// Row 8: deterministic maximal matching.
+pub fn row_matching(n: usize, seed: u64) -> Table1Row {
+    let family = Family::Grid;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    let black_box = catalog::matching_black_box();
+    let nu = (black_box.build)(&[p.max_degree, p.max_id])
+        .execute(&g, &units(g.node_count()), None, seed);
+    let uni = catalog::uniform_matching().solve(&g, &units(g.node_count()), seed);
+    let valid = MatchingProblem.validate(&g, &units(g.node_count()), &nu.outputs).is_ok()
+        && MatchingProblem.validate(&g, &units(g.node_count()), &uni.outputs).is_ok();
+    Table1Row::new(
+        "8 det. maximal matching",
+        "maximal-matching",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds,
+        valid,
+    )
+}
+
+/// Row 8 (exact time shape): the synthetic `O(log⁴ n)` matching black box.
+pub fn row_matching_log4(n: usize, seed: u64) -> Table1Row {
+    let family = Family::SparseGnp;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    let black_box = catalog::synthetic_log4_matching_black_box();
+    let nu = (black_box.build)(&[p.n]).execute(&g, &units(g.node_count()), None, seed);
+    let uni = catalog::uniform_log4_matching().solve(&g, &units(g.node_count()), seed);
+    let valid = MatchingProblem.validate(&g, &units(g.node_count()), &nu.outputs).is_ok()
+        && MatchingProblem.validate(&g, &units(g.node_count()), &uni.outputs).is_ok();
+    Table1Row::new(
+        "8 det. MM O(log⁴ n) [synthetic]",
+        "maximal-matching",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds,
+        valid,
+    )
+}
+
+/// Row 9: randomized (2, 2(c+1))-ruling set (weak Monte-Carlo → Las Vegas).
+pub fn row_ruling_set(n: usize, beta: usize, seed: u64) -> Table1Row {
+    let family = Family::UnitDisk;
+    let g = family.generate(n, seed);
+    let p = GraphParams::of(&g);
+    let black_box = catalog::ruling_set_black_box();
+    let nu = (black_box.build)(&[p.n]).execute(&g, &units(g.node_count()), None, seed);
+    let uni = catalog::uniform_ruling_set(beta).solve(&g, &units(g.node_count()), seed);
+    let problem = RulingSetProblem::two(beta);
+    let valid = problem.validate(&g, &units(g.node_count()), &uni.outputs).is_ok();
+    Table1Row::new(
+        &format!("9 rand. (2,{beta})-ruling set"),
+        "ruling-set",
+        family,
+        g.node_count(),
+        nu.rounds,
+        uni.rounds,
+        valid,
+    )
+}
+
+/// Row 10: Luby's uniform randomized MIS (the already-uniform baseline of the last row).
+pub fn row_uniform_luby(n: usize, seed: u64) -> Table1Row {
+    let family = Family::SparseGnp;
+    let g = family.generate(n, seed);
+    let run = LubyMis.execute(&g, &units(g.node_count()), None, seed);
+    let valid = MisProblem.validate(&g, &units(g.node_count()), &run.outputs).is_ok();
+    Table1Row::new(
+        "10 rand. MIS (uniform baseline)",
+        "MIS",
+        family,
+        g.node_count(),
+        run.rounds,
+        run.rounds,
+        valid,
+    )
+}
+
+/// The whole Table 1 reproduction at a given instance size.
+pub fn table1_rows(n: usize, seed: u64) -> Vec<Table1Row> {
+    vec![
+        row_mis_delta(n, seed),
+        row_mis_sqrt_log(n, seed),
+        row_mis_arboricity(n, seed),
+        row_lambda_coloring(n, 1, seed),
+        row_lambda_coloring(n, 4, seed),
+        row_edge_coloring(n.min(128), seed),
+        row_matching(n, seed),
+        row_matching_log4(n, seed),
+        row_ruling_set(n, 2, seed),
+        row_uniform_luby(n, seed),
+    ]
+}
+
+/// Renders rows as an aligned text table (the shape of the paper's Table 1, with measured
+/// columns added).
+pub fn render_table(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<38} {:<17} {:<18} {:>6} {:>12} {:>10} {:>7} {:>6}\n",
+        "row", "problem", "family", "n", "non-uniform", "uniform", "ratio", "valid"
+    ));
+    out.push_str(&"-".repeat(120));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<38} {:<17} {:<18} {:>6} {:>12} {:>10} {:>7.2} {:>6}\n",
+            r.row,
+            r.problem,
+            r.family,
+            r.n,
+            r.nonuniform_rounds,
+            r.uniform_rounds,
+            r.ratio,
+            r.valid
+        ));
+    }
+    out
+}
+
+/// One point of a scaling series.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingPoint {
+    /// Number of nodes.
+    pub n: usize,
+    /// Rounds of the non-uniform baseline with correct guesses.
+    pub nonuniform_rounds: u64,
+    /// Rounds of the uniform algorithm.
+    pub uniform_rounds: u64,
+}
+
+/// The figure-style scaling series for the MIS row: rounds versus `n` for the uniform and
+/// non-uniform algorithms on the same family.
+pub fn scaling_series(sizes: &[usize], family: Family, seed: u64) -> Vec<ScalingPoint> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let g = family.generate(n, seed);
+            let p = GraphParams::of(&g);
+            let black_box = catalog::coloring_mis_black_box();
+            let nu = (black_box.build)(&[p.max_degree, p.max_id])
+                .execute(&g, &units(g.node_count()), None, seed);
+            let uni = catalog::uniform_coloring_mis().solve(&g, &units(g.node_count()), seed);
+            ScalingPoint {
+                n: g.node_count(),
+                nonuniform_rounds: nu.rounds,
+                uniform_rounds: uni.rounds,
+            }
+        })
+        .collect()
+}
+
+/// The Figure 1 reproduction: the alternating-algorithm trace (per sub-iteration guesses,
+/// budget and pruned-node counts) of the uniform MIS on one instance.
+pub fn alternation_trace(n: usize, seed: u64) -> Vec<local_uniform::SubIterationTrace> {
+    let g = Family::SparseGnp.generate(n, seed);
+    let run = catalog::uniform_coloring_mis().solve(&g, &units(g.node_count()), seed);
+    run.trace
+}
+
+/// Theorem 4 evidence: rounds of the Corollary 1(i) combinator versus each individual
+/// component on one family.
+#[derive(Debug, Clone, Serialize)]
+pub struct FastestOfPoint {
+    /// Family name.
+    pub family: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Rounds of the Theorem 4 combinator.
+    pub combined_rounds: u64,
+    /// Rounds of the uniform Δ-based MIS alone.
+    pub delta_based_rounds: u64,
+    /// Rounds of the uniform arboricity MIS alone.
+    pub arboricity_rounds: u64,
+}
+
+/// Runs the Corollary 1(i) comparison on one family.
+pub fn fastest_of_point(family: Family, n: usize, seed: u64) -> FastestOfPoint {
+    let g = family.generate(n, seed);
+    let nn = g.node_count();
+    let combined = catalog::corollary1_mis().solve(&g, &units(nn), seed);
+    let delta_based = catalog::uniform_coloring_mis().solve(&g, &units(nn), seed);
+    let arboricity = catalog::uniform_arboricity_mis().solve(&g, &units(nn), seed);
+    FastestOfPoint {
+        family: family.name().to_string(),
+        n: nn,
+        combined_rounds: combined.rounds,
+        delta_based_rounds: delta_based.rounds,
+        arboricity_rounds: arboricity.rounds,
+    }
+}
+
+/// Theorem 2 evidence: the sampled mean rounds of the uniform Las Vegas ruling set versus the
+/// weak Monte-Carlo bound at the correct parameters.
+pub fn las_vegas_mean_rounds(n: usize, beta: usize, samples: u64) -> (f64, f64) {
+    let g = Family::SparseGnp.generate(n, 3);
+    let p = GraphParams::of(&g);
+    let bound = catalog::ruling_set_black_box().time_bound.eval(&[p.n]);
+    let mut total = 0u64;
+    for seed in 0..samples {
+        let run = catalog::uniform_ruling_set(beta).solve(&g, &units(g.node_count()), seed);
+        assert!(run.solved);
+        total += run.rounds;
+    }
+    (total as f64 / samples.max(1) as f64, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows_are_all_valid_and_bounded() {
+        let rows = table1_rows(96, 1);
+        assert_eq!(rows.len(), 10);
+        for r in &rows {
+            assert!(r.valid, "row '{}' failed validation", r.row);
+            assert!(
+                r.ratio <= 64.0,
+                "row '{}' has uniform/non-uniform ratio {} — constant-factor claim violated",
+                r.row,
+                r.ratio
+            );
+        }
+        let text = render_table(&rows);
+        assert!(text.contains("ruling set"));
+        assert!(text.lines().count() >= 12);
+    }
+
+    #[test]
+    fn scaling_series_ratio_stays_bounded() {
+        let series = scaling_series(&[48, 96, 192], Family::Regular6, 2);
+        assert_eq!(series.len(), 3);
+        let ratios: Vec<f64> = series
+            .iter()
+            .map(|p| p.uniform_rounds as f64 / p.nonuniform_rounds.max(1) as f64)
+            .collect();
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min <= 6.0, "overhead ratio drifted: {ratios:?}");
+    }
+
+    #[test]
+    fn alternation_trace_shows_progress() {
+        let trace = alternation_trace(80, 0);
+        assert!(!trace.is_empty());
+        // The last executed sub-iteration prunes every remaining node.
+        let last = trace.last().unwrap();
+        assert_eq!(last.pruned, last.alive_before);
+        // Budgets never decrease.
+        assert!(trace.windows(2).all(|w| w[1].budget >= w[0].budget));
+    }
+
+    #[test]
+    fn fastest_of_never_much_worse_than_best_component() {
+        let point = fastest_of_point(Family::Forest3, 80, 1);
+        let best = point.delta_based_rounds.min(point.arboricity_rounds);
+        assert!(
+            point.combined_rounds <= 8 * best + 64,
+            "combined {} vs best {}",
+            point.combined_rounds,
+            best
+        );
+    }
+
+    #[test]
+    fn las_vegas_mean_is_comparable_to_monte_carlo_bound() {
+        let (mean, bound) = las_vegas_mean_rounds(64, 2, 3);
+        assert!(mean > 0.0);
+        assert!(mean <= 8.0 * bound + 64.0, "mean {mean} vs bound {bound}");
+    }
+}

@@ -1,0 +1,211 @@
+//! The function classes of Section 2: moderately-slow, moderately-increasing and
+//! moderately-fast functions, plus the monotone inverses the transformers need.
+//!
+//! The paper's conditions are universally quantified over all integers; the checkers here
+//! verify them over a finite sample range (doubling points up to a cap), which is what the
+//! property-based tests exercise. The *inverse* helpers — "the largest `y` with `f(y) ≤ x`" —
+//! are the workhorse used to build set-sequences (Section 4.2) and the Theorem 3 parameter
+//! translation.
+
+use std::sync::Arc;
+
+/// A non-decreasing function `N → R+`, shared by the transformer machinery.
+pub type MonotoneFn = Arc<dyn Fn(u64) -> f64 + Send + Sync>;
+
+/// Builds a [`MonotoneFn`] from a closure.
+pub fn monotone<F: Fn(u64) -> f64 + Send + Sync + 'static>(f: F) -> MonotoneFn {
+    Arc::new(f)
+}
+
+/// Upper cap on arguments explored by inverses and property checks (2^48 is far beyond any
+/// guess a transformer will ever need for simulated graphs).
+pub const ARGUMENT_CAP: u64 = 1 << 48;
+
+/// Returns the largest `y ∈ [1, cap]` with `f(y) ≤ x`, or `None` if even `f(1) > x`.
+///
+/// `f` must be non-decreasing; the search is exponential followed by binary.
+pub fn largest_arg_at_most(f: &MonotoneFn, x: f64, cap: u64) -> Option<u64> {
+    if f(1) > x {
+        return None;
+    }
+    // Exponential search maintaining the invariant f(lo) <= x.
+    let mut lo = 1u64;
+    let mut hi = 2u64.min(cap);
+    while hi < cap && f(hi) <= x {
+        lo = hi;
+        hi = hi.saturating_mul(2).min(cap);
+    }
+    if f(hi) <= x {
+        // Only possible when hi reached the cap.
+        return Some(hi);
+    }
+    // Invariant: f(lo) <= x < f(hi); binary search.
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        if f(mid) <= x {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Is `f` non-decreasing on a doubling sample of `[1, cap]`?
+pub fn is_non_decreasing(f: &MonotoneFn, cap: u64) -> bool {
+    let mut prev = f(1);
+    let mut x = 1u64;
+    while x < cap {
+        let next_x = (x * 2).min(cap);
+        let val = f(next_x);
+        if val < prev {
+            return false;
+        }
+        prev = val;
+        x = next_x;
+    }
+    true
+}
+
+/// Is `f` *moderately slow*: non-decreasing and `f(2i) ≤ α·f(i)` for some constant `α`
+/// (checked with the supplied `alpha` over a doubling sample)?
+///
+/// Examples: constants, `log`, `log*`, polynomials of bounded degree... anything satisfying
+/// `f(c·i) = O(f(i))`.
+pub fn is_moderately_slow(f: &MonotoneFn, alpha: f64, cap: u64) -> bool {
+    if !is_non_decreasing(f, cap) {
+        return false;
+    }
+    let mut i = 2u64;
+    while i <= cap / 2 {
+        if f(2 * i) > alpha * f(i) + 1e-9 {
+            return false;
+        }
+        i *= 2;
+    }
+    true
+}
+
+/// Is `f` *moderately increasing*: moderately slow and `f(α·i) ≥ 2·f(i)` (growth lower bound)?
+pub fn is_moderately_increasing(f: &MonotoneFn, alpha: u64, cap: u64) -> bool {
+    if !is_moderately_slow(f, alpha as f64, cap) {
+        return false;
+    }
+    let mut i = 2u64;
+    while i.saturating_mul(alpha) <= cap {
+        if f(alpha * i) < 2.0 * f(i) - 1e-9 {
+            return false;
+        }
+        i *= 2;
+    }
+    true
+}
+
+/// Is `f` *moderately fast*: moderately increasing and `x < f(x) < P(x)` for the polynomial
+/// `P(x) = poly_coeff · x^poly_degree` (the paper only requires *some* polynomial)?
+pub fn is_moderately_fast(
+    f: &MonotoneFn,
+    alpha: u64,
+    poly_coeff: f64,
+    poly_degree: u32,
+    cap: u64,
+) -> bool {
+    if !is_moderately_increasing(f, alpha, cap) {
+        return false;
+    }
+    let mut x = 2u64;
+    while x <= cap {
+        let val = f(x);
+        if val <= x as f64 || val >= poly_coeff * (x as f64).powi(poly_degree as i32) {
+            return false;
+        }
+        if x == cap {
+            break;
+        }
+        x = (x * 2).min(cap);
+    }
+    true
+}
+
+/// Does `f` tend to infinity (ascending) on the sample range?
+pub fn is_ascending(f: &MonotoneFn, cap: u64) -> bool {
+    is_non_decreasing(f, cap) && f(cap) > f(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: u64 = 1 << 30;
+
+    #[test]
+    fn inverse_of_identity() {
+        let f = monotone(|x| x as f64);
+        assert_eq!(largest_arg_at_most(&f, 10.0, CAP), Some(10));
+        assert_eq!(largest_arg_at_most(&f, 0.5, CAP), None);
+        assert_eq!(largest_arg_at_most(&f, 1.0, CAP), Some(1));
+    }
+
+    #[test]
+    fn inverse_of_exponential() {
+        let f = monotone(|x| (x as f64).exp2());
+        // 2^y <= 1000 → y <= 9.
+        assert_eq!(largest_arg_at_most(&f, 1000.0, CAP), Some(9));
+    }
+
+    #[test]
+    fn inverse_of_constant_hits_cap() {
+        let f = monotone(|_| 3.0);
+        assert_eq!(largest_arg_at_most(&f, 5.0, 1 << 20), Some(1 << 20));
+        assert_eq!(largest_arg_at_most(&f, 2.0, 1 << 20), None);
+    }
+
+    #[test]
+    fn inverse_respects_monotone_boundary() {
+        let f = monotone(|x| (x as f64).sqrt());
+        let y = largest_arg_at_most(&f, 7.0, CAP).unwrap();
+        assert!(f(y) <= 7.0);
+        assert!(f(y + 1) > 7.0 || y == CAP);
+    }
+
+    #[test]
+    fn log_is_moderately_slow_but_not_increasing() {
+        let f = monotone(|x| (x.max(2) as f64).log2());
+        assert!(is_moderately_slow(&f, 2.0, CAP));
+        assert!(!is_moderately_increasing(&f, 2, CAP));
+    }
+
+    #[test]
+    fn constant_is_moderately_slow() {
+        let f = monotone(|_| 7.0);
+        assert!(is_moderately_slow(&f, 1.0, CAP));
+        assert!(!is_ascending(&f, CAP));
+    }
+
+    #[test]
+    fn polynomials_are_moderately_increasing_and_fast() {
+        // f(x) = x^1.5 is moderately fast: x < x^1.5 < x^2 for x ≥ 2.
+        let f = monotone(|x| (x as f64).powf(1.5));
+        assert!(is_moderately_increasing(&f, 4, CAP));
+        assert!(is_moderately_fast(&f, 4, 1.0, 2, 1 << 20));
+    }
+
+    #[test]
+    fn exponential_is_not_moderately_slow() {
+        let f = monotone(|x| (x.min(1000) as f64).exp2());
+        assert!(!is_moderately_slow(&f, 4.0, 1 << 12));
+    }
+
+    #[test]
+    fn decreasing_function_fails_all_checks() {
+        let f = monotone(|x| 1.0 / (x as f64 + 1.0));
+        assert!(!is_non_decreasing(&f, CAP));
+        assert!(!is_moderately_slow(&f, 2.0, CAP));
+    }
+
+    #[test]
+    fn linear_is_ascending() {
+        let f = monotone(|x| 3.0 * x as f64);
+        assert!(is_ascending(&f, CAP));
+    }
+}

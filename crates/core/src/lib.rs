@@ -1,0 +1,52 @@
+//! # local-uniform — pruning algorithms and uniform-transformer framework
+//!
+//! This crate implements the contribution of *"Toward more localized local algorithms:
+//! removing assumptions concerning global knowledge"* (Korman, Sereni, Viennot; PODC 2011 /
+//! Distributed Computing 2013):
+//!
+//! * **pruning algorithms** (Section 3) for (2, β)-ruling sets / MIS, maximal matching, and
+//!   strong list colouring — [`pruning`];
+//! * **set-sequences and sequence-number functions** (Section 4.2) — [`seqnum`], [`funcs`];
+//! * **transformers from non-uniform to uniform algorithms**: Theorem 1 (deterministic),
+//!   Theorem 2 (weak Monte-Carlo → Las Vegas), Theorem 3 (weak domination of parameter sets),
+//!   Theorem 4 (run as fast as the fastest), Theorem 5 (colouring) — [`transform`],
+//!   [`nonuniform`], [`theorem5`];
+//! * a **catalog** of ready-made black boxes wiring the baseline algorithms of
+//!   [`local_algos`] to their declared time bounds, reproducing the rows of Table 1 —
+//!   [`catalog`].
+//!
+//! ```
+//! use local_uniform::catalog;
+//! use local_uniform::problem::{MisProblem, Problem};
+//!
+//! // A uniform MIS algorithm (no global knowledge at any node), Corollary 1(i)-style.
+//! let uniform = catalog::uniform_coloring_mis();
+//! let g = local_graphs::gnp(60, 0.1, 1);
+//! let run = uniform.solve(&g, &vec![(); 60], 0);
+//! assert!(run.solved);
+//! MisProblem.validate(&g, &vec![(); 60], &run.outputs).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod funcs;
+pub mod nonuniform;
+pub mod problem;
+pub mod pruning;
+pub mod seqnum;
+pub mod theorem5;
+pub mod transform;
+
+pub use funcs::{monotone, MonotoneFn};
+pub use nonuniform::{Determinism, Domination, NonUniformAlgorithm};
+pub use problem::{
+    ColoringProblem, MatchingProblem, MisProblem, Problem, RulingSetProblem, SlcColor, SlcInput,
+    SlcProblem,
+};
+pub use pruning::{MatchingPruning, Pruned, PruningAlgorithm, RulingSetPruning, SlcPruning};
+pub use seqnum::TimeBound;
+pub use transform::{
+    FastestOfTransformer, SubIterationTrace, UniformComponent, UniformRun, UniformTransformer,
+};

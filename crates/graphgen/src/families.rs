@@ -1,0 +1,167 @@
+//! Named benchmark families.
+//!
+//! The benchmark harness sweeps over graph *families* rather than individual graphs: each
+//! family fixes how Δ and the arboricity scale with `n`, matching the regimes the paper's
+//! Table 1 distinguishes (general graphs, bounded degree, bounded arboricity,
+//! bounded independence).
+
+use crate::params::GraphParams;
+use crate::random::{forest_union, gnp_avg_degree, preferential_attachment, random_regular, unit_disk};
+use crate::structured::{binary_tree, cycle, grid, path, triangulated_grid};
+use local_runtime::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A named graph family with a scaling rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Family {
+    /// Path graphs (Δ = 2, a = 1).
+    Path,
+    /// Cycles (Δ = 2, a ≤ 2).
+    Cycle,
+    /// Complete binary trees (Δ = 3, a = 1).
+    BinaryTree,
+    /// Square grids (Δ = 4, a = 2).
+    Grid,
+    /// Triangulated grids (Δ ≤ 8, planar, a ≤ 3).
+    TriangulatedGrid,
+    /// Erdős–Rényi graphs with expected average degree 8.
+    SparseGnp,
+    /// Erdős–Rényi graphs with expected average degree `sqrt(n)` (dense-ish, large Δ).
+    DenseGnp,
+    /// Random 6-regular graphs (constant Δ).
+    Regular6,
+    /// Unions of 3 random forests (arboricity ≤ 3, unbounded Δ).
+    Forest3,
+    /// Unit-disk graphs with radius chosen for expected degree ~10 (bounded independence).
+    UnitDisk,
+    /// Preferential attachment with m = 3 (skewed degrees, small arboricity).
+    PowerLaw,
+}
+
+impl Family {
+    /// All families, in a stable order.
+    pub const ALL: [Family; 11] = [
+        Family::Path,
+        Family::Cycle,
+        Family::BinaryTree,
+        Family::Grid,
+        Family::TriangulatedGrid,
+        Family::SparseGnp,
+        Family::DenseGnp,
+        Family::Regular6,
+        Family::Forest3,
+        Family::UnitDisk,
+        Family::PowerLaw,
+    ];
+
+    /// Human-readable name used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Path => "path",
+            Family::Cycle => "cycle",
+            Family::BinaryTree => "binary-tree",
+            Family::Grid => "grid",
+            Family::TriangulatedGrid => "triangulated-grid",
+            Family::SparseGnp => "gnp-avg8",
+            Family::DenseGnp => "gnp-sqrt-n",
+            Family::Regular6 => "regular-6",
+            Family::Forest3 => "forest-union-3",
+            Family::UnitDisk => "unit-disk",
+            Family::PowerLaw => "power-law",
+        }
+    }
+
+    /// Generates a member of the family with (approximately) `n` nodes.
+    pub fn generate(&self, n: usize, seed: u64) -> Graph {
+        let n = n.max(4);
+        match self {
+            Family::Path => path(n),
+            Family::Cycle => cycle(n),
+            Family::BinaryTree => binary_tree(n),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                grid(side, side)
+            }
+            Family::TriangulatedGrid => {
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                triangulated_grid(side, side)
+            }
+            Family::SparseGnp => gnp_avg_degree(n, 8.0, seed),
+            Family::DenseGnp => gnp_avg_degree(n, (n as f64).sqrt(), seed),
+            Family::Regular6 => {
+                let n = if n % 2 == 1 { n + 1 } else { n };
+                random_regular(n, 6, seed)
+            }
+            Family::Forest3 => forest_union(n, 3, seed),
+            Family::UnitDisk => {
+                // Expected degree ≈ n·π·r² = 10  ⇒  r = sqrt(10 / (π n)).
+                let r = (10.0 / (std::f64::consts::PI * n as f64)).sqrt();
+                unit_disk(n, r, seed)
+            }
+            Family::PowerLaw => preferential_attachment(n, 3, seed),
+        }
+    }
+
+    /// Generates a member together with its computed parameters.
+    pub fn generate_with_params(&self, n: usize, seed: u64) -> (Graph, GraphParams) {
+        let g = self.generate(n, seed);
+        let p = GraphParams::of(&g);
+        (g, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_generates_requested_size_roughly() {
+        for fam in Family::ALL {
+            let g = fam.generate(64, 1);
+            assert!(
+                g.node_count() >= 32 && g.node_count() <= 130,
+                "{} produced {} nodes",
+                fam.name(),
+                g.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn family_names_are_unique() {
+        let mut names: Vec<_> = Family::ALL.iter().map(|f| f.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Family::ALL.len());
+    }
+
+    #[test]
+    fn bounded_degree_families_have_bounded_degree() {
+        assert!(Family::Path.generate(100, 0).max_degree() <= 2);
+        assert!(Family::Cycle.generate(100, 0).max_degree() <= 2);
+        assert!(Family::BinaryTree.generate(100, 0).max_degree() <= 3);
+        assert!(Family::Grid.generate(100, 0).max_degree() <= 4);
+        assert!(Family::Regular6.generate(100, 0).max_degree() <= 6);
+    }
+
+    #[test]
+    fn forest_family_has_small_degeneracy() {
+        let (_, p) = Family::Forest3.generate_with_params(200, 7);
+        assert!(p.degeneracy <= 5, "degeneracy {} too large for forest union", p.degeneracy);
+    }
+
+    #[test]
+    fn dense_family_has_large_degree() {
+        let (_, p) = Family::DenseGnp.generate_with_params(256, 7);
+        assert!(p.max_degree >= 10);
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        for fam in Family::ALL {
+            let a = fam.generate(50, 33);
+            let b = fam.generate(50, 33);
+            assert_eq!(a, b, "{} not reproducible", fam.name());
+        }
+    }
+}

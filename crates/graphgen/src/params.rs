@@ -1,0 +1,301 @@
+//! Graph-parameter computation.
+//!
+//! The paper's transformers are parameterised by non-decreasing graph parameters: the number
+//! of nodes `n`, the maximum degree `Δ`, the arboricity `a`, and the maximum identity `m`
+//! (Section 2, "Parameters"). This module computes them centrally for experiment setup and
+//! for supplying *correct guesses* to the non-uniform baselines.
+//!
+//! Arboricity is approximated by the degeneracy `d(G)` computed with the standard core-peeling
+//! procedure; `a(G) ≤ d(G) ≤ 2·a(G) − 1`, and degeneracy is itself a non-decreasing graph
+//! parameter, so every monotonicity argument in the paper carries over (documented substitution
+//! in DESIGN.md).
+
+use local_runtime::Graph;
+use serde::{Deserialize, Serialize};
+
+/// A non-decreasing graph parameter, in the sense of Section 2 of the paper: a function of the
+/// graph (independent of the problem input) that can only decrease when passing to a subgraph.
+///
+/// These are exactly the parameters the paper's non-uniform algorithms require good guesses
+/// for, and with respect to which the transformers' monotonicity arguments are stated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Parameter {
+    /// The number of nodes `n`.
+    N,
+    /// The maximum degree `Δ`.
+    MaxDegree,
+    /// The degeneracy (our computable stand-in for the arboricity `a`; `a ≤ d ≤ 2a − 1`).
+    Degeneracy,
+    /// The maximum identity `m`.
+    MaxId,
+}
+
+impl Parameter {
+    /// Evaluates the parameter on a graph.
+    pub fn eval(&self, g: &Graph) -> u64 {
+        match self {
+            Parameter::N => g.node_count() as u64,
+            Parameter::MaxDegree => g.max_degree() as u64,
+            Parameter::Degeneracy => degeneracy(g) as u64,
+            Parameter::MaxId => g.max_id(),
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Parameter::N => "n",
+            Parameter::MaxDegree => "Δ",
+            Parameter::Degeneracy => "a",
+            Parameter::MaxId => "m",
+        }
+    }
+}
+
+/// The global parameters of a graph, as used throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GraphParams {
+    /// Number of nodes `n`.
+    pub n: u64,
+    /// Maximum degree `Δ`.
+    pub max_degree: u64,
+    /// Degeneracy `d` (our stand-in for the arboricity `a`; `a ≤ d ≤ 2a − 1`).
+    pub degeneracy: u64,
+    /// Maximum identity `m`.
+    pub max_id: u64,
+    /// Number of edges (not a paper parameter; reported for context).
+    pub edges: u64,
+}
+
+impl GraphParams {
+    /// Computes every parameter of `g`.
+    pub fn of(g: &Graph) -> Self {
+        GraphParams {
+            n: g.node_count() as u64,
+            max_degree: g.max_degree() as u64,
+            degeneracy: degeneracy(g) as u64,
+            max_id: g.max_id(),
+            edges: g.edge_count() as u64,
+        }
+    }
+}
+
+/// The degeneracy of `g`: the smallest `d` such that every subgraph has a node of degree ≤ d.
+///
+/// Computed by repeatedly removing a minimum-degree node (bucket queue with lazy deletion).
+pub fn degeneracy(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let max_deg = *degree.iter().max().unwrap_or(&0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for v in 0..n {
+        buckets[degree[v]].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut degen = 0;
+    let mut peeled = 0;
+    let mut cursor = 0usize;
+    while peeled < n {
+        // Lazy-deletion bucket queue: entries may be stale (node already removed or its degree
+        // has since decreased); pop until a fresh minimum-degree entry is found.
+        if cursor > 0 {
+            cursor -= 1;
+        }
+        let v = loop {
+            while buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let candidate = buckets[cursor].pop().expect("bucket checked non-empty");
+            if !removed[candidate] && degree[candidate] == cursor {
+                break candidate;
+            }
+        };
+        removed[v] = true;
+        peeled += 1;
+        degen = degen.max(degree[v]);
+        for &w in g.neighbors(v) {
+            if !removed[w] {
+                degree[w] -= 1;
+                buckets[degree[w]].push(w);
+            }
+        }
+    }
+    degen
+}
+
+/// An ordering of the nodes witnessing the degeneracy: each node has at most
+/// [`degeneracy`]`(g)` neighbors *later* in the order. Returned as `order[rank] = node`.
+pub fn degeneracy_ordering(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut degree: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .min_by_key(|&v| degree[v])
+            .expect("unremoved node exists");
+        removed[v] = true;
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if !removed[w] {
+                degree[w] -= 1;
+            }
+        }
+    }
+    order
+}
+
+/// Exact diameter of `g` (largest eccentricity over all nodes of the largest component);
+/// `0` for graphs with at most one node. Runs a BFS from every node, so use on small graphs.
+pub fn diameter(g: &Graph) -> usize {
+    let n = g.node_count();
+    let mut best = 0;
+    for v in 0..n {
+        let dist = g.bfs_distances(v);
+        for d in dist {
+            if d != usize::MAX {
+                best = best.max(d);
+            }
+        }
+    }
+    best
+}
+
+/// A lower bound on the arboricity from the Nash-Williams density formula applied to the whole
+/// graph: `ceil(m / (n - 1))` (the true arboricity is the maximum over all subgraphs).
+pub fn arboricity_lower_bound(g: &Graph) -> usize {
+    let n = g.node_count();
+    if n <= 1 {
+        return 0;
+    }
+    g.edge_count().div_ceil(n - 1)
+}
+
+/// An upper bound on the arboricity: the degeneracy (every `d`-degenerate graph decomposes
+/// into at most `d` forests... more precisely `a ≤ d`; we return `d`).
+pub fn arboricity_upper_bound(g: &Graph) -> usize {
+    degeneracy(g)
+}
+
+/// The iterated logarithm `log* x` (number of times `log2` must be applied to bring `x`
+/// to at most 1). Used in the paper's running-time bounds.
+pub fn log_star(x: f64) -> u64 {
+    let mut count = 0;
+    let mut value = x;
+    while value > 1.0 {
+        value = value.log2();
+        count += 1;
+        if count > 64 {
+            break;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{forest_union, gnp};
+    use crate::structured::{complete, cycle, grid, path, star};
+
+    #[test]
+    fn degeneracy_of_standard_graphs() {
+        assert_eq!(degeneracy(&path(10)), 1);
+        assert_eq!(degeneracy(&cycle(10)), 2);
+        assert_eq!(degeneracy(&complete(6)), 5);
+        assert_eq!(degeneracy(&star(8)), 1);
+        assert_eq!(degeneracy(&grid(5, 5)), 2);
+    }
+
+    #[test]
+    fn degeneracy_of_empty_and_single() {
+        let empty = local_runtime::Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(degeneracy(&empty), 0);
+        let single = local_runtime::Graph::from_edges(1, &[]).unwrap();
+        assert_eq!(degeneracy(&single), 0);
+    }
+
+    #[test]
+    fn degeneracy_ordering_witnesses_bound() {
+        let g = gnp(60, 0.1, 5);
+        let d = degeneracy(&g);
+        let order = degeneracy_ordering(&g);
+        let mut rank = vec![0usize; g.node_count()];
+        for (r, &v) in order.iter().enumerate() {
+            rank[v] = r;
+        }
+        for v in 0..g.node_count() {
+            let later = g.neighbors(v).iter().filter(|&&w| rank[w] > rank[v]).count();
+            assert!(later <= d, "node {v} has {later} later neighbors but degeneracy is {d}");
+        }
+    }
+
+    #[test]
+    fn forest_union_degeneracy_close_to_k() {
+        let g = forest_union(150, 4, 9);
+        let d = degeneracy(&g);
+        // arboricity ≤ 4, hence degeneracy ≤ 2·4 − 1 = 7; also ≥ density bound.
+        assert!(d <= 7, "degeneracy {d} too large");
+        assert!(d >= 2);
+    }
+
+    #[test]
+    fn diameter_of_path_and_cycle() {
+        assert_eq!(diameter(&path(10)), 9);
+        assert_eq!(diameter(&cycle(10)), 5);
+        assert_eq!(diameter(&complete(5)), 1);
+    }
+
+    #[test]
+    fn arboricity_bounds_are_consistent() {
+        for g in [grid(6, 6), gnp(50, 0.2, 1), forest_union(80, 3, 2)] {
+            assert!(arboricity_lower_bound(&g) <= arboricity_upper_bound(&g).max(1));
+        }
+    }
+
+    #[test]
+    fn log_star_values() {
+        assert_eq!(log_star(1.0), 0);
+        assert_eq!(log_star(2.0), 1);
+        assert_eq!(log_star(4.0), 2);
+        assert_eq!(log_star(16.0), 3);
+        assert_eq!(log_star(65536.0), 4);
+        assert_eq!(log_star(1e30), 5);
+    }
+
+    #[test]
+    fn parameter_eval_matches_graph_params() {
+        let g = gnp(40, 0.15, 3);
+        let p = GraphParams::of(&g);
+        assert_eq!(Parameter::N.eval(&g), p.n);
+        assert_eq!(Parameter::MaxDegree.eval(&g), p.max_degree);
+        assert_eq!(Parameter::Degeneracy.eval(&g), p.degeneracy);
+        assert_eq!(Parameter::MaxId.eval(&g), p.max_id);
+        assert_eq!(Parameter::N.name(), "n");
+    }
+
+    #[test]
+    fn parameters_are_monotone_under_subgraphs() {
+        let g = gnp(50, 0.2, 11);
+        let keep: Vec<bool> = (0..g.node_count()).map(|v| v % 3 != 0).collect();
+        let (sub, _) = g.induced_subgraph(&keep);
+        for p in [Parameter::N, Parameter::MaxDegree, Parameter::Degeneracy, Parameter::MaxId] {
+            assert!(p.eval(&sub) <= p.eval(&g), "{} not monotone", p.name());
+        }
+    }
+
+    #[test]
+    fn graph_params_of_grid() {
+        let g = grid(4, 4);
+        let p = GraphParams::of(&g);
+        assert_eq!(p.n, 16);
+        assert_eq!(p.max_degree, 4);
+        assert_eq!(p.degeneracy, 2);
+        assert_eq!(p.max_id, 15);
+        assert_eq!(p.edges, 24);
+    }
+}

@@ -1,0 +1,265 @@
+//! Random graph generators.
+//!
+//! All generators are deterministic functions of their seed so experiments are reproducible.
+//! The families are chosen to exercise the parameter regimes the paper's Table 1
+//! distinguishes: Erdős–Rényi `G(n, p)` (controls Δ around `np`), random regular graphs
+//! (fixed Δ), random forests and unions of forests (arboricity exactly `k`), random geometric
+//! / unit-disk graphs (bounded independence, the Schneider–Wattenhofer regime), and
+//! preferential attachment (skewed degrees, small arboricity).
+
+use local_runtime::Graph;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// Erdős–Rényi `G(n, p)`: every pair becomes an edge independently with probability `p`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if r.gen_bool(p.clamp(0.0, 1.0)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("gnp edges are valid")
+}
+
+/// `G(n, p)` with `p = c / n`, i.e. expected average degree `c`.
+pub fn gnp_avg_degree(n: usize, c: f64, seed: u64) -> Graph {
+    let p = if n <= 1 { 0.0 } else { (c / n as f64).clamp(0.0, 1.0) };
+    gnp(n, p, seed)
+}
+
+/// A random `d`-regular-ish multigraph via the configuration model, with self-loops and
+/// duplicate edges dropped; the result has maximum degree at most `d`.
+///
+/// # Panics
+///
+/// Panics if `n * d` is odd or `d >= n`.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d < n, "degree must be smaller than the number of nodes");
+    assert!(n * d % 2 == 0, "n * d must be even");
+    let mut r = rng(seed);
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    stubs.shuffle(&mut r);
+    let mut edges = Vec::new();
+    for pair in stubs.chunks(2) {
+        if pair.len() == 2 && pair[0] != pair[1] {
+            edges.push((pair[0], pair[1]));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("configuration model edges are valid")
+}
+
+/// A uniformly random labelled tree on `n` nodes (via a random Prüfer sequence).
+pub fn random_tree(n: usize, seed: u64) -> Graph {
+    if n <= 1 {
+        return Graph::from_edges(n, &[]).expect("trivial tree");
+    }
+    if n == 2 {
+        return Graph::from_edges(2, &[(0, 1)]).expect("two-node tree");
+    }
+    let mut r = rng(seed);
+    let prufer: Vec<usize> = (0..n - 2).map(|_| r.gen_range(0..n)).collect();
+    let mut degree = vec![1usize; n];
+    for &v in &prufer {
+        degree[v] += 1;
+    }
+    let mut edges = Vec::new();
+    let mut used = vec![false; n];
+    for &v in &prufer {
+        let leaf = (0..n).find(|&u| degree[u] == 1 && !used[u]).expect("a leaf always exists");
+        edges.push((leaf, v));
+        used[leaf] = true;
+        degree[leaf] -= 1;
+        degree[v] -= 1;
+    }
+    let rest: Vec<usize> = (0..n).filter(|&u| degree[u] == 1 && !used[u]).collect();
+    edges.push((rest[0], rest[1]));
+    Graph::from_edges(n, &edges).expect("Prüfer decoding yields a tree")
+}
+
+/// The union of `k` independent random forests on the same node set: a graph with arboricity
+/// at most `k` (and usually close to `k`). This is the workhorse family for the paper's
+/// arboricity-parameterised MIS results (Table 1 rows 3–4).
+pub fn forest_union(n: usize, k: usize, seed: u64) -> Graph {
+    let mut edges = Vec::new();
+    for i in 0..k {
+        let tree = random_tree(n, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+        edges.extend(tree.edges());
+    }
+    Graph::from_edges(n, &edges).expect("forest union edges are valid")
+}
+
+/// A random geometric (unit-disk) graph: `n` points uniform in the unit square, edges between
+/// points at distance at most `radius`. Unit-disk graphs have bounded independence, the model
+/// assumption of Schneider–Wattenhofer's uniform algorithms.
+pub fn unit_disk(n: usize, radius: f64, seed: u64) -> Graph {
+    let mut r = rng(seed);
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (r.gen::<f64>(), r.gen::<f64>())).collect();
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if dx * dx + dy * dy <= r2 {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("unit disk edges are valid")
+}
+
+/// Barabási–Albert preferential attachment: each new node attaches to `m` existing nodes
+/// chosen proportionally to degree. Produces skewed degree distributions with small arboricity.
+pub fn preferential_attachment(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "each node must attach with at least one edge");
+    let mut r = rng(seed);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut endpoints: Vec<usize> = Vec::new(); // multiset of edge endpoints, for sampling
+    let start = m.min(n);
+    // Seed clique among the first `start` nodes.
+    for u in 0..start {
+        for v in (u + 1)..start {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in start..n {
+        let mut targets = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while targets.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = if endpoints.is_empty() || r.gen_bool(0.1) {
+                r.gen_range(0..v)
+            } else {
+                endpoints[r.gen_range(0..endpoints.len())]
+            };
+            if t != v {
+                targets.insert(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((v, t));
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges).expect("preferential attachment edges are valid")
+}
+
+/// Permutes node identities at random while keeping the topology: useful for checking that
+/// algorithms only rely on identities for symmetry breaking, not on their magnitudes being
+/// `0..n`.
+pub fn scramble_ids(g: &Graph, id_space: u64, seed: u64) -> Graph {
+    let n = g.node_count();
+    let mut r = rng(seed);
+    let space = id_space.max(n as u64);
+    let mut ids: Vec<u64> = Vec::with_capacity(n);
+    let mut used = std::collections::BTreeSet::new();
+    while ids.len() < n {
+        let candidate = r.gen_range(0..space);
+        if used.insert(candidate) {
+            ids.push(candidate);
+        }
+    }
+    let edges: Vec<_> = g.edges().collect();
+    Graph::from_edges_with_ids(n, &edges, &ids).expect("scrambled graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_reproducible() {
+        let a = gnp(50, 0.1, 7);
+        let b = gnp(50, 0.1, 7);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let c = gnp(50, 0.1, 8);
+        // Overwhelmingly likely to differ.
+        assert!(a.edge_count() != c.edge_count() || a != c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp(10, 1.0, 1).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_avg_degree_is_roughly_right() {
+        let g = gnp_avg_degree(400, 6.0, 3);
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!((3.0..9.0).contains(&avg), "average degree {avg} too far from 6");
+    }
+
+    #[test]
+    fn random_regular_degree_bounded() {
+        let g = random_regular(60, 4, 11);
+        assert!(g.max_degree() <= 4);
+        assert!(g.edge_count() > 60); // most stubs survive
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_odd_total_panics() {
+        random_regular(5, 3, 0);
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        for n in [1usize, 2, 3, 10, 57] {
+            let g = random_tree(n, 5);
+            assert_eq!(g.node_count(), n);
+            assert_eq!(g.edge_count(), n.saturating_sub(1));
+            let (_, comps) = g.connected_components();
+            assert_eq!(comps, 1.min(n).max(if n == 0 { 0 } else { 1 }));
+        }
+    }
+
+    #[test]
+    fn forest_union_has_bounded_arboricity_edge_count() {
+        let k = 3;
+        let n = 100;
+        let g = forest_union(n, k, 21);
+        // A graph of arboricity k has at most k(n-1) edges.
+        assert!(g.edge_count() <= k * (n - 1));
+        assert!(g.edge_count() >= n - 1);
+    }
+
+    #[test]
+    fn unit_disk_radius_monotone() {
+        let small = unit_disk(80, 0.05, 9);
+        let large = unit_disk(80, 0.3, 9);
+        assert!(large.edge_count() >= small.edge_count());
+    }
+
+    #[test]
+    fn preferential_attachment_connected_and_sized() {
+        let g = preferential_attachment(120, 2, 13);
+        assert_eq!(g.node_count(), 120);
+        assert!(g.edge_count() >= 120);
+        let (_, comps) = g.connected_components();
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn scramble_ids_preserves_topology() {
+        let g = gnp(40, 0.15, 2);
+        let s = scramble_ids(&g, 1 << 20, 3);
+        assert_eq!(g.edge_count(), s.edge_count());
+        assert_eq!(g.node_count(), s.node_count());
+        assert_eq!(g.max_degree(), s.max_degree());
+        // Identities really did change (with overwhelming probability).
+        assert_ne!(g.ids(), s.ids());
+    }
+}

@@ -1,0 +1,256 @@
+//! Deterministic structured graph generators.
+//!
+//! These families cover the regimes that Table 1 of the paper distinguishes: low maximum
+//! degree (paths, cycles, grids, bounded-degree trees), low arboricity (trees, grids, planar
+//! meshes), and dense graphs (cliques, barbells).
+
+use local_runtime::Graph;
+
+/// A path `P_n` on `n` nodes (arboricity 1, maximum degree 2).
+pub fn path(n: usize) -> Graph {
+    let edges: Vec<_> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    Graph::from_edges(n, &edges).expect("path edges are valid")
+}
+
+/// A cycle `C_n` on `n >= 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 nodes");
+    let mut edges: Vec<_> = (0..n - 1).map(|i| (i, i + 1)).collect();
+    edges.push((n - 1, 0));
+    Graph::from_edges(n, &edges).expect("cycle edges are valid")
+}
+
+/// The complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("complete graph edges are valid")
+}
+
+/// A star `K_{1,n-1}` with node 0 as the center.
+pub fn star(n: usize) -> Graph {
+    let edges: Vec<_> = (1..n).map(|v| (0, v)).collect();
+    Graph::from_edges(n, &edges).expect("star edges are valid")
+}
+
+/// A complete binary tree on `n` nodes (node `v` has children `2v+1`, `2v+2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((v, (v - 1) / 2));
+    }
+    Graph::from_edges(n, &edges).expect("binary tree edges are valid")
+}
+
+/// A `rows × cols` 2-dimensional grid (arboricity 2, maximum degree 4).
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid edges are valid")
+}
+
+/// A triangulated `rows × cols` grid (adds one diagonal per cell; still planar, arboricity ≤ 3).
+pub fn triangulated_grid(rows: usize, cols: usize) -> Graph {
+    let idx = |r: usize, c: usize| r * cols + c;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+            if r + 1 < rows && c + 1 < cols {
+                edges.push((idx(r, c), idx(r + 1, c + 1)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges).expect("grid edges are valid")
+}
+
+/// The `d`-dimensional hypercube `Q_d` on `2^d` nodes (maximum degree `d`).
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut edges = Vec::new();
+    for v in 0..n {
+        for bit in 0..d {
+            let w = v ^ (1usize << bit);
+            if v < w {
+                edges.push((v, w));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges).expect("hypercube edges are valid")
+}
+
+/// Two cliques of size `k` joined by a path of length `bridge` (a "barbell"): dense components
+/// with a long thin connection, useful for stressing identity-based symmetry breaking.
+pub fn barbell(k: usize, bridge: usize) -> Graph {
+    let n = 2 * k + bridge;
+    let mut edges = Vec::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            edges.push((u, v));
+        }
+    }
+    let right = k + bridge;
+    for u in right..n {
+        for v in (u + 1)..n {
+            edges.push((u, v));
+        }
+    }
+    // Path connecting node k-1 .. k .. k+bridge-1 .. right
+    let mut prev = k - 1;
+    for v in k..right {
+        edges.push((prev, v));
+        prev = v;
+    }
+    edges.push((prev, right));
+    Graph::from_edges(n, &edges).expect("barbell edges are valid")
+}
+
+/// A caterpillar: a path of length `spine` where every spine node gets `legs` pendant leaves.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine + spine * legs;
+    let mut edges = Vec::new();
+    for i in 0..spine.saturating_sub(1) {
+        edges.push((i, i + 1));
+    }
+    for s in 0..spine {
+        for l in 0..legs {
+            edges.push((s, spine + s * legs + l));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("caterpillar edges are valid")
+}
+
+/// The empty graph on `n` isolated nodes.
+pub fn edgeless(n: usize) -> Graph {
+    Graph::from_edges(n, &[]).expect("edgeless graph is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(10);
+        assert_eq!(g.node_count(), 10);
+        assert_eq!(g.edge_count(), 9);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn single_node_path() {
+        let g = path(1);
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(7);
+        assert_eq!(g.edge_count(), 7);
+        assert!(g.neighbors(0).contains(&6));
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_cycle_panics() {
+        cycle(2);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.edge_count(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(9);
+        assert_eq!(g.degree(0), 8);
+        assert_eq!(g.max_degree(), 8);
+        assert_eq!(g.edge_count(), 8);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(15);
+        assert_eq!(g.edge_count(), 14);
+        assert_eq!(g.max_degree(), 3);
+        let (_, comps) = g.connected_components();
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(4, 5);
+        assert_eq!(g.node_count(), 20);
+        assert_eq!(g.edge_count(), 4 * 4 + 5 * 3);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn triangulated_grid_has_more_edges_than_grid() {
+        let plain = grid(5, 5);
+        let tri = triangulated_grid(5, 5);
+        assert!(tri.edge_count() > plain.edge_count());
+        assert!(tri.max_degree() <= 8);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert_eq!(g.max_degree(), 4);
+    }
+
+    #[test]
+    fn barbell_is_connected_and_dense_at_ends() {
+        let g = barbell(5, 3);
+        assert_eq!(g.node_count(), 13);
+        let (_, comps) = g.connected_components();
+        assert_eq!(comps, 1);
+        assert!(g.degree(0) >= 4);
+    }
+
+    #[test]
+    fn caterpillar_is_a_tree() {
+        let g = caterpillar(6, 3);
+        assert_eq!(g.node_count(), 24);
+        assert_eq!(g.edge_count(), 23);
+        let (_, comps) = g.connected_components();
+        assert_eq!(comps, 1);
+    }
+
+    #[test]
+    fn edgeless_has_no_edges() {
+        let g = edgeless(12);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Graph-level view of a LOCAL algorithm.
+//!
+//! [`GraphAlgorithm`] is the execution-level interface consumed by the paper's transformers:
+//! "run this algorithm on this (sub)graph with these inputs, for at most `budget` rounds, and
+//! tell me the outputs and how many rounds you used". Every [`ProgramSpec`] is automatically a
+//! `GraphAlgorithm` (the runtime drives its node automata), but composite algorithms — e.g. an
+//! algorithm that first computes a partition and then runs a colouring phase on each part, or
+//! one that operates on the line graph — can implement the trait directly, with their round
+//! count justified by the composition bound of Observation 2.1.
+
+use crate::graph::Graph;
+use crate::program::ProgramSpec;
+use crate::runner::{run, RunConfig};
+
+/// The outcome of executing a [`GraphAlgorithm`].
+#[derive(Debug, Clone)]
+pub struct AlgoRun<O> {
+    /// Output per node, indexed like the graph the algorithm was executed on.
+    pub outputs: Vec<O>,
+    /// Number of rounds charged to the execution.
+    pub rounds: u64,
+    /// `true` when every node terminated by itself within the budget.
+    pub completed: bool,
+}
+
+impl<O> AlgoRun<O> {
+    /// An empty run (for the empty graph).
+    pub fn empty() -> Self {
+        AlgoRun { outputs: Vec::new(), rounds: 0, completed: true }
+    }
+}
+
+/// A LOCAL algorithm seen as a function from a configuration `(G, x)` to an output vector,
+/// with explicit round accounting and an optional round budget (the paper's *restriction to
+/// `i` rounds*).
+///
+/// Implementations must be **budget-respecting**: the reported `rounds` never exceeds the
+/// budget, and when the budget cuts the execution short every node still receives *some*
+/// output (possibly meaningless — downstream pruning algorithms take care of that).
+pub trait GraphAlgorithm {
+    /// Per-node input type `x(v)`.
+    type Input: Clone;
+    /// Per-node output type `y(v)`.
+    type Output: Clone;
+
+    /// Executes the algorithm.
+    fn execute(
+        &self,
+        graph: &Graph,
+        inputs: &[Self::Input],
+        budget: Option<u64>,
+        seed: u64,
+    ) -> AlgoRun<Self::Output>;
+}
+
+/// Every node-automaton specification is a graph algorithm: the runtime drives it.
+impl<S: ProgramSpec> GraphAlgorithm for S {
+    type Input = S::Input;
+    type Output = S::Output;
+
+    fn execute(
+        &self,
+        graph: &Graph,
+        inputs: &[Self::Input],
+        budget: Option<u64>,
+        seed: u64,
+    ) -> AlgoRun<Self::Output> {
+        let cfg = RunConfig { seed, max_rounds: budget, ..RunConfig::default() };
+        let exec = run(graph, inputs, self, &cfg);
+        AlgoRun { outputs: exec.outputs, rounds: exec.rounds, completed: exec.completed }
+    }
+}
+
+/// A boxed, object-safe graph algorithm (used by the transformer framework, which treats the
+/// non-uniform algorithm as a black box).
+pub type DynAlgorithm<I, O> = Box<dyn GraphAlgorithm<Input = I, Output = O> + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::program::{Action, NodeInit, NodeProgram, RoundCtx};
+
+    struct ConstSpec(u32);
+    struct ConstProg(u32);
+    impl NodeProgram for ConstProg {
+        type Msg = ();
+        type Output = u32;
+        fn round(&mut self, _ctx: &mut RoundCtx<'_, ()>) -> Action<u32> {
+            Action::Halt(self.0)
+        }
+    }
+    impl ProgramSpec for ConstSpec {
+        type Input = ();
+        type Msg = ();
+        type Output = u32;
+        type Prog = ConstProg;
+        fn build(&self, _init: &NodeInit<()>) -> ConstProg {
+            ConstProg(self.0)
+        }
+        fn default_output(&self, _init: &NodeInit<()>) -> u32 {
+            0
+        }
+    }
+
+    #[test]
+    fn spec_is_a_graph_algorithm() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let run = ConstSpec(7).execute(&g, &vec![(); 3], None, 0);
+        assert_eq!(run.outputs, vec![7, 7, 7]);
+        assert_eq!(run.rounds, 0);
+        assert!(run.completed);
+    }
+
+    #[test]
+    fn boxed_algorithm_is_usable() {
+        let alg: DynAlgorithm<(), u32> = Box::new(ConstSpec(3));
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let run = alg.execute(&g, &vec![(); 2], Some(10), 1);
+        assert_eq!(run.outputs, vec![3, 3]);
+    }
+
+    #[test]
+    fn empty_run_constructor() {
+        let run: AlgoRun<u32> = AlgoRun::empty();
+        assert!(run.outputs.is_empty());
+        assert_eq!(run.rounds, 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Per-node automata: the programming interface for LOCAL-model algorithms.
+//!
+//! A LOCAL algorithm is described by a [`ProgramSpec`], a factory that, given the local
+//! knowledge a node starts with ([`NodeInit`]), builds the node's automaton (a
+//! [`NodeProgram`]). The runtime ([`crate::runner`]) drives all automata in lock-step
+//! synchronous rounds, delivering every message sent in round `r` before round `r + 1`
+//! (fault-free synchronous LOCAL model, unrestricted message size and local computation).
+//!
+//! Nodes signal termination by returning [`Action::Halt`] with their final output; the
+//! paper's "restricted to `i` rounds" operation is realised by the runtime's round budget,
+//! which forces undecided nodes to the spec's [`ProgramSpec::default_output`].
+
+use crate::graph::{NodeId, NodeIndex};
+use rand_chacha::ChaCha8Rng;
+
+/// The knowledge available to a node *before* any communication.
+///
+/// This is deliberately minimal: node identity, degree, per-port neighbor identities (which a
+/// node could learn in a single round anyway and which essentially every LOCAL algorithm
+/// assumes), the node's problem input, and a private random stream. Uniform algorithms must
+/// not receive any global parameter here; non-uniform algorithms receive their guesses through
+/// their spec's constructor, mirroring the paper's "the code of `A` uses a value `p̃`".
+#[derive(Debug, Clone)]
+pub struct NodeInit<I> {
+    /// Index of the node in the executed graph (dense, `0..n`). This is a runtime handle,
+    /// not knowledge available to the algorithm; programs should use [`NodeInit::id`] for
+    /// symmetry breaking.
+    pub index: NodeIndex,
+    /// The unique identity `Id(v)`.
+    pub id: NodeId,
+    /// Degree of the node in the executed graph.
+    pub degree: usize,
+    /// Identity of the neighbor reachable through each port (`neighbor_ids[p]` is the
+    /// identity of the node at the other end of port `p`).
+    pub neighbor_ids: Vec<NodeId>,
+    /// Problem input `x(v)`.
+    pub input: I,
+}
+
+/// What a node decides to do at the end of a round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action<O> {
+    /// Keep running: the node participates in the next round.
+    Continue,
+    /// Terminate with the given final output. The node sends no further messages and its
+    /// `round` method is never called again.
+    Halt(O),
+}
+
+/// A single node's automaton.
+pub trait NodeProgram {
+    /// Message type exchanged with neighbors. The LOCAL model does not restrict message size.
+    type Msg: Clone;
+    /// Final output type `y(v)`.
+    type Output: Clone;
+
+    /// Executes one synchronous round.
+    ///
+    /// On the first invocation (round 0) the inbox is empty; afterwards the inbox contains
+    /// exactly the messages sent to this node in the previous round. Messages queued through
+    /// [`RoundCtx::send`]/[`RoundCtx::broadcast`] are delivered to neighbors before their next
+    /// round.
+    fn round(&mut self, ctx: &mut RoundCtx<'_, Self::Msg>) -> Action<Self::Output>;
+}
+
+/// Factory producing one [`NodeProgram`] per node, plus the forced output used when the
+/// runtime cuts the execution short (the paper's *algorithm restricted to `i` rounds*).
+pub trait ProgramSpec {
+    /// Problem input type `x(v)` handed to every node.
+    type Input: Clone;
+    /// Message type of the node programs.
+    type Msg: Clone;
+    /// Output type of the node programs.
+    type Output: Clone;
+    /// The node automaton type.
+    type Prog: NodeProgram<Msg = Self::Msg, Output = Self::Output>;
+
+    /// Builds the automaton for one node from its initial knowledge.
+    fn build(&self, init: &NodeInit<Self::Input>) -> Self::Prog;
+
+    /// Output assigned to a node that did not halt before the round budget expired.
+    ///
+    /// The paper lets this be arbitrary ("e.g. 0"); correctness of alternating algorithms never
+    /// relies on it because the pruning algorithm filters invalid outputs.
+    fn default_output(&self, init: &NodeInit<Self::Input>) -> Self::Output;
+}
+
+/// A message delivered to a node, tagged with the port it arrived on.
+#[derive(Debug, Clone)]
+pub struct Incoming<M> {
+    /// Port of the *receiving* node on which the message arrived.
+    pub port: usize,
+    /// The payload.
+    pub msg: M,
+}
+
+/// The per-round view a node has of the world: its inbox, an outbox, its clock and its
+/// private randomness.
+pub struct RoundCtx<'a, M> {
+    pub(crate) round: u64,
+    pub(crate) degree: usize,
+    pub(crate) inbox: &'a [Incoming<M>],
+    pub(crate) outbox: &'a mut Vec<(usize, M)>,
+    pub(crate) rng: &'a mut ChaCha8Rng,
+}
+
+impl<'a, M: Clone> RoundCtx<'a, M> {
+    /// The node's local round counter (0 on the first activation).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Degree of the node (number of ports).
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Messages received this round, tagged with the arrival port.
+    pub fn inbox(&self) -> &[Incoming<M>] {
+        self.inbox
+    }
+
+    /// Convenience: the message received on `port` this round, if any.
+    pub fn received_on(&self, port: usize) -> Option<&M> {
+        self.inbox.iter().find(|m| m.port == port).map(|m| &m.msg)
+    }
+
+    /// Queues a message to the neighbor on `port`, delivered before that neighbor's next round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree()`.
+    pub fn send(&mut self, port: usize, msg: M) {
+        assert!(port < self.degree, "send on port {port} but degree is {}", self.degree);
+        self.outbox.push((port, msg));
+    }
+
+    /// Queues the same message to every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        for port in 0..self.degree {
+            self.outbox.push((port, msg.clone()));
+        }
+    }
+
+    /// The node's private, reproducible random stream (independent across nodes).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn round_ctx_send_and_broadcast() {
+        let inbox: Vec<Incoming<u32>> = vec![Incoming { port: 1, msg: 42 }];
+        let mut outbox = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut ctx =
+            RoundCtx { round: 3, degree: 3, inbox: &inbox, outbox: &mut outbox, rng: &mut rng };
+        assert_eq!(ctx.round(), 3);
+        assert_eq!(ctx.degree(), 3);
+        assert_eq!(ctx.received_on(1), Some(&42));
+        assert_eq!(ctx.received_on(0), None);
+        ctx.send(2, 7);
+        ctx.broadcast(9);
+        assert_eq!(outbox, vec![(2, 7), (0, 9), (1, 9), (2, 9)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "send on port")]
+    fn send_out_of_range_panics() {
+        let inbox: Vec<Incoming<u32>> = vec![];
+        let mut outbox = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut ctx =
+            RoundCtx { round: 0, degree: 1, inbox: &inbox, outbox: &mut outbox, rng: &mut rng };
+        ctx.send(1, 0);
+    }
+}

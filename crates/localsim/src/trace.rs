@@ -1,0 +1,63 @@
+//! Optional per-round execution traces.
+//!
+//! Traces are used by the Figure-1 reproduction harness to show how an alternating algorithm
+//! progresses: how many nodes are still active each round and how much communication happens.
+
+use serde::{Deserialize, Serialize};
+
+/// One round of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// Round number (starting from 0).
+    pub round: u64,
+    /// Number of nodes that had not yet halted at the end of this round.
+    pub active_nodes: usize,
+    /// Messages delivered during this round.
+    pub messages: u64,
+}
+
+/// A whole execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecutionTrace {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundTrace>,
+}
+
+impl ExecutionTrace {
+    /// Total number of messages delivered over the execution.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+
+    /// Round at which the number of active nodes first dropped to zero, if it did.
+    pub fn quiescence_round(&self) -> Option<u64> {
+        self.rounds.iter().find(|r| r.active_nodes == 0).map(|r| r.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_quiescence() {
+        let trace = ExecutionTrace {
+            rounds: vec![
+                RoundTrace { round: 0, active_nodes: 4, messages: 10 },
+                RoundTrace { round: 1, active_nodes: 2, messages: 6 },
+                RoundTrace { round: 2, active_nodes: 0, messages: 1 },
+            ],
+        };
+        assert_eq!(trace.total_messages(), 17);
+        assert_eq!(trace.quiescence_round(), Some(2));
+    }
+
+    #[test]
+    fn no_quiescence_when_nodes_remain() {
+        let trace = ExecutionTrace {
+            rounds: vec![RoundTrace { round: 0, active_nodes: 1, messages: 0 }],
+        };
+        assert_eq!(trace.quiescence_round(), None);
+        assert_eq!(trace.total_messages(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # localkit — uniform LOCAL algorithms via pruning (facade crate)
+//!
+//! A reproduction of *"Toward more localized local algorithms: removing assumptions concerning
+//! global knowledge"* (Korman, Sereni, Viennot; PODC 2011 / Distributed Computing 2013).
+//! This facade re-exports the four library crates:
+//!
+//! * [`runtime`] — the synchronous LOCAL-model simulator;
+//! * [`graphs`] — graph generators and global-parameter computation;
+//! * [`algos`] — the baseline (mostly non-uniform) LOCAL algorithms of Table 1;
+//! * [`uniform`] — the paper's contribution: pruning algorithms and the transformers of
+//!   Theorems 1–5, plus a catalog of ready-made uniform algorithms.
+//!
+//! ```
+//! use localkit::uniform::catalog;
+//! use localkit::uniform::problem::{MisProblem, Problem};
+//!
+//! let graph = localkit::graphs::gnp(64, 0.1, 7);
+//! let run = catalog::uniform_coloring_mis().solve(&graph, &vec![(); 64], 0);
+//! assert!(run.solved);
+//! MisProblem.validate(&graph, &vec![(); 64], &run.outputs).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use local_algos as algos;
+pub use local_graphs as graphs;
+pub use local_runtime as runtime;
+pub use local_uniform as uniform;

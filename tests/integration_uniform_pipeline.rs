@@ -1,0 +1,98 @@
+//! Cross-crate integration tests: graphs → baseline algorithms → transformers → validators.
+
+use localkit::graphs::{Family, GraphParams};
+use localkit::runtime::GraphAlgorithm;
+use localkit::uniform::catalog;
+use localkit::uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
+
+fn units(n: usize) -> Vec<()> {
+    vec![(); n]
+}
+
+#[test]
+fn uniform_mis_works_across_all_graph_families() {
+    for family in Family::ALL {
+        let g = family.generate(72, 3);
+        let n = g.node_count();
+        let run = catalog::uniform_coloring_mis().solve(&g, &units(n), 0);
+        assert!(run.solved, "{} unsolved", family.name());
+        MisProblem
+            .validate(&g, &units(n), &run.outputs)
+            .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+    }
+}
+
+#[test]
+fn uniform_matching_works_across_families() {
+    for family in [Family::Path, Family::Grid, Family::SparseGnp, Family::Forest3, Family::UnitDisk] {
+        let g = family.generate(64, 5);
+        let n = g.node_count();
+        let run = catalog::uniform_matching().solve(&g, &units(n), 1);
+        assert!(run.solved, "{} unsolved", family.name());
+        MatchingProblem
+            .validate(&g, &units(n), &run.outputs)
+            .unwrap_or_else(|e| panic!("{}: {e}", family.name()));
+    }
+}
+
+#[test]
+fn uniform_ruling_set_is_las_vegas_correct() {
+    for seed in 0..4u64 {
+        let g = Family::UnitDisk.generate(90, seed);
+        let n = g.node_count();
+        let run = catalog::uniform_ruling_set(3).solve(&g, &units(n), seed);
+        assert!(run.solved);
+        RulingSetProblem::two(3).validate(&g, &units(n), &run.outputs).unwrap();
+    }
+}
+
+#[test]
+fn uniform_coloring_theorem5_across_families() {
+    for family in [Family::Path, Family::Grid, Family::SparseGnp, Family::PowerLaw] {
+        let g = family.generate(72, 2);
+        let transformer = catalog::uniform_lambda_coloring(1);
+        let run = transformer.solve(&g, 0);
+        assert!(run.solved, "{} unsolved", family.name());
+        localkit::algos::checkers::check_coloring(&g, &run.colors)
+            .unwrap_or_else(|e| panic!("{}: {e:?}", family.name()));
+        let bound = transformer.palette_bound(g.max_degree() as u64);
+        assert!(
+            (localkit::algos::checkers::palette_size(&run.colors) as u64) <= bound,
+            "{}: palette exceeded",
+            family.name()
+        );
+    }
+}
+
+#[test]
+fn headline_claim_uniform_matches_nonuniform_up_to_constant() {
+    // Corollary 1 / Table 1: the uniform algorithm's rounds stay within a constant factor of
+    // the non-uniform baseline run with correct guesses, across sizes.
+    let black_box = catalog::coloring_mis_black_box();
+    let mut ratios = Vec::new();
+    for n in [64usize, 128, 256] {
+        let g = Family::Regular6.generate(n, 9);
+        let p = GraphParams::of(&g);
+        let nu = (black_box.build)(&[p.max_degree, p.max_id])
+            .execute(&g, &units(g.node_count()), None, 0);
+        let uni = catalog::uniform_coloring_mis().solve(&g, &units(g.node_count()), 0);
+        assert!(uni.solved && nu.completed);
+        ratios.push(uni.rounds as f64 / nu.rounds.max(1) as f64);
+    }
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    assert!(max <= 32.0, "overhead ratio {max} too large: {ratios:?}");
+    // And the ratio does not blow up with n.
+    assert!(ratios[2] <= 4.0 * ratios[0] + 4.0, "ratio grows with n: {ratios:?}");
+}
+
+#[test]
+fn scrambled_identities_do_not_break_uniform_algorithms() {
+    // Uniform algorithms may rely on identities for symmetry breaking only, not on their
+    // magnitudes being 0..n.
+    let base = Family::SparseGnp.generate(80, 4);
+    let g = localkit::graphs::scramble_ids(&base, 1 << 40, 9);
+    let n = g.node_count();
+    let run = catalog::uniform_coloring_mis().solve(&g, &units(n), 0);
+    assert!(run.solved);
+    MisProblem.validate(&g, &units(n), &run.outputs).unwrap();
+}
