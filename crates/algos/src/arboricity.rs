@@ -145,12 +145,10 @@ impl ArboricityMis {
     /// `3ã` plus two bookkeeping rounds.
     pub fn round_bound(&self) -> u64 {
         let partition = self.partition();
-        let per_layer = ColoringMis {
-            delta_guess: partition.threshold(),
-            id_bound_guess: self.id_bound_guess,
-        }
-        .round_bound()
-            + 2;
+        let per_layer =
+            ColoringMis { delta_guess: partition.threshold(), id_bound_guess: self.id_bound_guess }
+                .round_bound()
+                + 2;
         partition.round_bound() + partition.layers() * per_layer
     }
 }
@@ -174,16 +172,15 @@ impl GraphAlgorithm for ArboricityMis {
         let partition = self.partition();
         let part_run = partition.execute(graph, inputs, budget, seed);
         let mut rounds = part_run.rounds;
+        let mut messages = part_run.messages;
         let out_of_budget = |rounds: u64| budget.is_some_and(|b| rounds >= b);
 
         let layers = part_run.outputs.clone();
         let max_layer = partition.layers();
         let mut in_mis = vec![false; n];
         let mut dominated = vec![false; n];
-        let per_layer_algo = ColoringMis {
-            delta_guess: partition.threshold(),
-            id_bound_guess: self.id_bound_guess,
-        };
+        let per_layer_algo =
+            ColoringMis { delta_guess: partition.threshold(), id_bound_guess: self.id_bound_guess };
 
         // Process layers from the last (highest) to the first.
         let mut layer = max_layer;
@@ -205,6 +202,7 @@ impl GraphAlgorithm for ArboricityMis {
                     seed ^ layer,
                 );
                 rounds += sub_run.rounds + 2; // +2: dominance notification to lower layers.
+                messages += sub_run.messages;
                 completed &= sub_run.completed;
                 for (sub_idx, &orig) in back.iter().enumerate() {
                     if sub_run.outputs[sub_idx] {
@@ -220,7 +218,7 @@ impl GraphAlgorithm for ArboricityMis {
         if let Some(b) = budget {
             rounds = rounds.min(b);
         }
-        AlgoRun { outputs: in_mis, rounds, completed }
+        AlgoRun { outputs: in_mis, rounds, messages, completed }
     }
 }
 
@@ -254,11 +252,8 @@ impl ArboricityColoring {
     /// Upper bound on the number of rounds.
     pub fn round_bound(&self) -> u64 {
         let partition = self.partition();
-        let per_layer = ReducedColoring::delta_plus_one(
-            partition.threshold(),
-            self.id_bound_guess,
-        )
-        .round_bound()
+        let per_layer = ReducedColoring::delta_plus_one(partition.threshold(), self.id_bound_guess)
+            .round_bound()
             + 2;
         partition.round_bound() + partition.layers() * per_layer
     }
@@ -283,6 +278,7 @@ impl GraphAlgorithm for ArboricityColoring {
         let partition = self.partition();
         let part_run = partition.execute(graph, inputs, budget, seed);
         let mut rounds = part_run.rounds;
+        let mut messages = part_run.messages;
         let layers = part_run.outputs.clone();
         let max_layer = partition.layers();
         let mut colors: Vec<u64> = vec![0; n];
@@ -307,11 +303,16 @@ impl GraphAlgorithm for ArboricityColoring {
             if keep.iter().any(|&k| k) {
                 let (sub, back) = graph.induced_subgraph(&keep);
                 let remaining = budget.map(|b| b.saturating_sub(rounds));
-                let sub_run =
-                    per_layer_algo.execute(&sub, &vec![(); sub.node_count()], remaining, seed ^ layer);
+                let sub_run = per_layer_algo.execute(
+                    &sub,
+                    &vec![(); sub.node_count()],
+                    remaining,
+                    seed ^ layer,
+                );
                 rounds += sub_run.rounds + 2;
+                messages += sub_run.messages;
                 completed &= sub_run.completed;
-                let offset = if layer % 2 == 0 { 0 } else { palette_half };
+                let offset = if layer.is_multiple_of(2) { 0 } else { palette_half };
                 for (sub_idx, &orig) in back.iter().enumerate() {
                     let mut c = sub_run.outputs[sub_idx].min(palette_half - 1) + offset;
                     // Fix residual clashes with already-coloured (higher-layer) neighbours.
@@ -335,7 +336,7 @@ impl GraphAlgorithm for ArboricityColoring {
         if let Some(b) = budget {
             rounds = rounds.min(b);
         }
-        AlgoRun { outputs: colors, rounds, completed }
+        AlgoRun { outputs: colors, rounds, messages, completed }
     }
 }
 
@@ -373,7 +374,7 @@ mod tests {
     fn h_partition_respects_budget_with_bad_guesses() {
         let g = local_graphs::complete(30);
         let hp = HPartition { arboricity_guess: 1, n_guess: 4 };
-        let run = hp.execute(&g, &vec![(); 30], None, 0);
+        let run = hp.execute(&g, &[(); 30], None, 0);
         // Even with silly guesses the algorithm stops by itself within its round bound.
         assert!(run.rounds <= hp.round_bound());
     }
@@ -398,7 +399,7 @@ mod tests {
     fn arboricity_mis_respects_budget() {
         let g = forest_union(100, 3, 1);
         let algo = ArboricityMis { arboricity_guess: 1, n_guess: 2, id_bound_guess: 2 };
-        let run = algo.execute(&g, &vec![(); 100], Some(9), 0);
+        let run = algo.execute(&g, &[(); 100], Some(9), 0);
         assert!(run.rounds <= 9);
         assert_eq!(run.outputs.len(), 100);
     }

@@ -55,7 +55,12 @@ pub fn check_mis(g: &Graph, in_set: &[bool]) -> Result<(), Violation> {
 
 /// Checks that `in_set` is an (α, β)-ruling set of `g`: set nodes pairwise at distance ≥ α,
 /// and every node within distance β of a set node.
-pub fn check_ruling_set(g: &Graph, in_set: &[bool], alpha: usize, beta: usize) -> Result<(), Violation> {
+pub fn check_ruling_set(
+    g: &Graph,
+    in_set: &[bool],
+    alpha: usize,
+    beta: usize,
+) -> Result<(), Violation> {
     let n = g.node_count();
     for v in 0..n {
         if !in_set[v] {
@@ -94,7 +99,11 @@ pub fn check_coloring(g: &Graph, colors: &[u64]) -> Result<(), Violation> {
 
 /// Checks that `colors` is a proper colouring using at most `palette` distinct colour values,
 /// all smaller than `palette`.
-pub fn check_coloring_with_palette(g: &Graph, colors: &[u64], palette: u64) -> Result<(), Violation> {
+pub fn check_coloring_with_palette(
+    g: &Graph,
+    colors: &[u64],
+    palette: u64,
+) -> Result<(), Violation> {
     check_coloring(g, colors)?;
     for (v, &c) in colors.iter().enumerate() {
         if c >= palette {
@@ -184,14 +193,8 @@ mod tests {
         let g = path(4); // 0-1-2-3
         assert!(check_mis(&g, &[true, false, true, false]).is_ok());
         assert!(check_mis(&g, &[true, false, false, true]).is_ok());
-        assert_eq!(
-            check_mis(&g, &[true, true, false, true]),
-            Err(Violation::AdjacentInSet(0, 1))
-        );
-        assert_eq!(
-            check_mis(&g, &[true, false, false, false]),
-            Err(Violation::NotDominated(2))
-        );
+        assert_eq!(check_mis(&g, &[true, true, false, true]), Err(Violation::AdjacentInSet(0, 1)));
+        assert_eq!(check_mis(&g, &[true, false, false, false]), Err(Violation::NotDominated(2)));
     }
 
     #[test]
@@ -206,7 +209,9 @@ mod tests {
     fn ruling_set_checker() {
         let g = path(7);
         // {0, 6}: distance 6 ≥ 2, every node within distance 3 of one of them.
-        assert!(check_ruling_set(&g, &[true, false, false, false, false, false, true], 2, 3).is_ok());
+        assert!(
+            check_ruling_set(&g, &[true, false, false, false, false, false, true], 2, 3).is_ok()
+        );
         // Not within β = 2: node 3 is at distance 3 from both.
         assert_eq!(
             check_ruling_set(&g, &[true, false, false, false, false, false, true], 2, 2),
@@ -251,7 +256,10 @@ mod tests {
         assert!(check_maximal_matching(&g, &mid).is_ok());
         // Empty matching is not maximal.
         let empty = [None, None, None, None];
-        assert!(matches!(check_maximal_matching(&g, &empty), Err(Violation::AugmentableEdge(_, _))));
+        assert!(matches!(
+            check_maximal_matching(&g, &empty),
+            Err(Violation::AugmentableEdge(_, _))
+        ));
         // Asymmetric partner claims.
         let bad = [Some(1), None, None, None];
         assert!(matches!(check_maximal_matching(&g, &bad), Err(Violation::NotAMatching(0))));
@@ -263,7 +271,7 @@ mod tests {
     #[test]
     fn edge_coloring_checker() {
         let g = star(4); // center 0 with leaves 1, 2, 3
-        // Center's ports must all differ; leaves have a single port each and must agree.
+                         // Center's ports must all differ; leaves have a single port each and must agree.
         let ok = vec![vec![0, 1, 2], vec![0], vec![1], vec![2]];
         assert!(check_edge_coloring(&g, &ok).is_ok());
         let clash = vec![vec![0, 0, 2], vec![0], vec![0], vec![2]];

@@ -39,12 +39,12 @@ fn is_prime(x: u64) -> bool {
     if x < 2 {
         return false;
     }
-    if x % 2 == 0 {
+    if x.is_multiple_of(2) {
         return x == 2;
     }
     let mut d = 3;
     while d * d <= x {
-        if x % d == 0 {
+        if x.is_multiple_of(d) {
             return false;
         }
         d += 2;
@@ -125,8 +125,7 @@ fn eval_poly(coeffs: &[u64], a: u64, q: u64) -> u64 {
 /// `a·q + p(a)` for an evaluation point `a` where my polynomial differs from every neighbour's.
 fn linial_recolor(my_color: u64, neighbor_colors: &[u64], d: u32, q: u64) -> u64 {
     let mine = color_to_poly(my_color, d, q);
-    let others: Vec<Vec<u64>> =
-        neighbor_colors.iter().map(|&c| color_to_poly(c, d, q)).collect();
+    let others: Vec<Vec<u64>> = neighbor_colors.iter().map(|&c| color_to_poly(c, d, q)).collect();
     for a in 0..q {
         let val = eval_poly(&mine, a, q);
         let clash = others.iter().any(|p| p != &mine && eval_poly(p, a, q) == val);
@@ -274,8 +273,7 @@ impl ReducedColoring {
 
     /// Upper bound on the number of rounds (a function of the guesses only).
     pub fn round_bound(&self) -> u64 {
-        let linial_rounds =
-            linial_schedule(self.id_bound_guess, self.delta_guess).len() as u64 + 1;
+        let linial_rounds = linial_schedule(self.id_bound_guess, self.delta_guess).len() as u64 + 1;
         let linial_palette = linial_final_palette(self.id_bound_guess, self.delta_guess);
         let target = self.final_palette();
         linial_rounds + linial_palette.saturating_sub(target) + 1
@@ -554,7 +552,8 @@ mod tests {
 
     #[test]
     fn delta_plus_one_coloring_on_various_graphs() {
-        for (g, seed) in [(path(40), 0u64), (cycle(31), 1), (grid(7, 9), 2), (gnp(90, 0.08, 9), 3)] {
+        for (g, seed) in [(path(40), 0u64), (cycle(31), 1), (grid(7, 9), 2), (gnp(90, 0.08, 9), 3)]
+        {
             let p = GraphParams::of(&g);
             let algo = ReducedColoring::delta_plus_one(p.max_degree, p.max_id);
             let run = algo.execute(&g, &vec![(); g.node_count()], None, seed);
@@ -661,7 +660,7 @@ mod tests {
         let g = path(5);
         let algo = LinialColoring { delta_guess: 2, id_bound_guess: 4 };
         let cfg = RunConfig { max_rounds: Some(0), ..RunConfig::default() };
-        let exec = local_runtime::run(&g, &vec![(); 5], &algo, &cfg);
+        let exec = local_runtime::run(&g, &[(); 5], &algo, &cfg);
         assert_eq!(exec.outputs.len(), 5);
         assert!(!exec.completed);
     }

@@ -34,10 +34,7 @@ impl LineGraphEdgeColoring {
     /// The identity bound used on the line graph (edge identities are packed from the endpoint
     /// identities; see [`Graph::line_graph`]).
     pub fn line_graph_id_bound(&self) -> u64 {
-        self.id_bound_guess
-            .saturating_mul(1_000_003)
-            .saturating_add(self.id_bound_guess)
-            .max(1)
+        self.id_bound_guess.saturating_mul(1_000_003).saturating_add(self.id_bound_guess).max(1)
     }
 
     /// Number of colours used (the palette of the line-graph colouring): `2Δ̃ − 1`.
@@ -78,6 +75,7 @@ impl GraphAlgorithm for LineGraphEdgeColoring {
             return AlgoRun {
                 outputs: vec![Vec::new(); graph.node_count()],
                 rounds: 0,
+                messages: 0,
                 completed: true,
             };
         }
@@ -91,16 +89,13 @@ impl GraphAlgorithm for LineGraphEdgeColoring {
         }
         let outputs: Vec<Vec<u64>> = (0..graph.node_count())
             .map(|v| {
-                graph
-                    .neighbors(v)
-                    .iter()
-                    .map(|&w| edge_color[&(v.min(w), v.max(w))])
-                    .collect()
+                graph.neighbors(v).iter().map(|&w| edge_color[&(v.min(w), v.max(w))]).collect()
             })
             .collect();
         AlgoRun {
             outputs,
             rounds: (lg_run.rounds + 1).min(budget.unwrap_or(u64::MAX)),
+            messages: lg_run.messages,
             completed: lg_run.completed,
         }
     }
@@ -140,7 +135,7 @@ mod tests {
     fn star_needs_degree_many_colors() {
         let g = star(8);
         let algo = LineGraphEdgeColoring { delta_guess: 7, id_bound_guess: 7 };
-        let run = algo.execute(&g, &vec![(); 8], None, 0);
+        let run = algo.execute(&g, &[(); 8], None, 0);
         check_edge_coloring(&g, &run.outputs).unwrap();
         // All 7 edges share the centre, so 7 distinct colours are necessary.
         let center: std::collections::BTreeSet<u64> = run.outputs[0].iter().copied().collect();
@@ -151,7 +146,7 @@ mod tests {
     fn edgeless_graph_gets_empty_port_vectors() {
         let g = local_graphs::edgeless(5);
         let algo = LineGraphEdgeColoring { delta_guess: 1, id_bound_guess: 5 };
-        let run = algo.execute(&g, &vec![(); 5], None, 0);
+        let run = algo.execute(&g, &[(); 5], None, 0);
         assert!(run.completed);
         assert!(run.outputs.iter().all(|v| v.is_empty()));
     }
@@ -160,7 +155,7 @@ mod tests {
     fn budget_is_respected() {
         let g = gnp(40, 0.2, 1);
         let algo = LineGraphEdgeColoring { delta_guess: 30, id_bound_guess: 1 << 20 };
-        let run = algo.execute(&g, &vec![(); 40], Some(3), 0);
+        let run = algo.execute(&g, &[(); 40], Some(3), 0);
         assert!(run.rounds <= 3);
     }
 }

@@ -63,7 +63,8 @@ impl NodeProgram for ProposalProg {
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, ProposalMsg>) -> Action<Partner> {
         // Bookkeeping valid in every round.
-        let inbox: Vec<(usize, ProposalMsg)> = ctx.inbox().iter().map(|m| (m.port, m.msg)).collect();
+        let inbox: Vec<(usize, ProposalMsg)> =
+            ctx.inbox().iter().map(|m| (m.port, m.msg)).collect();
         for &(port, msg) in &inbox {
             match msg {
                 ProposalMsg::Matched | ProposalMsg::Retired => self.available[port] = false,
@@ -121,9 +122,8 @@ impl NodeProgram for ProposalProg {
             _ => {
                 // Proposers: if the node we proposed to accepted, we are matched.
                 if let Some(port) = self.proposed_to {
-                    let accepted_by_target = inbox
-                        .iter()
-                        .any(|&(p, msg)| p == port && msg == ProposalMsg::Accept);
+                    let accepted_by_target =
+                        inbox.iter().any(|&(p, msg)| p == port && msg == ProposalMsg::Accept);
                     if accepted_by_target {
                         self.partner = Some(self.neighbor_ids[port]);
                     }
@@ -211,9 +211,8 @@ impl NodeProgram for PointerProg {
             Action::Continue
         } else {
             if let Some(target) = self.pointed_at {
-                let mutual = inbox
-                    .iter()
-                    .any(|&(p, msg)| p == target && msg == PointerMsg::PointAt);
+                let mutual =
+                    inbox.iter().any(|&(p, msg)| p == target && msg == PointerMsg::PointAt);
                 if mutual {
                     self.partner = Some(self.neighbor_ids[target]);
                 }
@@ -331,10 +330,7 @@ pub struct MatchingFromEdgeColoring {
 
 impl MatchingFromEdgeColoring {
     fn edge_coloring(&self) -> LineGraphEdgeColoring {
-        LineGraphEdgeColoring {
-            delta_guess: self.delta_guess,
-            id_bound_guess: self.id_bound_guess,
-        }
+        LineGraphEdgeColoring { delta_guess: self.delta_guess, id_bound_guess: self.id_bound_guess }
     }
 
     /// Upper bound on the number of rounds, as a function of the guesses.
@@ -366,6 +362,7 @@ impl GraphAlgorithm for MatchingFromEdgeColoring {
             return AlgoRun {
                 outputs: vec![None; graph.node_count()],
                 rounds: budget.unwrap_or(phase1.rounds),
+                messages: phase1.messages,
                 completed: false,
             };
         }
@@ -374,6 +371,7 @@ impl GraphAlgorithm for MatchingFromEdgeColoring {
         AlgoRun {
             outputs: phase2.outputs,
             rounds: phase1.rounds + phase2.rounds,
+            messages: phase1.messages + phase2.messages,
             completed: phase1.completed && phase2.completed,
         }
     }
@@ -401,7 +399,7 @@ mod tests {
     #[test]
     fn proposal_matching_budgeted_is_a_matching() {
         let g = gnp(120, 0.05, 2);
-        let run = ProposalMatching.execute(&g, &vec![(); 120], Some(6), 0);
+        let run = ProposalMatching.execute(&g, &[(); 120], Some(6), 0);
         assert!(run.rounds <= 6);
         // Possibly not maximal, but whatever is matched must be consistent.
         check_matching(&g, &run.outputs).unwrap();
@@ -446,24 +444,24 @@ mod tests {
     fn matching_from_edge_coloring_respects_budget() {
         let g = gnp(60, 0.15, 1);
         let algo = MatchingFromEdgeColoring { delta_guess: 2, id_bound_guess: 2 };
-        let run = algo.execute(&g, &vec![(); 60], Some(5), 0);
+        let run = algo.execute(&g, &[(); 60], Some(5), 0);
         assert!(run.rounds <= 5);
     }
 
     #[test]
     fn matching_on_single_edge() {
         let g = path(2);
-        let run = PointerMatching.execute(&g, &vec![(); 2], None, 0);
+        let run = PointerMatching.execute(&g, &[(); 2], None, 0);
         assert_eq!(run.outputs[0], Some(1));
         assert_eq!(run.outputs[1], Some(0));
-        let run = ProposalMatching.execute(&g, &vec![(); 2], None, 0);
+        let run = ProposalMatching.execute(&g, &[(); 2], None, 0);
         check_maximal_matching(&g, &run.outputs).unwrap();
     }
 
     #[test]
     fn matching_on_edgeless_graph() {
         let g = local_graphs::edgeless(7);
-        let run = PointerMatching.execute(&g, &vec![(); 7], None, 0);
+        let run = PointerMatching.execute(&g, &[(); 7], None, 0);
         assert!(run.outputs.iter().all(|p| p.is_none()));
         assert!(run.completed);
     }

@@ -109,11 +109,7 @@ impl ProgramSpec for LubyMis {
     type Prog = LubyProg;
 
     fn build(&self, init: &NodeInit<()>) -> LubyProg {
-        LubyProg {
-            undecided_neighbors: vec![true; init.degree],
-            my_value: 0,
-            dominated: false,
-        }
+        LubyProg { undecided_neighbors: vec![true; init.degree], my_value: 0, dominated: false }
     }
 
     fn default_output(&self, _init: &NodeInit<()>) -> bool {
@@ -259,6 +255,7 @@ impl GraphAlgorithm for ColoringMis {
             return AlgoRun {
                 outputs: vec![false; graph.node_count()],
                 rounds: budget.unwrap_or(phase1.rounds),
+                messages: phase1.messages,
                 completed: false,
             };
         }
@@ -267,6 +264,7 @@ impl GraphAlgorithm for ColoringMis {
         AlgoRun {
             outputs: phase2.outputs,
             rounds: phase1.rounds + phase2.rounds,
+            messages: phase1.messages + phase2.messages,
             completed: phase1.completed && phase2.completed,
         }
     }
@@ -314,8 +312,8 @@ mod tests {
     #[test]
     fn luby_is_reproducible_per_seed() {
         let g = gnp(70, 0.1, 5);
-        let a = LubyMis.execute(&g, &vec![(); 70], None, 9);
-        let b = LubyMis.execute(&g, &vec![(); 70], None, 9);
+        let a = LubyMis.execute(&g, &[(); 70], None, 9);
+        let b = LubyMis.execute(&g, &[(); 70], None, 9);
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.rounds, b.rounds);
     }
@@ -323,7 +321,7 @@ mod tests {
     #[test]
     fn luby_restricted_budget_gives_partial_but_independent_output() {
         let g = gnp(200, 0.05, 2);
-        let run = LubyMis.execute(&g, &vec![(); 200], Some(2), 0);
+        let run = LubyMis.execute(&g, &[(); 200], Some(2), 0);
         assert!(run.rounds <= 2);
         // Whatever has been decided is independent (nodes only join when locally maximal).
         check_independent_set(&g, &run.outputs).unwrap();
@@ -363,7 +361,12 @@ mod tests {
             let run = algo.execute(&g, &vec![(); g.node_count()], None, 0);
             assert!(run.completed);
             check_mis(&g, &run.outputs).unwrap();
-            assert!(run.rounds <= algo.round_bound(), "rounds {} > bound {}", run.rounds, algo.round_bound());
+            assert!(
+                run.rounds <= algo.round_bound(),
+                "rounds {} > bound {}",
+                run.rounds,
+                algo.round_bound()
+            );
         }
     }
 
@@ -371,7 +374,7 @@ mod tests {
     fn coloring_mis_respects_budget_even_with_bad_guesses() {
         let g = gnp(80, 0.2, 3);
         let algo = ColoringMis { delta_guess: 1, id_bound_guess: 1 };
-        let run = algo.execute(&g, &vec![(); 80], Some(7), 0);
+        let run = algo.execute(&g, &[(); 80], Some(7), 0);
         assert!(run.rounds <= 7);
         assert_eq!(run.outputs.len(), 80);
     }
@@ -388,10 +391,10 @@ mod tests {
     #[test]
     fn luby_on_single_node_and_edgeless_graphs() {
         let single = local_runtime::Graph::from_edges(1, &[]).unwrap();
-        let run = LubyMis.execute(&single, &vec![(); 1], None, 0);
+        let run = LubyMis.execute(&single, &[(); 1], None, 0);
         assert_eq!(run.outputs, vec![true]);
         let edgeless = local_graphs::edgeless(10);
-        let run = LubyMis.execute(&edgeless, &vec![(); 10], None, 0);
+        let run = LubyMis.execute(&edgeless, &[(); 10], None, 0);
         assert!(run.outputs.iter().all(|&b| b));
     }
 }

@@ -86,7 +86,7 @@ mod tests {
     fn tiny_budget_still_yields_independent_partial_output() {
         let g = gnp(150, 0.05, 7);
         let algo = MisRulingSet { n_guess: 150, rounds_per_log: 1 };
-        let run = algo.execute(&g, &vec![(); 150], None, 0);
+        let run = algo.execute(&g, &[(); 150], None, 0);
         assert!(run.rounds <= algo.round_bound());
         check_independent_set(&g, &run.outputs).unwrap();
     }
@@ -104,7 +104,7 @@ mod tests {
     fn external_budget_overrides_internal_bound() {
         let g = gnp(80, 0.1, 0);
         let algo = MisRulingSet::with_default_budget(80);
-        let run = algo.execute(&g, &vec![(); 80], Some(3), 0);
+        let run = algo.execute(&g, &[(); 80], Some(3), 0);
         assert!(run.rounds <= 3);
     }
 }

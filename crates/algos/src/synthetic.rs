@@ -79,7 +79,10 @@ impl SyntheticMis {
 
     /// A deterministic synthetic MIS with an additive `c₁·Δ̃ + c₂·log₂* m̃`-style bound,
     /// parameterised by `{Δ, m}` (the Barenboim–Elkin / Kuhn shape).
-    pub fn additive_delta_logstar(delta_weight: u64, logstar_weight: u64) -> impl Fn(u64, u64) -> Self {
+    pub fn additive_delta_logstar(
+        delta_weight: u64,
+        logstar_weight: u64,
+    ) -> impl Fn(u64, u64) -> Self {
         move |delta_guess: u64, id_guess: u64| SyntheticMis {
             parameters: vec![Parameter::MaxDegree, Parameter::MaxId],
             guesses: vec![delta_guess, id_guess],
@@ -106,10 +109,7 @@ impl SyntheticMis {
     }
 
     fn guesses_are_good(&self, graph: &Graph) -> bool {
-        self.parameters
-            .iter()
-            .zip(self.guesses.iter())
-            .all(|(p, &guess)| guess >= p.eval(graph))
+        self.parameters.iter().zip(self.guesses.iter()).all(|(p, &guess)| guess >= p.eval(graph))
     }
 }
 
@@ -130,7 +130,7 @@ impl GraphAlgorithm for SyntheticMis {
         debug_assert_eq!(inputs.len(), graph.node_count());
         let declared = self.declared_rounds();
         let rounds = budget.map_or(declared, |b| b.min(declared));
-        let finished_in_time = budget.map_or(true, |b| declared <= b);
+        let finished_in_time = budget.is_none_or(|b| declared <= b);
         let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x53_59_4e_54);
         let lucky = rng.gen_bool(self.success_probability.clamp(0.0, 1.0));
         let correct = finished_in_time && self.guesses_are_good(graph) && lucky;
@@ -141,7 +141,7 @@ impl GraphAlgorithm for SyntheticMis {
             // paper's canonical arbitrary output).
             vec![false; graph.node_count()]
         };
-        AlgoRun { outputs, rounds, completed: finished_in_time }
+        AlgoRun { outputs, rounds, messages: 0, completed: finished_in_time }
     }
 }
 
@@ -203,14 +203,14 @@ impl GraphAlgorithm for SyntheticMatching {
         debug_assert_eq!(inputs.len(), graph.node_count());
         let declared = self.declared_rounds();
         let rounds = budget.map_or(declared, |b| b.min(declared));
-        let finished_in_time = budget.map_or(true, |b| declared <= b);
+        let finished_in_time = budget.is_none_or(|b| declared <= b);
         let good = self.n_guess >= graph.node_count() as u64;
         let outputs = if finished_in_time && good {
             central_greedy_matching(graph)
         } else {
             vec![None; graph.node_count()]
         };
-        AlgoRun { outputs, rounds, completed: finished_in_time }
+        AlgoRun { outputs, rounds, messages: 0, completed: finished_in_time }
     }
 }
 
@@ -225,7 +225,7 @@ mod tests {
     fn synthetic_ps_mis_correct_with_good_guess() {
         let g = gnp(60, 0.1, 1);
         let algo = SyntheticMis::panconesi_srinivasan(60, 1.5);
-        let run = algo.execute(&g, &vec![(); 60], None, 0);
+        let run = algo.execute(&g, &[(); 60], None, 0);
         assert!(run.completed);
         check_mis(&g, &run.outputs).unwrap();
         assert_eq!(run.rounds, algo.declared_rounds());
@@ -235,7 +235,7 @@ mod tests {
     fn synthetic_ps_mis_garbage_with_bad_guess() {
         let g = gnp(60, 0.1, 1);
         let algo = SyntheticMis::panconesi_srinivasan(4, 1.5);
-        let run = algo.execute(&g, &vec![(); 60], None, 0);
+        let run = algo.execute(&g, &[(); 60], None, 0);
         // All-out is not an MIS on a non-empty graph with edges.
         assert!(check_mis(&g, &run.outputs).is_err());
     }
@@ -244,7 +244,7 @@ mod tests {
     fn synthetic_rounds_respect_budget() {
         let g = gnp(60, 0.1, 1);
         let algo = SyntheticMis::panconesi_srinivasan(1 << 30, 2.0);
-        let run = algo.execute(&g, &vec![(); 60], Some(5), 0);
+        let run = algo.execute(&g, &[(); 60], Some(5), 0);
         assert_eq!(run.rounds, 5);
         assert!(!run.completed);
         // Cut off before its declared time, so no correctness promise: output is garbage.
@@ -257,7 +257,7 @@ mod tests {
         let p = GraphParams::of(&g);
         let make = SyntheticMis::additive_delta_logstar(1, 3);
         let algo = make(p.max_degree, p.max_id);
-        let run = algo.execute(&g, &vec![(); 80], None, 0);
+        let run = algo.execute(&g, &[(); 80], None, 0);
         check_mis(&g, &run.outputs).unwrap();
         assert_eq!(run.rounds, p.max_degree + 3 * local_graphs::log_star(p.max_id as f64));
     }
@@ -268,7 +268,7 @@ mod tests {
         let algo = SyntheticMis::monte_carlo_log(50, 4, 0.5);
         let mut successes = 0;
         for seed in 0..40 {
-            let run = algo.execute(&g, &vec![(); 50], None, seed);
+            let run = algo.execute(&g, &[(); 50], None, seed);
             if check_mis(&g, &run.outputs).is_ok() {
                 successes += 1;
             }
@@ -281,7 +281,7 @@ mod tests {
     fn synthetic_matching_shape_and_correctness() {
         let g = gnp(70, 0.1, 5);
         let algo = SyntheticMatching { n_guess: 70, scale: 0.1 };
-        let run = algo.execute(&g, &vec![(); 70], None, 0);
+        let run = algo.execute(&g, &[(); 70], None, 0);
         check_maximal_matching(&g, &run.outputs).unwrap();
         let small = SyntheticMatching { n_guess: 256, scale: 1.0 }.declared_rounds();
         let large = SyntheticMatching { n_guess: 65536, scale: 1.0 }.declared_rounds();

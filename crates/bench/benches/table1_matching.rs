@@ -8,9 +8,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("row8_edge_coloring_mm_n96", |b| {
         b.iter(|| local_bench::row_matching(96, 1))
     });
-    group.bench_function("row8_log4_mm_n96", |b| {
-        b.iter(|| local_bench::row_matching_log4(96, 1))
-    });
+    group.bench_function("row8_log4_mm_n96", |b| b.iter(|| local_bench::row_matching_log4(96, 1)));
     group.finish();
 }
 

@@ -5,12 +5,8 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/mis");
     group.sample_size(10).measurement_time(Duration::from_secs(2));
-    group.bench_function("row1_delta_based_n96", |b| {
-        b.iter(|| local_bench::row_mis_delta(96, 1))
-    });
-    group.bench_function("row2_sqrt_log_n96", |b| {
-        b.iter(|| local_bench::row_mis_sqrt_log(96, 1))
-    });
+    group.bench_function("row1_delta_based_n96", |b| b.iter(|| local_bench::row_mis_delta(96, 1)));
+    group.bench_function("row2_sqrt_log_n96", |b| b.iter(|| local_bench::row_mis_sqrt_log(96, 1)));
     group.finish();
 }
 

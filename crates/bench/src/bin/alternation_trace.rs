@@ -8,7 +8,10 @@ fn main() {
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(256);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
     println!("Alternating algorithm trace (Figure 1), uniform MIS on gnp-avg8 with n ≈ {n}\n");
-    println!("{:>5} {:>22} {:>9} {:>13} {:>9}", "iter", "guesses (Δ̃, m̃)", "budget", "alive before", "pruned");
+    println!(
+        "{:>5} {:>22} {:>9} {:>13} {:>9}",
+        "iter", "guesses (Δ̃, m̃)", "budget", "alive before", "pruned"
+    );
     for t in local_bench::alternation_trace(n, seed) {
         println!(
             "{:>5} {:>22} {:>9} {:>13} {:>9}",

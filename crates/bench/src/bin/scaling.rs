@@ -23,7 +23,10 @@ fn main() {
     }
 
     println!("== Corollary 1(i): run-as-fast-as-the-fastest (Theorem 4) ==");
-    println!("{:<18} {:>6} {:>10} {:>12} {:>12}", "family", "n", "combined", "Δ-based", "arboricity");
+    println!(
+        "{:<18} {:>6} {:>10} {:>12} {:>12}",
+        "family", "n", "combined", "Δ-based", "arboricity"
+    );
     for family in [Family::Forest3, Family::Regular6, Family::DenseGnp] {
         let p = local_bench::fastest_of_point(family, 128, 3);
         println!(

@@ -8,7 +8,9 @@ fn main() {
     let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(192);
     let seed: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
     println!("Table 1 reproduction (n ≈ {n}, seed {seed})");
-    println!("uniform = transformed by Theorems 1/2/5; non-uniform = baseline with correct guesses\n");
+    println!(
+        "uniform = transformed by Theorems 1/2/5; non-uniform = baseline with correct guesses\n"
+    );
     let rows = local_bench::table1_rows(n, seed);
     println!("{}", local_bench::render_table(&rows));
     let worst = rows.iter().map(|r| r.ratio).fold(0.0, f64::max);

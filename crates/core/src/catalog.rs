@@ -52,9 +52,7 @@ pub fn panconesi_srinivasan_mis_black_box() -> NonUniformAlgorithm<MisProblem> {
     NonUniformAlgorithm::deterministic(
         "det-MIS 2^O(√log n) (synthetic)",
         vec![Parameter::N],
-        TimeBound::single(monotone(|n| {
-            (2f64).powf(1.5 * (n.max(2) as f64).log2().sqrt()).ceil()
-        })),
+        TimeBound::single(monotone(|n| (2f64).powf(1.5 * (n.max(2) as f64).log2().sqrt()).ceil())),
         Arc::new(|g: &[u64]| {
             Box::new(SyntheticMis::panconesi_srinivasan(g[0], 1.5)) as DynAlgorithm<(), bool>
         }),
@@ -150,9 +148,15 @@ impl GraphAlgorithm for TransformedMis {
                 // Cut off before completion: no correctness promise, emit placeholders.
                 outputs: vec![false; graph.node_count()],
                 rounds: b,
+                messages: run.messages,
                 completed: false,
             },
-            _ => AlgoRun { outputs: run.outputs, rounds: run.rounds, completed: run.solved },
+            _ => AlgoRun {
+                outputs: run.outputs,
+                rounds: run.rounds,
+                messages: run.messages,
+                completed: run.solved,
+            },
         }
     }
 }
@@ -245,9 +249,7 @@ pub fn ruling_set_black_box() -> NonUniformAlgorithm<RulingSetProblem> {
     NonUniformAlgorithm::monte_carlo(
         "rand (2,β)-ruling set (n)",
         vec![Parameter::N],
-        TimeBound::single(monotone(|n| {
-            MisRulingSet::with_default_budget(n).round_bound() as f64
-        })),
+        TimeBound::single(monotone(|n| MisRulingSet::with_default_budget(n).round_bound() as f64)),
         Arc::new(|g: &[u64]| {
             Box::new(MisRulingSet::with_default_budget(g[0])) as DynAlgorithm<(), bool>
         }),
@@ -376,7 +378,11 @@ mod tests {
             run.rounds,
             abox.time_bound.eval(&guesses)
         );
-        assert!((abox.time_bound.eval(&guesses) - arboricity_mis_bound(guesses[0], p.n, p.max_id)).abs() < 1e-6);
+        assert!(
+            (abox.time_bound.eval(&guesses) - arboricity_mis_bound(guesses[0], p.n, p.max_id))
+                .abs()
+                < 1e-6
+        );
     }
 
     #[test]

@@ -158,10 +158,7 @@ impl<P: Problem> NonUniformAlgorithm<P> {
                 } else if let Some(dom) = dominations.iter().find(|d| &d.dominated == p) {
                     Source::Dominated(dom.dominating_index, dom.relation.clone())
                 } else {
-                    panic!(
-                        "parameter {:?} of Γ is neither in Λ nor covered by a domination",
-                        p
-                    );
+                    panic!("parameter {:?} of Γ is neither in Λ nor covered by a domination", p);
                 }
             })
             .collect();
@@ -225,7 +222,7 @@ mod tests {
         let p = GraphParams::of(&g);
         let descriptor = coloring_mis_descriptor();
         let algo = (descriptor.build)(&[p.max_degree, p.max_id]);
-        let run = algo.execute(&g, &vec![(); 50], None, 0);
+        let run = algo.execute(&g, &[(); 50], None, 0);
         assert!(run.completed);
         local_algos::checkers::check_mis(&g, &run.outputs).unwrap();
     }
@@ -265,7 +262,7 @@ mod tests {
         // Building with a good n-guess must produce a correct algorithm.
         let g = gnp(40, 0.12, 5);
         let algo = (derived.build)(&[40]);
-        let run = algo.execute(&g, &vec![(); 40], None, 0);
+        let run = algo.execute(&g, &[(); 40], None, 0);
         assert!(run.completed);
         local_algos::checkers::check_mis(&g, &run.outputs).unwrap();
     }

@@ -19,6 +19,12 @@
 use crate::funcs::{largest_arg_at_most, MonotoneFn, ARGUMENT_CAP};
 use std::sync::Arc;
 
+/// Evaluation function of a custom bound: `f` on a guess vector.
+pub type BoundEval = Arc<dyn Fn(&[u64]) -> f64 + Send + Sync>;
+
+/// Set-sequence generator of a custom bound: budget ↦ `S_f(i)`.
+pub type SetSequenceFn = Arc<dyn Fn(u64) -> Vec<Vec<u64>> + Send + Sync>;
+
 /// A declared running-time bound together with its set-sequence construction.
 #[derive(Clone)]
 pub enum TimeBound {
@@ -29,9 +35,9 @@ pub enum TimeBound {
     /// A custom bound: evaluation function, set-sequence generator and bounding constant.
     Custom {
         /// Evaluates `f` on a guess vector.
-        eval: Arc<dyn Fn(&[u64]) -> f64 + Send + Sync>,
+        eval: BoundEval,
         /// Produces `S_f(i)`.
-        sets: Arc<dyn Fn(u64) -> Vec<Vec<u64>> + Send + Sync>,
+        sets: SetSequenceFn,
         /// The bounding constant `c` with `f(x) ≤ c·i` for every `x ∈ S_f(i)`.
         bounding_constant: u64,
     },

@@ -91,7 +91,7 @@ impl GraphAlgorithm for SlcFromColoring {
                     .unwrap_or((base, 0))
             })
             .collect();
-        AlgoRun { outputs, rounds: run.rounds, completed: run.completed }
+        AlgoRun { outputs, rounds: run.rounds, messages: run.messages, completed: run.completed }
     }
 }
 
@@ -102,6 +102,8 @@ pub struct ColoringRun {
     pub colors: Vec<u64>,
     /// Rounds charged: the maximum over layers (they run in parallel) of the two phases.
     pub rounds: u64,
+    /// Total messages delivered, summed over all layers and phases.
+    pub messages: u64,
     /// Number of non-empty degree layers.
     pub layers: usize,
     /// `true` when every layer's SLC instance was solved before the safety cap.
@@ -151,7 +153,13 @@ impl ColoringTransformer {
     pub fn solve(&self, graph: &Graph, seed: u64) -> ColoringRun {
         let n = graph.node_count();
         if n == 0 {
-            return ColoringRun { colors: Vec::new(), rounds: 0, layers: 0, solved: true };
+            return ColoringRun {
+                colors: Vec::new(),
+                rounds: 0,
+                messages: 0,
+                layers: 0,
+                solved: true,
+            };
         }
         let max_degree = graph.max_degree() as u64;
         let thresholds = self.thresholds(max_degree);
@@ -174,17 +182,18 @@ impl ColoringTransformer {
 
         let mut colors = vec![0u64; n];
         let mut max_rounds = 0u64;
+        let mut messages = 0u64;
         let mut solved = true;
         let mut nonempty_layers = 0usize;
 
-        for layer in 1..=num_layers {
+        // `delta_hat` is `thresholds[layer]`, i.e. D_{layer+1} in 1-based threshold indexing.
+        for (layer, &delta_hat) in thresholds.iter().enumerate().take(num_layers + 1).skip(1) {
             let keep: Vec<bool> = (0..n).map(|v| layers[v] == layer).collect();
             if !keep.iter().any(|&k| k) {
                 continue;
             }
             nonempty_layers += 1;
             let (sub, back) = graph.induced_subgraph(&keep);
-            let delta_hat = thresholds[layer]; // D_{layer+1} in 1-based threshold indexing
             let base_palette = (self.black_box.palette)(delta_hat).max(delta_hat + 1);
 
             // ---- Phase 1: uniform SLC via the Theorem 1 transformer over the m̃ guess. ----
@@ -193,18 +202,17 @@ impl ColoringTransformer {
             let build = self.black_box.build.clone();
             let time = self.black_box.time.clone();
             let palette_for_adapter = base_palette;
-            let slc_black_box: NonUniformAlgorithm<SlcProblem> =
-                NonUniformAlgorithm::deterministic(
-                    format!("{}@layer{layer}", self.black_box.name),
-                    vec![Parameter::MaxId],
-                    TimeBound::single(monotone(move |m| time(delta_hat, m) + 2.0)),
-                    Arc::new(move |guesses: &[u64]| {
-                        Box::new(SlcFromColoring {
-                            inner: build(delta_hat, guesses[0]),
-                            palette: palette_for_adapter,
-                        }) as DynAlgorithm<SlcInput, SlcColor>
-                    }),
-                );
+            let slc_black_box: NonUniformAlgorithm<SlcProblem> = NonUniformAlgorithm::deterministic(
+                format!("{}@layer{layer}", self.black_box.name),
+                vec![Parameter::MaxId],
+                TimeBound::single(monotone(move |m| time(delta_hat, m) + 2.0)),
+                Arc::new(move |guesses: &[u64]| {
+                    Box::new(SlcFromColoring {
+                        inner: build(delta_hat, guesses[0]),
+                        palette: palette_for_adapter,
+                    }) as DynAlgorithm<SlcInput, SlcColor>
+                }),
+            );
             let mut transformer = UniformTransformer::new(slc_black_box, SlcPruning, (1, 1));
             transformer.max_iterations = self.max_iterations;
             let phase1 = transformer.solve(&sub, &slc_inputs, seed ^ ((layer as u64) << 8));
@@ -233,9 +241,10 @@ impl ColoringTransformer {
                 colors[orig] = offset + phase2.outputs[sub_idx];
             }
             max_rounds = max_rounds.max(phase1.rounds + phase2.rounds);
+            messages += phase1.messages + phase2.messages;
         }
 
-        ColoringRun { colors, rounds: max_rounds, layers: nonempty_layers, solved }
+        ColoringRun { colors, rounds: max_rounds, messages, layers: nonempty_layers, solved }
     }
 }
 

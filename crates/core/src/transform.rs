@@ -47,6 +47,9 @@ pub struct UniformRun<O> {
     pub outputs: Vec<O>,
     /// Total rounds charged (attempt budgets + pruning invocations).
     pub rounds: u64,
+    /// Total messages delivered by the black-box attempts (pruning messages are not
+    /// simulated; its cost is charged in rounds).
+    pub messages: u64,
     /// Number of outer iterations executed.
     pub iterations: u64,
     /// Number of sub-iterations (black-box attempts) executed.
@@ -66,6 +69,7 @@ struct AlternationState<P: Problem> {
     back: Vec<usize>,
     outputs: Vec<Option<P::Output>>,
     rounds: u64,
+    messages: u64,
     subiterations: u64,
     trace: Vec<SubIterationTrace>,
 }
@@ -78,6 +82,7 @@ impl<P: Problem> AlternationState<P> {
             back: (0..graph.node_count()).collect(),
             outputs: vec![None; graph.node_count()],
             rounds: 0,
+            messages: 0,
             subiterations: 0,
             trace: Vec::new(),
         }
@@ -98,11 +103,13 @@ impl<P: Problem> AlternationState<P> {
         seed: u64,
     ) {
         let alive_before = self.alive();
-        let run = self.graph.is_empty().then(local_runtime::AlgoRun::empty).unwrap_or_else(|| {
-            algorithm.execute(&self.graph, &self.inputs, Some(budget), seed)
-        });
+        let run =
+            self.graph.is_empty().then(local_runtime::AlgoRun::empty).unwrap_or_else(|| {
+                algorithm.execute(&self.graph, &self.inputs, Some(budget), seed)
+            });
         // Charge the full allocated budget plus the pruning time, as in the paper's analysis.
         self.rounds += budget + pruning.rounds();
+        self.messages += run.messages;
         self.subiterations += 1;
 
         let tentative = pruning.normalize(&self.graph, &run.outputs);
@@ -119,9 +126,9 @@ impl<P: Problem> AlternationState<P> {
             return;
         }
         // Freeze the outputs of pruned nodes.
-        for v in 0..self.graph.node_count() {
+        for (v, output) in tentative.iter().enumerate() {
             if pruned.pruned[v] {
-                self.outputs[self.back[v]] = Some(tentative[v].clone());
+                self.outputs[self.back[v]] = Some(output.clone());
             }
         }
         // Shrink the configuration to the survivors, rewriting inputs as the pruning dictates.
@@ -137,14 +144,12 @@ impl<P: Problem> AlternationState<P> {
         P: Problem<Output = O>,
     {
         let solved = self.graph.is_empty();
-        let outputs = self
-            .outputs
-            .into_iter()
-            .map(|o| o.unwrap_or_else(|| fallback.clone()))
-            .collect();
+        let outputs =
+            self.outputs.into_iter().map(|o| o.unwrap_or_else(|| fallback.clone())).collect();
         UniformRun {
             outputs,
             rounds: self.rounds,
+            messages: self.messages,
             iterations: 0, // filled by the caller
             subiterations: self.subiterations,
             solved,
@@ -206,7 +211,9 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
             }
             iterations = i;
             let budget = c.saturating_mul(1u64 << i.min(62));
-            for (j, guesses) in self.algorithm.time_bound.set_sequence(1u64 << i.min(62)).iter().enumerate() {
+            for (j, guesses) in
+                self.algorithm.time_bound.set_sequence(1u64 << i.min(62)).iter().enumerate()
+            {
                 if state.alive() == 0 {
                     break;
                 }
@@ -500,8 +507,7 @@ mod tests {
             }),
         );
         let beta = 2;
-        let transformer =
-            UniformTransformer::new(black_box, RulingSetPruning { beta }, false);
+        let transformer = UniformTransformer::new(black_box, RulingSetPruning { beta }, false);
         for seed in 0..3u64 {
             let g = gnp(80, 0.07, seed);
             let run = transformer.solve(&g, &units(80), seed);
@@ -542,8 +548,7 @@ mod tests {
                 algorithm: Arc::new(GreedyMis),
             },
         ];
-        let combiner =
-            FastestOfTransformer::new(components, RulingSetPruning::mis(), false);
+        let combiner = FastestOfTransformer::new(components, RulingSetPruning::mis(), false);
         for (i, g) in [path(200), gnp(100, 0.08, 1), grid(8, 8)].iter().enumerate() {
             let run = combiner.solve(g, &units(g.node_count()), i as u64);
             assert!(run.solved);
@@ -572,6 +577,7 @@ mod tests {
                 local_runtime::AlgoRun {
                     outputs: vec![false; graph.node_count()],
                     rounds: budget.unwrap_or(1_000_000),
+                    messages: 0,
                     completed: false,
                 }
             }

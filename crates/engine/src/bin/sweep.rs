@@ -1,0 +1,165 @@
+//! The sweep CLI: run a scenario grid in parallel and write a structured report.
+//!
+//! ```text
+//! sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..10000 \
+//!       --seeds 32 --threads 8 --out results.json [--csv results.csv] [--base-seed 0]
+//! ```
+//!
+//! * `--problems`  comma list of catalog problems (`mis`, `ps-mis`, `arboricity-mis`,
+//!   `cor1-mis`, `luby-mis`, `matching`, `log4-matching`, `ruling-set[-bB]`, `coloring`,
+//!   `lambdaL-coloring`, `edge-coloring`), or `all`.
+//! * `--families`  comma list of graph families (canonical names or aliases like
+//!   `sparse-gnp`, `tree`), or `all`.
+//! * `--sizes`     comma list (`200,400`) or doubling ladder (`100..10000`).
+//! * `--seeds`     replicates per cell (default 2).
+//! * `--threads`   worker threads (default: available parallelism).
+//! * `--out`       write the JSON report here; `--csv` additionally writes per-cell CSV.
+
+use local_engine::{parse_sizes, run_grid, ProblemKind, ScenarioGrid, SweepConfig};
+use local_graphs::Family;
+use std::process::ExitCode;
+
+struct Args {
+    problems: Vec<ProblemKind>,
+    families: Vec<Family>,
+    sizes: Vec<usize>,
+    seeds: u64,
+    threads: usize,
+    base_seed: u64,
+    out: Option<String>,
+    csv: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        problems: vec![ProblemKind::Mis],
+        families: vec![Family::SparseGnp],
+        sizes: vec![64, 128],
+        seeds: 2,
+        threads: local_engine::pool::default_threads(),
+        base_seed: 0,
+        out: None,
+        csv: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--problems" => {
+                let v = value("--problems")?;
+                args.problems = if v == "all" {
+                    ProblemKind::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|p| {
+                            ProblemKind::parse(p.trim())
+                                .ok_or_else(|| format!("unknown problem: {p:?}"))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "--families" => {
+                let v = value("--families")?;
+                args.families = if v == "all" {
+                    Family::ALL.to_vec()
+                } else {
+                    v.split(',')
+                        .map(|f| {
+                            Family::from_name(f.trim())
+                                .ok_or_else(|| format!("unknown family: {f:?}"))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
+            "--sizes" => args.sizes = parse_sizes(&value("--sizes")?)?,
+            "--seeds" => {
+                args.seeds = value("--seeds")?.parse().map_err(|e| format!("bad --seeds: {e}"))?
+            }
+            "--threads" => {
+                args.threads =
+                    value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--base-seed" => {
+                args.base_seed =
+                    value("--base-seed")?.parse().map_err(|e| format!("bad --base-seed: {e}"))?
+            }
+            "--out" => args.out = Some(value("--out")?),
+            "--csv" => args.csv = Some(value("--csv")?),
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag: {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+const HELP: &str = "\
+sweep — parallel batched experiment engine for uniform LOCAL algorithms
+
+USAGE:
+  sweep [--problems LIST|all] [--families LIST|all] [--sizes 200,400 | 100..10000]
+        [--seeds N] [--threads N] [--base-seed S] [--out report.json] [--csv cells.csv]
+
+EXAMPLE:
+  sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..1600 \\
+        --seeds 32 --threads 8 --out results.json";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("sweep: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let grid = ScenarioGrid::new()
+        .problems(args.problems)
+        .families(args.families)
+        .sizes(args.sizes)
+        .replicates(args.seeds)
+        .base_seed(args.base_seed);
+    eprintln!(
+        "sweep: {} cells ({} problems × {} families × {} sizes × {} seeds), {} threads",
+        grid.cell_count(),
+        grid.problems.len(),
+        grid.families.len(),
+        grid.sizes.len(),
+        grid.replicates,
+        args.threads
+    );
+
+    let report = run_grid(&grid, &SweepConfig::with_threads(args.threads));
+
+    println!("{}", report.render_summaries());
+    let invalid = report.cells.iter().filter(|c| !c.valid).count();
+    println!(
+        "{} cells, {} distinct instances, {:.1} ms wall, {} invalid",
+        report.cell_count,
+        report.distinct_instances,
+        report.total_wall_micros as f64 / 1000.0,
+        invalid
+    );
+
+    if let Some(path) = &args.out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote JSON report to {path}");
+    }
+    if let Some(path) = &args.csv {
+        if let Err(e) = std::fs::write(path, report.to_csv()) {
+            eprintln!("sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote per-cell CSV to {path}");
+    }
+    if invalid > 0 {
+        eprintln!("sweep: {invalid} cells failed validation");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,81 @@
+//! A minimal work-stealing thread pool over indexed jobs.
+//!
+//! rayon is unavailable offline, so the scheduler brings its own parallelism: scoped worker
+//! threads pull job indices from one shared atomic cursor (work *sharing* with self-balancing
+//! pull — an idle worker immediately claims the next undone cell, so a straggler cell never
+//! blocks the rest of the sweep). Results land in their input slot, which makes the output
+//! order — and with deterministic jobs the output *content* — independent of thread count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `job(0..count)` across up to `threads` workers and returns the results in index
+/// order. `threads <= 1` degrades to a plain sequential loop (no worker threads spawned).
+///
+/// # Panics
+///
+/// Propagates a panic from any job after all workers have stopped.
+pub fn run_indexed<T, F>(count: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(job).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(count) {
+            scope.spawn(|| loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                if index >= count {
+                    break;
+                }
+                let result = job(index);
+                *slots[index].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("every job index was claimed")
+        })
+        .collect()
+}
+
+/// A sensible worker count for this machine.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let out = run_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        let seq = run_indexed(37, 1, |i| (i, i % 7));
+        let par = run_indexed(37, 6, |i| (i, i % 7));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_jobs_is_fine() {
+        let out: Vec<u32> = run_indexed(0, 4, |_| unreachable!());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let out = run_indexed(3, 64, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+}

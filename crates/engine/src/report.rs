@@ -1,0 +1,321 @@
+//! The aggregation/report layer: per-cell results, grouped summaries, JSON and CSV output.
+
+use serde::Serialize;
+
+/// The measured outcome of one executed cell.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CellResult {
+    /// Problem name (see `ProblemKind::name`).
+    pub problem: String,
+    /// Family name (see `local_graphs::Family::name`).
+    pub family: String,
+    /// Size the grid requested.
+    pub requested_n: usize,
+    /// Nodes of the generated instance (families may round the size).
+    pub n: usize,
+    /// Edges of the generated instance.
+    pub edges: usize,
+    /// Replicate index within the cell's `(problem, family, n)` group.
+    pub replicate: u64,
+    /// The cell's derived execution seed.
+    pub seed: u64,
+    /// Rounds of the transformed uniform algorithm.
+    pub uniform_rounds: u64,
+    /// Messages delivered by the uniform algorithm's black-box attempts.
+    pub uniform_messages: u64,
+    /// Rounds of the non-uniform baseline executed with correct guesses.
+    pub nonuniform_rounds: u64,
+    /// Messages delivered by the non-uniform baseline.
+    pub nonuniform_messages: u64,
+    /// `uniform_rounds / max(nonuniform_rounds, 1)` — the paper's constant-factor claim.
+    pub overhead_ratio: f64,
+    /// Sub-iterations (black-box attempts) the uniform driver executed, when applicable.
+    pub subiterations: u64,
+    /// `true` when the uniform driver terminated on its own (every node pruned).
+    pub solved: bool,
+    /// `true` when the produced outputs passed the problem's validator.
+    pub valid: bool,
+    /// Wall-clock execution time of the whole cell, in microseconds. Excluded from
+    /// determinism comparisons (see [`CellResult::deterministic_view`]).
+    pub wall_micros: u64,
+}
+
+impl CellResult {
+    /// A copy with the (non-deterministic) wall time zeroed, for byte-identical comparison
+    /// between sequential and parallel sweeps.
+    pub fn deterministic_view(&self) -> CellResult {
+        CellResult { wall_micros: 0, ..self.clone() }
+    }
+}
+
+/// The summary of one `(problem, family)` group of cells.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct GroupSummary {
+    /// Problem name.
+    pub problem: String,
+    /// Family name.
+    pub family: String,
+    /// Cells in the group.
+    pub cells: usize,
+    /// Cells whose outputs validated.
+    pub valid_cells: usize,
+    /// Cells whose uniform driver terminated on its own.
+    pub solved_cells: usize,
+    /// Mean uniform rounds.
+    pub mean_uniform_rounds: f64,
+    /// Median uniform rounds.
+    pub p50_uniform_rounds: u64,
+    /// 99th-percentile uniform rounds.
+    pub p99_uniform_rounds: u64,
+    /// Maximum uniform rounds.
+    pub max_uniform_rounds: u64,
+    /// Mean uniform-over-non-uniform round ratio.
+    pub mean_overhead_ratio: f64,
+    /// Maximum overhead ratio.
+    pub max_overhead_ratio: f64,
+    /// Total messages delivered by uniform executions in the group.
+    pub total_uniform_messages: u64,
+    /// Total wall time spent in the group, in microseconds.
+    pub total_wall_micros: u64,
+}
+
+/// `q`-th percentile (nearest-rank) of an already sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Folds cells into per-`(problem, family)` summaries, in first-appearance order (which is
+/// the grid's canonical order). Single pass over the cells, so sweeps with hundreds of
+/// thousands of cells aggregate in linear time.
+pub fn summarize(cells: &[CellResult]) -> Vec<GroupSummary> {
+    let mut index: std::collections::HashMap<(String, String), usize> =
+        std::collections::HashMap::new();
+    let mut groups: Vec<((String, String), Vec<&CellResult>)> = Vec::new();
+    for cell in cells {
+        let key = (cell.problem.clone(), cell.family.clone());
+        let slot = *index.entry(key.clone()).or_insert_with(|| {
+            groups.push((key, Vec::new()));
+            groups.len() - 1
+        });
+        groups[slot].1.push(cell);
+    }
+    groups
+        .into_iter()
+        .map(|((problem, family), group)| {
+            let mut rounds: Vec<u64> = group.iter().map(|c| c.uniform_rounds).collect();
+            rounds.sort_unstable();
+            let count = group.len();
+            GroupSummary {
+                problem,
+                family,
+                cells: count,
+                valid_cells: group.iter().filter(|c| c.valid).count(),
+                solved_cells: group.iter().filter(|c| c.solved).count(),
+                mean_uniform_rounds: rounds.iter().sum::<u64>() as f64 / count.max(1) as f64,
+                p50_uniform_rounds: percentile(&rounds, 0.50),
+                p99_uniform_rounds: percentile(&rounds, 0.99),
+                max_uniform_rounds: rounds.last().copied().unwrap_or(0),
+                mean_overhead_ratio: group.iter().map(|c| c.overhead_ratio).sum::<f64>()
+                    / count.max(1) as f64,
+                max_overhead_ratio: group.iter().map(|c| c.overhead_ratio).fold(0.0, f64::max),
+                total_uniform_messages: group.iter().map(|c| c.uniform_messages).sum(),
+                total_wall_micros: group.iter().map(|c| c.wall_micros).sum(),
+            }
+        })
+        .collect()
+}
+
+/// The full outcome of a sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Worker threads the sweep ran with.
+    pub threads: usize,
+    /// The grid's base seed.
+    pub base_seed: u64,
+    /// Number of executed cells.
+    pub cell_count: usize,
+    /// Number of distinct graph instances generated (shared across problems).
+    pub distinct_instances: usize,
+    /// End-to-end wall time of the sweep, in microseconds.
+    pub total_wall_micros: u64,
+    /// Per-group summaries.
+    pub summaries: Vec<GroupSummary>,
+    /// Every cell, in the grid's canonical order.
+    pub cells: Vec<CellResult>,
+}
+
+impl Report {
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+
+    /// Serializes the cells as CSV (one row per cell, with a header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "problem,family,requested_n,n,edges,replicate,seed,uniform_rounds,\
+             uniform_messages,nonuniform_rounds,nonuniform_messages,overhead_ratio,\
+             subiterations,solved,valid,wall_micros\n",
+        );
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}\n",
+                c.problem,
+                c.family,
+                c.requested_n,
+                c.n,
+                c.edges,
+                c.replicate,
+                c.seed,
+                c.uniform_rounds,
+                c.uniform_messages,
+                c.nonuniform_rounds,
+                c.nonuniform_messages,
+                c.overhead_ratio,
+                c.subiterations,
+                c.solved,
+                c.valid,
+                c.wall_micros
+            ));
+        }
+        out
+    }
+
+    /// Renders the summaries as an aligned text table for terminals.
+    pub fn render_summaries(&self) -> String {
+        let mut out = format!(
+            "{:<18} {:<18} {:>5} {:>6} {:>10} {:>8} {:>8} {:>8} {:>9} {:>10}\n",
+            "problem",
+            "family",
+            "cells",
+            "valid",
+            "mean-rnds",
+            "p50",
+            "p99",
+            "max",
+            "ratio",
+            "wall-ms"
+        );
+        out.push_str(&"-".repeat(112));
+        out.push('\n');
+        for s in &self.summaries {
+            out.push_str(&format!(
+                "{:<18} {:<18} {:>5} {:>6} {:>10.1} {:>8} {:>8} {:>8} {:>9.2} {:>10.1}\n",
+                s.problem,
+                s.family,
+                s.cells,
+                s.valid_cells,
+                s.mean_uniform_rounds,
+                s.p50_uniform_rounds,
+                s.p99_uniform_rounds,
+                s.max_uniform_rounds,
+                s.mean_overhead_ratio,
+                s.total_wall_micros as f64 / 1000.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(problem: &str, family: &str, rounds: u64, ratio: f64, valid: bool) -> CellResult {
+        CellResult {
+            problem: problem.into(),
+            family: family.into(),
+            requested_n: 64,
+            n: 64,
+            edges: 100,
+            replicate: 0,
+            seed: 1,
+            uniform_rounds: rounds,
+            uniform_messages: 10 * rounds,
+            nonuniform_rounds: rounds / 2 + 1,
+            nonuniform_messages: rounds,
+            overhead_ratio: ratio,
+            subiterations: 3,
+            solved: true,
+            valid,
+            wall_micros: 1234,
+        }
+    }
+
+    #[test]
+    fn summaries_group_and_aggregate() {
+        let cells = vec![
+            cell("mis", "grid", 10, 2.0, true),
+            cell("mis", "grid", 30, 4.0, true),
+            cell("mis", "path", 20, 3.0, false),
+        ];
+        let summaries = summarize(&cells);
+        assert_eq!(summaries.len(), 2);
+        let grid = &summaries[0];
+        assert_eq!((grid.problem.as_str(), grid.family.as_str()), ("mis", "grid"));
+        assert_eq!(grid.cells, 2);
+        assert_eq!(grid.valid_cells, 2);
+        assert!((grid.mean_uniform_rounds - 20.0).abs() < 1e-9);
+        assert_eq!(grid.p50_uniform_rounds, 10);
+        assert_eq!(grid.p99_uniform_rounds, 30);
+        assert_eq!(grid.max_uniform_rounds, 30);
+        assert!((grid.mean_overhead_ratio - 3.0).abs() < 1e-9);
+        assert_eq!(summaries[1].valid_cells, 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50);
+        assert_eq!(percentile(&sorted, 0.99), 99);
+        assert_eq!(percentile(&sorted, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let report = Report {
+            threads: 4,
+            base_seed: 0,
+            cell_count: 1,
+            distinct_instances: 1,
+            total_wall_micros: 99,
+            summaries: Vec::new(),
+            cells: vec![cell("mis", "grid", 10, 2.0, true)],
+        };
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("problem,family,"));
+        assert!(lines[1].starts_with("mis,grid,64,64,"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let report = Report {
+            threads: 2,
+            base_seed: 7,
+            cell_count: 1,
+            distinct_instances: 1,
+            total_wall_micros: 5,
+            summaries: summarize(&[cell("mis", "grid", 10, 2.0, true)]),
+            cells: vec![cell("mis", "grid", 10, 2.0, true)],
+        };
+        let value = serde_json::from_str(&report.to_json()).expect("valid JSON");
+        assert_eq!(value.get("threads").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(value.get("cells").and_then(|v| v.as_seq()).map(|s| s.len()), Some(1));
+    }
+
+    #[test]
+    fn deterministic_view_masks_wall_time_only() {
+        let a = cell("mis", "grid", 10, 2.0, true);
+        let mut b = a.clone();
+        b.wall_micros = 9999;
+        assert_ne!(a, b);
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+}

@@ -1,0 +1,362 @@
+//! The scenario model: what one experiment cell is, and how grids of cells are built.
+//!
+//! A [`Scenario`] is one point of an experiment design: a problem (drawn from the uniform
+//! catalog of `local_uniform::catalog`), a graph family, a target size, and a replicate
+//! index. A [`ScenarioGrid`] is the cross product of the four axes, the unit of work the
+//! scheduler executes. Cells are enumerated in a fixed deterministic order and carry their
+//! own seeds (derived with [`local_runtime::mix_seed`]), so a grid means the same set of
+//! executions regardless of how it is later sharded over threads.
+
+use local_graphs::{Family, InstanceKey};
+use local_runtime::mix_seed;
+use serde::{Serialize, Value};
+
+/// Salt separating graph-generation seeds from execution seeds.
+const GRAPH_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// One problem of the experiment catalog (the rows of the paper's Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProblemKind {
+    /// Deterministic MIS via (Δ+1)-colouring, transformed by Theorem 1.
+    Mis,
+    /// Deterministic MIS with the synthetic `2^{O(√log n)}` bound (Table 1 row 2).
+    PsMis,
+    /// Deterministic MIS parameterised by arboricity (Table 1 rows 3–4).
+    ArboricityMis,
+    /// The Corollary 1(i) "fastest of the breeds" MIS combinator (Theorem 4).
+    Corollary1Mis,
+    /// Luby's uniform randomized MIS — the already-uniform baseline of Table 1's last row.
+    LubyMis,
+    /// Deterministic maximal matching from edge colouring (Table 1 row 8).
+    Matching,
+    /// Maximal matching with the synthetic `O(log⁴ n)` time shape.
+    Log4Matching,
+    /// The Las Vegas (2, β)-ruling set of Theorem 2 (Table 1 row 9).
+    RulingSet(u64),
+    /// The Theorem 5 uniform `λ(Δ+1)`-colouring (`λ = 1` is Table 1 row 1's colouring
+    /// output; larger `λ` is row 5).
+    LambdaColoring(u64),
+    /// `O(Δ)`-edge colouring via the line graph + Theorem 5 (Table 1 rows 6–7).
+    EdgeColoring,
+}
+
+impl ProblemKind {
+    /// A representative list of every kind (with default parameters), in report order.
+    pub const ALL: [ProblemKind; 10] = [
+        ProblemKind::Mis,
+        ProblemKind::PsMis,
+        ProblemKind::ArboricityMis,
+        ProblemKind::Corollary1Mis,
+        ProblemKind::LubyMis,
+        ProblemKind::Matching,
+        ProblemKind::Log4Matching,
+        ProblemKind::RulingSet(2),
+        ProblemKind::LambdaColoring(1),
+        ProblemKind::EdgeColoring,
+    ];
+
+    /// The stable name used in reports and accepted by [`ProblemKind::parse`].
+    pub fn name(&self) -> String {
+        match self {
+            ProblemKind::Mis => "mis".into(),
+            ProblemKind::PsMis => "ps-mis".into(),
+            ProblemKind::ArboricityMis => "arboricity-mis".into(),
+            ProblemKind::Corollary1Mis => "cor1-mis".into(),
+            ProblemKind::LubyMis => "luby-mis".into(),
+            ProblemKind::Matching => "matching".into(),
+            ProblemKind::Log4Matching => "log4-matching".into(),
+            ProblemKind::RulingSet(beta) => format!("ruling-set-b{beta}"),
+            ProblemKind::LambdaColoring(1) => "coloring".into(),
+            ProblemKind::LambdaColoring(lambda) => format!("lambda{lambda}-coloring"),
+            ProblemKind::EdgeColoring => "edge-coloring".into(),
+        }
+    }
+
+    /// Parses a kind from its [`ProblemKind::name`] (plus the shorthands `ruling-set` for
+    /// β = 2 and `coloring` for λ = 1).
+    pub fn parse(text: &str) -> Option<ProblemKind> {
+        match text {
+            "mis" => Some(ProblemKind::Mis),
+            "ps-mis" => Some(ProblemKind::PsMis),
+            "arboricity-mis" => Some(ProblemKind::ArboricityMis),
+            "cor1-mis" => Some(ProblemKind::Corollary1Mis),
+            "luby-mis" => Some(ProblemKind::LubyMis),
+            "matching" => Some(ProblemKind::Matching),
+            "log4-matching" => Some(ProblemKind::Log4Matching),
+            "ruling-set" => Some(ProblemKind::RulingSet(2)),
+            "coloring" => Some(ProblemKind::LambdaColoring(1)),
+            "edge-coloring" => Some(ProblemKind::EdgeColoring),
+            _ => {
+                if let Some(beta) = text.strip_prefix("ruling-set-b") {
+                    return beta.parse().ok().map(ProblemKind::RulingSet);
+                }
+                text.strip_prefix("lambda")
+                    .and_then(|rest| rest.strip_suffix("-coloring"))
+                    .and_then(|lambda| lambda.parse().ok())
+                    .map(ProblemKind::LambdaColoring)
+            }
+        }
+    }
+
+    /// A small stable integer distinguishing kinds, mixed into per-cell seeds.
+    pub fn tag(&self) -> u64 {
+        match self {
+            ProblemKind::Mis => 1,
+            ProblemKind::PsMis => 2,
+            ProblemKind::ArboricityMis => 3,
+            ProblemKind::Corollary1Mis => 4,
+            ProblemKind::LubyMis => 5,
+            ProblemKind::Matching => 6,
+            ProblemKind::Log4Matching => 7,
+            ProblemKind::EdgeColoring => 8,
+            ProblemKind::RulingSet(beta) => 0x100 + beta,
+            ProblemKind::LambdaColoring(lambda) => 0x1_0000 + lambda,
+        }
+    }
+}
+
+impl Serialize for ProblemKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.name())
+    }
+}
+
+/// One experiment cell: `(problem, family, n, replicate)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// The problem to solve.
+    pub problem: ProblemKind,
+    /// The graph family the instance is drawn from.
+    pub family: Family,
+    /// Requested instance size.
+    pub n: usize,
+    /// Replicate index (`0..replicates`); distinct replicates get distinct instances.
+    pub replicate: u64,
+}
+
+impl Scenario {
+    /// The key of the graph instance this cell runs on. Cells that differ only in the
+    /// problem share the key — and therefore, under the scheduler's cache, the instance.
+    pub fn instance_key(&self, base_seed: u64) -> InstanceKey {
+        let family_rank = Family::ALL.iter().position(|f| f == &self.family).unwrap_or(0) as u64;
+        let shape = mix_seed(family_rank, ((self.n as u64) << 20) ^ self.replicate);
+        InstanceKey::new(self.family, self.n, mix_seed(base_seed ^ GRAPH_SEED_SALT, shape))
+    }
+
+    /// The execution seed of this cell: a deterministic function of the cell's identity
+    /// (never of scheduling order), so parallel and sequential sweeps agree byte-for-byte.
+    pub fn cell_seed(&self, base_seed: u64) -> u64 {
+        mix_seed(self.instance_key(base_seed).seed, self.problem.tag())
+    }
+
+    /// A short human-readable label.
+    pub fn label(&self) -> String {
+        format!("{}/{}/n{}/r{}", self.problem.name(), self.family.name(), self.n, self.replicate)
+    }
+}
+
+/// A cross-product experiment design.
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    /// Problems to run (axis 1).
+    pub problems: Vec<ProblemKind>,
+    /// Graph families (axis 2).
+    pub families: Vec<Family>,
+    /// Instance sizes (axis 3).
+    pub sizes: Vec<usize>,
+    /// Number of replicates per `(problem, family, size)` (axis 4).
+    pub replicates: u64,
+    /// Base seed every instance/cell seed is derived from.
+    pub base_seed: u64,
+}
+
+impl Default for ScenarioGrid {
+    fn default() -> Self {
+        ScenarioGrid {
+            problems: vec![ProblemKind::Mis],
+            families: vec![Family::SparseGnp],
+            sizes: vec![128],
+            replicates: 1,
+            base_seed: 0,
+        }
+    }
+}
+
+impl ScenarioGrid {
+    /// The default single-cell-per-axis grid (MIS on sparse G(n,p) at n = 128, one
+    /// replicate), meant to be overridden axis-by-axis with the builder methods below.
+    pub fn new() -> Self {
+        ScenarioGrid::default()
+    }
+
+    /// Sets the problem axis.
+    pub fn problems(mut self, problems: impl Into<Vec<ProblemKind>>) -> Self {
+        self.problems = problems.into();
+        self
+    }
+
+    /// Sets the family axis.
+    pub fn families(mut self, families: impl Into<Vec<Family>>) -> Self {
+        self.families = families.into();
+        self
+    }
+
+    /// Sets the size axis.
+    pub fn sizes(mut self, sizes: impl Into<Vec<usize>>) -> Self {
+        self.sizes = sizes.into();
+        self
+    }
+
+    /// Sets the size axis to a doubling ladder `lo, 2·lo, 4·lo, …` up to (and including the
+    /// first value ≥) `hi`.
+    pub fn size_ladder(mut self, lo: usize, hi: usize) -> Self {
+        self.sizes = expand_ladder(lo, hi);
+        self
+    }
+
+    /// Sets the number of replicates (seeds) per cell.
+    pub fn replicates(mut self, replicates: u64) -> Self {
+        self.replicates = replicates.max(1);
+        self
+    }
+
+    /// Sets the base seed.
+    pub fn base_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Number of cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.problems.len() * self.families.len() * self.sizes.len() * self.replicates as usize
+    }
+
+    /// Enumerates every cell in the grid's canonical order
+    /// (problem-major, then family, size, replicate).
+    pub fn cells(&self) -> Vec<Scenario> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for &problem in &self.problems {
+            for &family in &self.families {
+                for &n in &self.sizes {
+                    for replicate in 0..self.replicates {
+                        out.push(Scenario { problem, family, n, replicate });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn expand_ladder(lo: usize, hi: usize) -> Vec<usize> {
+    // Honour the requested start exactly (generators themselves round tiny sizes up);
+    // only guard against a zero start, which could never double.
+    let lo = lo.max(1);
+    let hi = hi.max(lo);
+    let mut sizes = Vec::new();
+    let mut n = lo;
+    loop {
+        sizes.push(n);
+        if n >= hi {
+            break;
+        }
+        n = n.saturating_mul(2).min(hi.max(n + 1));
+    }
+    sizes
+}
+
+/// Parses a size axis: either a comma list (`200,400`) or a doubling ladder (`100..10000`).
+pub fn parse_sizes(text: &str) -> Result<Vec<usize>, String> {
+    if let Some((lo, hi)) = text.split_once("..") {
+        let lo: usize = lo.trim().parse().map_err(|_| format!("bad ladder start: {lo:?}"))?;
+        let hi: usize = hi.trim().parse().map_err(|_| format!("bad ladder end: {hi:?}"))?;
+        if hi < lo {
+            return Err(format!("ladder end {hi} below start {lo}"));
+        }
+        return Ok(expand_ladder(lo, hi));
+    }
+    let sizes: Result<Vec<usize>, _> = text.split(',').map(|s| s.trim().parse::<usize>()).collect();
+    let sizes = sizes.map_err(|_| format!("bad size list: {text:?}"))?;
+    if sizes.is_empty() {
+        return Err("empty size list".into());
+    }
+    Ok(sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for kind in ProblemKind::ALL {
+            assert_eq!(ProblemKind::parse(&kind.name()), Some(kind), "{}", kind.name());
+        }
+        assert_eq!(ProblemKind::parse("ruling-set"), Some(ProblemKind::RulingSet(2)));
+        assert_eq!(ProblemKind::parse("lambda4-coloring"), Some(ProblemKind::LambdaColoring(4)));
+        assert_eq!(ProblemKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let mut tags: Vec<u64> = ProblemKind::ALL.iter().map(ProblemKind::tag).collect();
+        tags.push(ProblemKind::RulingSet(3).tag());
+        tags.push(ProblemKind::LambdaColoring(4).tag());
+        tags.sort_unstable();
+        tags.dedup();
+        assert_eq!(tags.len(), ProblemKind::ALL.len() + 2);
+    }
+
+    #[test]
+    fn grid_cross_product_has_expected_shape() {
+        let grid = ScenarioGrid::new()
+            .problems([ProblemKind::Mis, ProblemKind::Matching])
+            .families([Family::SparseGnp, Family::Grid, Family::Path])
+            .sizes([64usize, 128])
+            .replicates(4);
+        assert_eq!(grid.cell_count(), 2 * 3 * 2 * 4);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), grid.cell_count());
+        // Canonical order: first cell is the first coordinate of every axis.
+        assert_eq!(cells[0].problem, ProblemKind::Mis);
+        assert_eq!(cells[0].family, Family::SparseGnp);
+        assert_eq!(cells[0].n, 64);
+        assert_eq!(cells[0].replicate, 0);
+    }
+
+    #[test]
+    fn same_instance_across_problems_distinct_across_replicates() {
+        let a = Scenario { problem: ProblemKind::Mis, family: Family::Grid, n: 64, replicate: 0 };
+        let b =
+            Scenario { problem: ProblemKind::Matching, family: Family::Grid, n: 64, replicate: 0 };
+        let c = Scenario { problem: ProblemKind::Mis, family: Family::Grid, n: 64, replicate: 1 };
+        assert_eq!(a.instance_key(7), b.instance_key(7));
+        assert_ne!(a.instance_key(7), c.instance_key(7));
+        // Execution seeds differ per problem even on the shared instance.
+        assert_ne!(a.cell_seed(7), b.cell_seed(7));
+    }
+
+    #[test]
+    fn ladder_doubles_and_caps() {
+        assert_eq!(parse_sizes("100..1000").unwrap(), vec![100, 200, 400, 800, 1000]);
+        assert_eq!(parse_sizes("200,400").unwrap(), vec![200, 400]);
+        assert_eq!(parse_sizes("64").unwrap(), vec![64]);
+        // A small ladder start is honoured, not silently rewritten.
+        assert_eq!(parse_sizes("2..8").unwrap(), vec![2, 4, 8]);
+        assert!(parse_sizes("..").is_err());
+        assert!(parse_sizes("a,b").is_err());
+    }
+
+    #[test]
+    fn cell_seeds_do_not_depend_on_grid_order() {
+        let cell = Scenario {
+            problem: ProblemKind::RulingSet(2),
+            family: Family::UnitDisk,
+            n: 96,
+            replicate: 3,
+        };
+        // The seed is a pure function of the cell + base seed.
+        assert_eq!(cell.cell_seed(11), cell.cell_seed(11));
+        assert_ne!(cell.cell_seed(11), cell.cell_seed(12));
+    }
+}

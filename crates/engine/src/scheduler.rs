@@ -1,0 +1,395 @@
+//! The sharded scheduler: turns a [`ScenarioGrid`] into a [`Report`], in parallel.
+//!
+//! Execution happens in two parallel phases over the engine's work-stealing pool
+//! ([`crate::pool`]):
+//!
+//! 1. **Instance generation.** The distinct [`InstanceKey`]s of the grid are realized once
+//!    each and shared (an `Arc` per instance) across every algorithm that runs on them — a
+//!    grid of 10 problems × 1 family × 1 size × 32 seeds generates 32 graphs, not 320.
+//! 2. **Cell execution.** Every cell runs the transformed uniform algorithm *and* the
+//!    non-uniform baseline at correct guesses, validates both, and produces a [`CellResult`].
+//!
+//! Determinism: a cell's seed is a pure function of its identity ([`Scenario::cell_seed`],
+//! built on [`local_runtime::mix_seed`]) and results are collected by cell index, so a sweep
+//! with `threads = 64` produces byte-identical results to `threads = 1` (wall-clock fields
+//! aside).
+
+use crate::pool;
+use crate::report::{summarize, CellResult, Report};
+use crate::scenario::{ProblemKind, Scenario, ScenarioGrid};
+use local_algos::checkers;
+use local_algos::edge_coloring::LineGraphEdgeColoring;
+use local_algos::mis::LubyMis;
+use local_graphs::{GraphParams, InstanceKey};
+use local_runtime::{Graph, GraphAlgorithm};
+use local_uniform::catalog;
+use local_uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Execution settings of one sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads (1 = fully sequential, no worker threads spawned).
+    pub threads: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig { threads: pool::default_threads() }
+    }
+}
+
+impl SweepConfig {
+    /// A configuration with the given thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        SweepConfig { threads: threads.max(1) }
+    }
+}
+
+/// A generated graph instance, shared across the cells that run on it.
+#[derive(Debug)]
+pub struct Instance {
+    /// The key that generated this instance.
+    pub key: InstanceKey,
+    /// The graph.
+    pub graph: Graph,
+    /// Ground-truth global parameters (the correct guesses for non-uniform baselines).
+    pub params: GraphParams,
+}
+
+impl Instance {
+    /// Realizes the instance a key names.
+    pub fn generate(key: InstanceKey) -> Self {
+        let (graph, params) = key.realize();
+        Instance { key, graph, params }
+    }
+}
+
+/// Runs every cell of `grid` and folds the outcomes into a [`Report`].
+pub fn run_grid(grid: &ScenarioGrid, cfg: &SweepConfig) -> Report {
+    let started = Instant::now();
+    let cells = grid.cells();
+
+    // Phase 1: generate each distinct instance once, in parallel.
+    let keys: Vec<InstanceKey> = cells
+        .iter()
+        .map(|c| c.instance_key(grid.base_seed))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    let instances =
+        pool::run_indexed(keys.len(), cfg.threads, |i| Arc::new(Instance::generate(keys[i])));
+    let cache: HashMap<InstanceKey, Arc<Instance>> = keys.iter().copied().zip(instances).collect();
+
+    // Phase 2: execute cells, work-stealing over the same pool.
+    let results = pool::run_indexed(cells.len(), cfg.threads, |i| {
+        let cell = &cells[i];
+        let instance = &cache[&cell.instance_key(grid.base_seed)];
+        run_cell(cell, instance, grid.base_seed)
+    });
+
+    Report {
+        threads: cfg.threads,
+        base_seed: grid.base_seed,
+        cell_count: results.len(),
+        distinct_instances: keys.len(),
+        total_wall_micros: started.elapsed().as_micros() as u64,
+        summaries: summarize(&results),
+        cells: results,
+    }
+}
+
+/// What one cell execution measured, before packaging into a [`CellResult`].
+struct Measured {
+    uniform_rounds: u64,
+    uniform_messages: u64,
+    nonuniform_rounds: u64,
+    nonuniform_messages: u64,
+    subiterations: u64,
+    solved: bool,
+    valid: bool,
+}
+
+fn units(n: usize) -> Vec<()> {
+    vec![(); n]
+}
+
+/// Executes one cell: the uniform algorithm and the non-uniform baseline with correct
+/// guesses, both validated against the problem's ground-truth checker.
+pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellResult {
+    let started = Instant::now();
+    let seed = cell.cell_seed(base_seed);
+    let graph = &instance.graph;
+    let params = &instance.params;
+    let measured = match cell.problem {
+        ProblemKind::Mis => {
+            let baseline = catalog::coloring_mis_black_box();
+            run_mis_cell(
+                graph,
+                (baseline.build)(&[params.max_degree, params.max_id]),
+                seed,
+                |g, s| catalog::uniform_coloring_mis().solve(g, &units(g.node_count()), s),
+            )
+        }
+        ProblemKind::PsMis => {
+            let baseline = catalog::panconesi_srinivasan_mis_black_box();
+            run_mis_cell(graph, (baseline.build)(&[params.n]), seed, |g, s| {
+                catalog::uniform_ps_mis().solve(g, &units(g.node_count()), s)
+            })
+        }
+        ProblemKind::ArboricityMis => {
+            let baseline = catalog::arboricity_mis_black_box();
+            let guesses = [params.degeneracy.max(1), params.n, params.max_id];
+            run_mis_cell(graph, (baseline.build)(&guesses), seed, |g, s| {
+                catalog::uniform_arboricity_mis().solve(g, &units(g.node_count()), s)
+            })
+        }
+        ProblemKind::Corollary1Mis => {
+            // Baseline: the Δ-based black box (the combinator's claim is to match the best
+            // component, which this box's correct-guess run approximates from above).
+            let baseline = catalog::coloring_mis_black_box();
+            run_mis_cell(
+                graph,
+                (baseline.build)(&[params.max_degree, params.max_id]),
+                seed,
+                |g, s| catalog::corollary1_mis().solve(g, &units(g.node_count()), s),
+            )
+        }
+        ProblemKind::LubyMis => {
+            // Already uniform: the baseline is the algorithm itself (ratio 1 by definition).
+            let run = LubyMis.execute(graph, &units(graph.node_count()), None, seed);
+            let valid =
+                MisProblem.validate(graph, &units(graph.node_count()), &run.outputs).is_ok();
+            Measured {
+                uniform_rounds: run.rounds,
+                uniform_messages: run.messages,
+                nonuniform_rounds: run.rounds,
+                nonuniform_messages: run.messages,
+                subiterations: 0,
+                solved: run.completed,
+                valid,
+            }
+        }
+        ProblemKind::Matching => {
+            let baseline = catalog::matching_black_box();
+            run_matching_cell(
+                graph,
+                (baseline.build)(&[params.max_degree, params.max_id]),
+                seed,
+                |g, s| catalog::uniform_matching().solve(g, &units(g.node_count()), s),
+            )
+        }
+        ProblemKind::Log4Matching => {
+            let baseline = catalog::synthetic_log4_matching_black_box();
+            run_matching_cell(graph, (baseline.build)(&[params.n]), seed, |g, s| {
+                catalog::uniform_log4_matching().solve(g, &units(g.node_count()), s)
+            })
+        }
+        ProblemKind::RulingSet(beta) => {
+            let baseline = catalog::ruling_set_black_box();
+            let nu = (baseline.build)(&[params.n]).execute(
+                graph,
+                &units(graph.node_count()),
+                None,
+                seed,
+            );
+            let uni = catalog::uniform_ruling_set(beta as usize).solve(
+                graph,
+                &units(graph.node_count()),
+                seed,
+            );
+            // The Monte-Carlo baseline is allowed to fail; the Las Vegas claim is on the
+            // uniform output only.
+            let valid = RulingSetProblem::two(beta as usize)
+                .validate(graph, &units(graph.node_count()), &uni.outputs)
+                .is_ok();
+            Measured {
+                uniform_rounds: uni.rounds,
+                uniform_messages: uni.messages,
+                nonuniform_rounds: nu.rounds,
+                nonuniform_messages: nu.messages,
+                subiterations: uni.subiterations,
+                solved: uni.solved,
+                valid,
+            }
+        }
+        ProblemKind::LambdaColoring(lambda) => {
+            let baseline = catalog::lambda_coloring_box(lambda);
+            let nu = (baseline.build)(params.max_degree, params.max_id).execute(
+                graph,
+                &units(graph.node_count()),
+                None,
+                seed,
+            );
+            let transformer = catalog::uniform_lambda_coloring(lambda);
+            let uni = transformer.solve(graph, seed);
+            let nu_valid = checkers::check_coloring_with_palette(
+                graph,
+                &nu.outputs,
+                (baseline.palette)(params.max_degree),
+            )
+            .is_ok();
+            let uni_valid = checkers::check_coloring(graph, &uni.colors).is_ok()
+                && (checkers::palette_size(&uni.colors) as u64)
+                    <= transformer.palette_bound(params.max_degree);
+            Measured {
+                uniform_rounds: uni.rounds,
+                uniform_messages: uni.messages,
+                nonuniform_rounds: nu.rounds,
+                nonuniform_messages: nu.messages,
+                subiterations: 0,
+                solved: uni.solved,
+                valid: nu_valid && uni_valid,
+            }
+        }
+        ProblemKind::EdgeColoring => run_edge_coloring_cell(graph, params, seed),
+    };
+
+    CellResult {
+        problem: cell.problem.name(),
+        family: cell.family.name().to_string(),
+        requested_n: cell.n,
+        n: graph.node_count(),
+        edges: graph.edge_count(),
+        replicate: cell.replicate,
+        seed,
+        uniform_rounds: measured.uniform_rounds,
+        uniform_messages: measured.uniform_messages,
+        nonuniform_rounds: measured.nonuniform_rounds,
+        nonuniform_messages: measured.nonuniform_messages,
+        overhead_ratio: measured.uniform_rounds as f64 / measured.nonuniform_rounds.max(1) as f64,
+        subiterations: measured.subiterations,
+        solved: measured.solved,
+        valid: measured.valid,
+        wall_micros: started.elapsed().as_micros() as u64,
+    }
+}
+
+/// Shared shape of the transformed cells: run the boxed non-uniform baseline at correct
+/// guesses and the uniform solver, validate both against `problem`, and package the
+/// measurements.
+fn run_transformed_cell<P: Problem<Input = ()>>(
+    problem: &P,
+    graph: &Graph,
+    baseline: local_runtime::DynAlgorithm<(), P::Output>,
+    seed: u64,
+    uniform: impl Fn(&Graph, u64) -> local_uniform::UniformRun<P::Output>,
+) -> Measured {
+    let nu = baseline.execute(graph, &units(graph.node_count()), None, seed);
+    let uni = uniform(graph, seed);
+    let valid = problem.validate(graph, &units(graph.node_count()), &nu.outputs).is_ok()
+        && problem.validate(graph, &units(graph.node_count()), &uni.outputs).is_ok();
+    Measured {
+        uniform_rounds: uni.rounds,
+        uniform_messages: uni.messages,
+        nonuniform_rounds: nu.rounds,
+        nonuniform_messages: nu.messages,
+        subiterations: uni.subiterations,
+        solved: uni.solved,
+        valid,
+    }
+}
+
+/// [`run_transformed_cell`] specialised to the MIS validator.
+fn run_mis_cell(
+    graph: &Graph,
+    baseline: local_runtime::DynAlgorithm<(), bool>,
+    seed: u64,
+    uniform: impl Fn(&Graph, u64) -> local_uniform::UniformRun<bool>,
+) -> Measured {
+    run_transformed_cell(&MisProblem, graph, baseline, seed, uniform)
+}
+
+/// [`run_transformed_cell`] specialised to the maximal-matching validator.
+fn run_matching_cell(
+    graph: &Graph,
+    baseline: local_runtime::DynAlgorithm<(), Option<local_runtime::NodeId>>,
+    seed: u64,
+    uniform: impl Fn(&Graph, u64) -> local_uniform::UniformRun<Option<local_runtime::NodeId>>,
+) -> Measured {
+    run_transformed_cell(&MatchingProblem, graph, baseline, seed, uniform)
+}
+
+/// Edge colouring: the non-uniform line-graph baseline versus Theorem 5 on the line graph
+/// (a vertex colouring of `L(G)` is an edge colouring of `G`; +1 round to exchange the
+/// chosen colours over the edges).
+fn run_edge_coloring_cell(graph: &Graph, params: &GraphParams, seed: u64) -> Measured {
+    let baseline =
+        LineGraphEdgeColoring { delta_guess: params.max_degree, id_bound_guess: params.max_id };
+    let nu = baseline.execute(graph, &units(graph.node_count()), None, seed);
+    let nu_valid = checkers::check_edge_coloring(graph, &nu.outputs).is_ok();
+
+    let (lg, edges) = graph.line_graph();
+    let transformer = catalog::uniform_lambda_coloring(1);
+    let uni = transformer.solve(&lg, seed);
+    let mut edge_color = HashMap::new();
+    for (i, &(u, v)) in edges.iter().enumerate() {
+        edge_color.insert((u.min(v), u.max(v)), uni.colors[i]);
+    }
+    let port_colors: Vec<Vec<u64>> = (0..graph.node_count())
+        .map(|v| graph.neighbors(v).iter().map(|&w| edge_color[&(v.min(w), v.max(w))]).collect())
+        .collect();
+    let uni_valid = checkers::check_edge_coloring(graph, &port_colors).is_ok();
+
+    Measured {
+        uniform_rounds: uni.rounds + 1,
+        uniform_messages: uni.messages,
+        nonuniform_rounds: nu.rounds,
+        nonuniform_messages: nu.messages,
+        subiterations: 0,
+        solved: uni.solved,
+        valid: nu_valid && uni_valid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use local_graphs::Family;
+
+    #[test]
+    fn every_problem_kind_runs_one_valid_cell() {
+        for problem in ProblemKind::ALL {
+            let family = match problem {
+                ProblemKind::ArboricityMis => Family::Forest3,
+                ProblemKind::PsMis => Family::DenseGnp,
+                ProblemKind::EdgeColoring => Family::Regular6,
+                ProblemKind::RulingSet(_) => Family::UnitDisk,
+                _ => Family::SparseGnp,
+            };
+            let cell = Scenario { problem, family, n: 48, replicate: 0 };
+            let instance = Instance::generate(cell.instance_key(1));
+            let result = run_cell(&cell, &instance, 1);
+            assert!(result.valid, "{} produced an invalid cell", cell.label());
+            assert!(result.solved, "{} did not solve", cell.label());
+            assert!(result.uniform_rounds > 0 || problem == ProblemKind::LubyMis);
+        }
+    }
+
+    #[test]
+    fn grid_run_counts_cells_and_instances() {
+        let grid = ScenarioGrid::new()
+            .problems([ProblemKind::Mis, ProblemKind::Matching])
+            .families([Family::Grid])
+            .sizes([36usize, 64])
+            .replicates(2);
+        let report = run_grid(&grid, &SweepConfig::with_threads(2));
+        assert_eq!(report.cell_count, 8);
+        // Two problems share each (family, n, replicate) instance.
+        assert_eq!(report.distinct_instances, 4);
+        assert_eq!(report.summaries.len(), 2);
+        assert!(report.cells.iter().all(|c| c.valid && c.solved));
+    }
+
+    #[test]
+    fn instance_cache_shares_graphs_across_problems() {
+        let a =
+            Scenario { problem: ProblemKind::Mis, family: Family::SparseGnp, n: 50, replicate: 1 };
+        let b = Scenario { problem: ProblemKind::RulingSet(2), ..a };
+        let ia = Instance::generate(a.instance_key(3));
+        let ib = Instance::generate(b.instance_key(3));
+        assert_eq!(ia.graph, ib.graph);
+    }
+}

@@ -1,0 +1,50 @@
+//! Property test: every cell of an arbitrary (small) scenario grid produces an output that
+//! passes its problem's ground-truth validator, and the uniform driver always terminates.
+
+use local_engine::{run_grid, ProblemKind, ScenarioGrid, SweepConfig};
+use local_graphs::Family;
+use proptest::prelude::*;
+
+/// Families every catalog problem can digest at small sizes in reasonable time.
+const FAMILIES: [Family; 6] = [
+    Family::Path,
+    Family::BinaryTree,
+    Family::Grid,
+    Family::SparseGnp,
+    Family::Forest3,
+    Family::UnitDisk,
+];
+
+fn arbitrary_grid() -> impl Strategy<Value = ScenarioGrid> {
+    (0usize..ProblemKind::ALL.len(), 0usize..FAMILIES.len(), 24usize..64, 1u64..3, 0u64..1_000)
+        .prop_map(|(problem, family, n, replicates, base_seed)| {
+            ScenarioGrid::new()
+                .problems([ProblemKind::ALL[problem]])
+                .families([FAMILIES[family]])
+                .sizes([n])
+                .replicates(replicates)
+                .base_seed(base_seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_grid_cell_validates(grid in arbitrary_grid()) {
+        let report = run_grid(&grid, &SweepConfig::with_threads(2));
+        prop_assert_eq!(report.cell_count, grid.cell_count());
+        for cell in &report.cells {
+            prop_assert!(
+                cell.valid,
+                "invalid cell: {}/{} n={} seed={}",
+                cell.problem, cell.family, cell.n, cell.seed
+            );
+            prop_assert!(
+                cell.solved,
+                "unsolved cell: {}/{} n={} seed={}",
+                cell.problem, cell.family, cell.n, cell.seed
+            );
+        }
+    }
+}

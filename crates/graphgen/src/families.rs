@@ -6,13 +6,18 @@
 //! bounded independence).
 
 use crate::params::GraphParams;
-use crate::random::{forest_union, gnp_avg_degree, preferential_attachment, random_regular, unit_disk};
+use crate::random::{
+    forest_union, gnp_avg_degree, preferential_attachment, random_regular, unit_disk,
+};
 use crate::structured::{binary_tree, cycle, grid, path, triangulated_grid};
 use local_runtime::Graph;
 use serde::{Deserialize, Serialize};
 
 /// A named graph family with a scaling rule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// `Hash`/`Ord` are derived so a family can key instance caches (see [`InstanceKey`]) and be
+/// sorted into stable report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Family {
     /// Path graphs (Δ = 2, a = 1).
     Path,
@@ -108,6 +113,48 @@ impl Family {
         let p = GraphParams::of(&g);
         (g, p)
     }
+
+    /// Parses a family from its [`Family::name`] or a common alias (as accepted by the
+    /// `sweep` CLI): `sparse-gnp`, `dense-gnp`, `gnp`, `tree`, `forest`, `regular`,
+    /// `power-law`/`pa`.
+    pub fn from_name(name: &str) -> Option<Family> {
+        let canonical = Family::ALL.iter().find(|f| f.name() == name).copied();
+        canonical.or(match name {
+            "sparse-gnp" | "gnp" => Some(Family::SparseGnp),
+            "dense-gnp" => Some(Family::DenseGnp),
+            "tree" => Some(Family::BinaryTree),
+            "forest" => Some(Family::Forest3),
+            "regular" => Some(Family::Regular6),
+            "pa" => Some(Family::PowerLaw),
+            _ => None,
+        })
+    }
+}
+
+/// The identity of one generated graph instance: `(family, n, seed)` fully determines the
+/// graph ([`Family::generate`] is deterministic), so batch runners can use this key to
+/// generate each instance once and share it across every algorithm that runs on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceKey {
+    /// The graph family.
+    pub family: Family,
+    /// Requested number of nodes (the generated graph may deviate slightly; see
+    /// [`Family::generate`]).
+    pub n: usize,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl InstanceKey {
+    /// Creates a key.
+    pub fn new(family: Family, n: usize, seed: u64) -> Self {
+        InstanceKey { family, n, seed }
+    }
+
+    /// Generates the graph this key names, together with its global parameters.
+    pub fn realize(&self) -> (Graph, GraphParams) {
+        self.family.generate_with_params(self.n, self.seed)
+    }
 }
 
 #[cfg(test)]
@@ -163,5 +210,32 @@ mod tests {
             let b = fam.generate(50, 33);
             assert_eq!(a, b, "{} not reproducible", fam.name());
         }
+    }
+
+    #[test]
+    fn from_name_accepts_canonical_names_and_aliases() {
+        for fam in Family::ALL {
+            assert_eq!(Family::from_name(fam.name()), Some(fam), "{}", fam.name());
+        }
+        assert_eq!(Family::from_name("sparse-gnp"), Some(Family::SparseGnp));
+        assert_eq!(Family::from_name("dense-gnp"), Some(Family::DenseGnp));
+        assert_eq!(Family::from_name("tree"), Some(Family::BinaryTree));
+        assert_eq!(Family::from_name("forest"), Some(Family::Forest3));
+        assert_eq!(Family::from_name("no-such-family"), None);
+    }
+
+    #[test]
+    fn instance_keys_realize_reproducibly_and_order_stably() {
+        let key = InstanceKey::new(Family::Grid, 81, 5);
+        let (g1, p1) = key.realize();
+        let (g2, p2) = key.realize();
+        assert_eq!(g1, g2);
+        assert_eq!(p1.max_degree, p2.max_degree);
+        // Keys are usable in ordered and hashed containers.
+        let mut set = std::collections::BTreeSet::new();
+        set.insert(key);
+        set.insert(InstanceKey::new(Family::Grid, 81, 5));
+        set.insert(InstanceKey::new(Family::Grid, 81, 6));
+        assert_eq!(set.len(), 2);
     }
 }

@@ -21,7 +21,7 @@ pub mod params;
 pub mod random;
 pub mod structured;
 
-pub use families::Family;
+pub use families::{Family, InstanceKey};
 pub use params::{
     arboricity_lower_bound, arboricity_upper_bound, degeneracy, degeneracy_ordering, diameter,
     log_star, GraphParams, Parameter,

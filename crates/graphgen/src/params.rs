@@ -101,9 +101,7 @@ pub fn degeneracy(g: &Graph) -> usize {
     while peeled < n {
         // Lazy-deletion bucket queue: entries may be stale (node already removed or its degree
         // has since decreased); pop until a fresh minimum-degree entry is found.
-        if cursor > 0 {
-            cursor -= 1;
-        }
+        cursor = cursor.saturating_sub(1);
         let v = loop {
             while buckets[cursor].is_empty() {
                 cursor += 1;

@@ -44,9 +44,9 @@ pub fn gnp_avg_degree(n: usize, c: f64, seed: u64) -> Graph {
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
     assert!(d < n, "degree must be smaller than the number of nodes");
-    assert!(n * d % 2 == 0, "n * d must be even");
+    assert!((n * d).is_multiple_of(2), "n * d must be even");
     let mut r = rng(seed);
-    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+    let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(&mut r);
     let mut edges = Vec::new();
     for pair in stubs.chunks(2) {

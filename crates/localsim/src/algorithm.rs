@@ -19,6 +19,9 @@ pub struct AlgoRun<O> {
     pub outputs: Vec<O>,
     /// Number of rounds charged to the execution.
     pub rounds: u64,
+    /// Total messages delivered (summed over composed phases; synthetic black boxes that
+    /// simulate no real communication report 0).
+    pub messages: u64,
     /// `true` when every node terminated by itself within the budget.
     pub completed: bool,
 }
@@ -26,7 +29,7 @@ pub struct AlgoRun<O> {
 impl<O> AlgoRun<O> {
     /// An empty run (for the empty graph).
     pub fn empty() -> Self {
-        AlgoRun { outputs: Vec::new(), rounds: 0, completed: true }
+        AlgoRun { outputs: Vec::new(), rounds: 0, messages: 0, completed: true }
     }
 }
 
@@ -37,11 +40,15 @@ impl<O> AlgoRun<O> {
 /// Implementations must be **budget-respecting**: the reported `rounds` never exceeds the
 /// budget, and when the budget cuts the execution short every node still receives *some*
 /// output (possibly meaningless — downstream pruning algorithms take care of that).
-pub trait GraphAlgorithm {
+///
+/// The `Send + Sync` supertrait and the `Send` bounds on the associated types let batch
+/// schedulers (the `local-engine` crate) execute algorithms concurrently across experiment
+/// cells and move their outputs between worker threads.
+pub trait GraphAlgorithm: Send + Sync {
     /// Per-node input type `x(v)`.
-    type Input: Clone;
+    type Input: Clone + Send + Sync;
     /// Per-node output type `y(v)`.
-    type Output: Clone;
+    type Output: Clone + Send;
 
     /// Executes the algorithm.
     fn execute(
@@ -67,7 +74,12 @@ impl<S: ProgramSpec> GraphAlgorithm for S {
     ) -> AlgoRun<Self::Output> {
         let cfg = RunConfig { seed, max_rounds: budget, ..RunConfig::default() };
         let exec = run(graph, inputs, self, &cfg);
-        AlgoRun { outputs: exec.outputs, rounds: exec.rounds, completed: exec.completed }
+        AlgoRun {
+            outputs: exec.outputs,
+            rounds: exec.rounds,
+            messages: exec.messages,
+            completed: exec.completed,
+        }
     }
 }
 
@@ -106,7 +118,7 @@ mod tests {
     #[test]
     fn spec_is_a_graph_algorithm() {
         let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
-        let run = ConstSpec(7).execute(&g, &vec![(); 3], None, 0);
+        let run = ConstSpec(7).execute(&g, &[(); 3], None, 0);
         assert_eq!(run.outputs, vec![7, 7, 7]);
         assert_eq!(run.rounds, 0);
         assert!(run.completed);
@@ -116,7 +128,7 @@ mod tests {
     fn boxed_algorithm_is_usable() {
         let alg: DynAlgorithm<(), u32> = Box::new(ConstSpec(3));
         let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
-        let run = alg.execute(&g, &vec![(); 2], Some(10), 1);
+        let run = alg.execute(&g, &[(); 2], Some(10), 1);
         assert_eq!(run.outputs, vec![3, 3]);
     }
 

@@ -358,11 +358,7 @@ impl Graph {
             .collect();
         // Packing could collide for adversarial identities; fall back to index-based ids then.
         let unique: BTreeSet<_> = ids.iter().collect();
-        let ids = if unique.len() == ids.len() {
-            ids
-        } else {
-            (0..edges.len() as u64).collect()
-        };
+        let ids = if unique.len() == ids.len() { ids } else { (0..edges.len() as u64).collect() };
         let lg = Graph::from_edges_with_ids(edges.len(), &line_edges, &ids)
             .expect("line graph of a valid graph is valid");
         (lg, edges)
@@ -413,10 +409,7 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert!(matches!(
-            Graph::from_edges(2, &[(0, 0)]),
-            Err(GraphError::SelfLoop { node: 0 })
-        ));
+        assert!(matches!(Graph::from_edges(2, &[(0, 0)]), Err(GraphError::SelfLoop { node: 0 })));
     }
 
     #[test]
@@ -464,12 +457,8 @@ mod tests {
 
     #[test]
     fn induced_subgraph_preserves_ids_and_edges() {
-        let g = Graph::from_edges_with_ids(
-            4,
-            &[(0, 1), (1, 2), (2, 3), (3, 0)],
-            &[10, 20, 30, 40],
-        )
-        .unwrap();
+        let g = Graph::from_edges_with_ids(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], &[10, 20, 30, 40])
+            .unwrap();
         let (sub, back) = g.induced_subgraph(&[true, false, true, true]);
         assert_eq!(sub.node_count(), 3);
         assert_eq!(back, vec![0, 2, 3]);

@@ -65,13 +65,16 @@ pub trait NodeProgram {
 
 /// Factory producing one [`NodeProgram`] per node, plus the forced output used when the
 /// runtime cuts the execution short (the paper's *algorithm restricted to `i` rounds*).
-pub trait ProgramSpec {
+///
+/// Specs are `Send + Sync` and their inputs/outputs are `Send` so that batch schedulers can
+/// run many executions of the same spec concurrently across experiment cells.
+pub trait ProgramSpec: Send + Sync {
     /// Problem input type `x(v)` handed to every node.
-    type Input: Clone;
+    type Input: Clone + Send + Sync;
     /// Message type of the node programs.
-    type Msg: Clone;
+    type Msg: Clone + Send;
     /// Output type of the node programs.
-    type Output: Clone;
+    type Output: Clone + Send;
     /// The node automaton type.
     type Prog: NodeProgram<Msg = Self::Msg, Output = Self::Output>;
 

@@ -306,7 +306,7 @@ mod tests {
     #[test]
     fn zero_round_algorithm_runs_in_zero_rounds() {
         let g = path(4);
-        let exec = run(&g, &vec![(); 4], &EchoIdSpec, &RunConfig::default());
+        let exec = run(&g, &[(); 4], &EchoIdSpec, &RunConfig::default());
         assert!(exec.completed);
         assert_eq!(exec.rounds, 0);
         assert_eq!(exec.outputs, vec![0, 1, 2, 3]);
@@ -316,7 +316,7 @@ mod tests {
     fn gossip_reaches_distance_r() {
         let g = path(5);
         // Radius 4 = diameter, so everyone learns the max identity 4.
-        let exec = run(&g, &vec![(); 5], &MaxIdSpec { radius: 4 }, &RunConfig::default());
+        let exec = run(&g, &[(); 5], &MaxIdSpec { radius: 4 }, &RunConfig::default());
         assert!(exec.completed);
         assert_eq!(exec.rounds, 4);
         assert!(exec.outputs.iter().all(|&o| o == 4));
@@ -325,7 +325,7 @@ mod tests {
     #[test]
     fn gossip_limited_radius_sees_only_ball() {
         let g = path(5);
-        let exec = run(&g, &vec![(); 5], &MaxIdSpec { radius: 1 }, &RunConfig::default());
+        let exec = run(&g, &[(); 5], &MaxIdSpec { radius: 1 }, &RunConfig::default());
         // Node 0 sees only node 1 after one round.
         assert_eq!(exec.outputs[0], 1);
         assert_eq!(exec.outputs[4], 4);
@@ -336,7 +336,7 @@ mod tests {
     fn budget_cuts_execution_and_forces_default_outputs() {
         let g = path(3);
         let cfg = RunConfig::default().with_budget(5);
-        let exec = run(&g, &vec![(); 3], &ForeverSpec, &cfg);
+        let exec = run(&g, &[(); 3], &ForeverSpec, &cfg);
         assert!(!exec.completed);
         assert!(exec.outputs.iter().all(|&o| o == 99));
         assert_eq!(exec.rounds, 5);
@@ -347,7 +347,7 @@ mod tests {
     fn hard_cap_stops_divergent_algorithms() {
         let g = path(2);
         let cfg = RunConfig { hard_cap: 10, ..RunConfig::default() };
-        let exec = run(&g, &vec![(); 2], &ForeverSpec, &cfg);
+        let exec = run(&g, &[(); 2], &ForeverSpec, &cfg);
         assert!(!exec.completed);
         assert_eq!(exec.rounds, 10);
     }
@@ -356,7 +356,7 @@ mod tests {
     fn trace_records_every_round() {
         let g = path(5);
         let cfg = RunConfig::default().with_trace();
-        let exec = run(&g, &vec![(); 5], &MaxIdSpec { radius: 3 }, &cfg);
+        let exec = run(&g, &[(); 5], &MaxIdSpec { radius: 3 }, &cfg);
         let trace = exec.trace.expect("trace requested");
         assert_eq!(trace.rounds.len(), 4); // rounds 0..=3
         assert!(trace.rounds[0].messages > 0);
@@ -365,8 +365,8 @@ mod tests {
     #[test]
     fn determinism_same_seed_same_result() {
         let g = path(6);
-        let a = run(&g, &vec![(); 6], &MaxIdSpec { radius: 2 }, &RunConfig::seeded(7));
-        let b = run(&g, &vec![(); 6], &MaxIdSpec { radius: 2 }, &RunConfig::seeded(7));
+        let a = run(&g, &[(); 6], &MaxIdSpec { radius: 2 }, &RunConfig::seeded(7));
+        let b = run(&g, &[(); 6], &MaxIdSpec { radius: 2 }, &RunConfig::seeded(7));
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.rounds, b.rounds);
         assert_eq!(a.messages, b.messages);
@@ -408,8 +408,7 @@ mod tests {
             }
         }
         let g = path(3);
-        let (e1, e2) =
-            run_sequence(&g, &vec![(); 3], &EchoIdSpec, &DoubleSpec, &RunConfig::default());
+        let (e1, e2) = run_sequence(&g, &[(); 3], &EchoIdSpec, &DoubleSpec, &RunConfig::default());
         assert_eq!(e1.outputs, vec![0, 1, 2]);
         assert_eq!(e2.outputs, vec![0, 2, 4]);
         // Observation 2.1: composed running time bounded by the sum.

@@ -54,9 +54,8 @@ mod tests {
 
     #[test]
     fn no_quiescence_when_nodes_remain() {
-        let trace = ExecutionTrace {
-            rounds: vec![RoundTrace { round: 0, active_nodes: 1, messages: 0 }],
-        };
+        let trace =
+            ExecutionTrace { rounds: vec![RoundTrace { round: 0, active_nodes: 1, messages: 0 }] };
         assert_eq!(trace.quiescence_round(), None);
         assert_eq!(trace.total_messages(), 0);
     }

@@ -27,7 +27,9 @@ fn main() {
     let runs = 5;
     for seed in 0..runs {
         let rs = catalog::uniform_ruling_set(2).solve(&graph, &vec![(); n], seed);
-        RulingSetProblem::two(2).validate(&graph, &vec![(); n], &rs.outputs).expect("valid ruling set");
+        RulingSetProblem::two(2)
+            .validate(&graph, &vec![(); n], &rs.outputs)
+            .expect("valid ruling set");
         total += rs.rounds;
     }
     println!(

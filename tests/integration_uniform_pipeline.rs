@@ -1,7 +1,6 @@
 //! Cross-crate integration tests: graphs → baseline algorithms → transformers → validators.
 
 use localkit::graphs::{Family, GraphParams};
-use localkit::runtime::GraphAlgorithm;
 use localkit::uniform::catalog;
 use localkit::uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
 
@@ -24,7 +23,8 @@ fn uniform_mis_works_across_all_graph_families() {
 
 #[test]
 fn uniform_matching_works_across_families() {
-    for family in [Family::Path, Family::Grid, Family::SparseGnp, Family::Forest3, Family::UnitDisk] {
+    for family in [Family::Path, Family::Grid, Family::SparseGnp, Family::Forest3, Family::UnitDisk]
+    {
         let g = family.generate(64, 5);
         let n = g.node_count();
         let run = catalog::uniform_matching().solve(&g, &units(n), 1);
@@ -73,8 +73,12 @@ fn headline_claim_uniform_matches_nonuniform_up_to_constant() {
     for n in [64usize, 128, 256] {
         let g = Family::Regular6.generate(n, 9);
         let p = GraphParams::of(&g);
-        let nu = (black_box.build)(&[p.max_degree, p.max_id])
-            .execute(&g, &units(g.node_count()), None, 0);
+        let nu = (black_box.build)(&[p.max_degree, p.max_id]).execute(
+            &g,
+            &units(g.node_count()),
+            None,
+            0,
+        );
         let uni = catalog::uniform_coloring_mis().solve(&g, &units(g.node_count()), 0);
         assert!(uni.solved && nu.completed);
         ratios.push(uni.rounds as f64 / nu.rounds.max(1) as f64);

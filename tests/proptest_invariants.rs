@@ -11,8 +11,7 @@ use localkit::uniform::seqnum::{check_set_sequence_properties, TimeBound};
 use proptest::prelude::*;
 
 fn arbitrary_graph() -> impl Strategy<Value = Graph> {
-    (2usize..40, 0.0f64..0.4, 0u64..1000)
-        .prop_map(|(n, p, seed)| gnp(n, p, seed))
+    (2usize..40, 0.0f64..0.4, 0u64..1000).prop_map(|(n, p, seed)| gnp(n, p, seed))
 }
 
 proptest! {

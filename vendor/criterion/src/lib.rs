@@ -1,0 +1,151 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Provides the API subset the workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`] / [`BenchmarkGroup::measurement_time`] /
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — backed by a simple wall-clock loop that prints a mean and
+//! min/max per benchmark. No statistics, plots, or baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (best-effort without intrinsics).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// The benchmark driver handed to every registered bench function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { _name: name, sample_size: 10, measurement_time: Duration::from_secs(2) }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let mut group = BenchmarkGroup {
+            _name: String::new(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    _name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Sets the per-benchmark time budget; sampling stops early once it is exhausted.
+    pub fn measurement_time(&mut self, budget: Duration) -> &mut Self {
+        self.measurement_time = budget;
+        self
+    }
+
+    /// Times one benchmark function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut bencher = Bencher { samples: Vec::new() };
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("  {id}: no samples collected");
+        } else {
+            let total: Duration = samples.iter().sum();
+            let mean = total / samples.len() as u32;
+            let min = samples.iter().min().expect("non-empty");
+            let max = samples.iter().max().expect("non-empty");
+            println!("  {id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)", samples.len());
+        }
+        self
+    }
+
+    /// Ends the group (output is already printed incrementally).
+    pub fn finish(self) {}
+}
+
+/// Runs and times the closed-over workload.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (one sample per call, unlike real criterion's
+    /// batching — adequate for the coarse workloads in this workspace).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` to run the listed groups (CLI arguments from `cargo bench` are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("stub");
+        let mut runs = 0u32;
+        group.sample_size(3).measurement_time(Duration::from_secs(5));
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

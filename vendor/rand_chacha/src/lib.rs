@@ -1,0 +1,92 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha) crate.
+//!
+//! Exposes a [`ChaCha8Rng`] type with the construction/stream API the workspace uses. The
+//! underlying generator is xoshiro256++ (seeded through SplitMix64), not the ChaCha stream
+//! cipher: every consumer in this workspace only needs a fast, statistically solid,
+//! reproducible stream, and no code here is cryptographic. Streams are deterministic per
+//! seed but not bit-compatible with the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A deterministic pseudo-random generator (xoshiro256++ under the real crate's name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    state: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut s = seed;
+        // Expand the 64-bit seed into four non-degenerate state words.
+        let state =
+            [splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s), splitmix64(&mut s)];
+        ChaCha8Rng { state }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // Canonical xoshiro256++ step.
+        let [mut s0, mut s1, mut s2, mut s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        assert_ne!(
+            (a.next_u64(), a.next_u64(), a.next_u64()),
+            (b.next_u64(), b.next_u64(), b.next_u64())
+        );
+    }
+
+    #[test]
+    fn stream_is_not_constant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let first = rng.next_u64();
+        assert!((0..100).any(|_| rng.next_u64() != first));
+    }
+
+    #[test]
+    fn rough_uniformity_of_gen_bool() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4500..5500).contains(&heads), "heads = {heads}");
+    }
+}
