@@ -14,7 +14,8 @@
 
 use crate::edge_coloring::LineGraphEdgeColoring;
 use local_runtime::{
-    Action, AlgoRun, Graph, GraphAlgorithm, NodeId, NodeInit, NodeProgram, ProgramSpec, RoundCtx,
+    Action, AlgoRun, Graph, GraphAlgorithm, GraphView, NodeId, NodeInit, NodeProgram, ProgramSpec,
+    RoundCtx, Session,
 };
 use rand::Rng;
 
@@ -368,6 +369,41 @@ impl GraphAlgorithm for MatchingFromEdgeColoring {
         }
         let adder = GreedyClassMatching { num_colors: ec.palette() };
         let phase2 = adder.execute(graph, &phase1.outputs, remaining, seed ^ 0xabcd);
+        AlgoRun {
+            outputs: phase2.outputs,
+            rounds: phase1.rounds + phase2.rounds,
+            messages: phase1.messages + phase2.messages,
+            completed: phase1.completed && phase2.completed,
+        }
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[()],
+        budget: Option<u64>,
+        seed: u64,
+        session: &mut Session,
+    ) -> AlgoRun<Partner> {
+        if view.is_empty() {
+            return AlgoRun::empty();
+        }
+        debug_assert_eq!(inputs.len(), view.node_count());
+        // Phase 1 operates on the line graph, so it falls back to a materializing
+        // `execute_view`; the colour-class adder is a node automaton and runs on the view.
+        let ec = self.edge_coloring();
+        let phase1 = ec.execute_view(view, inputs, budget, seed, session);
+        let remaining = budget.map(|b| b.saturating_sub(phase1.rounds));
+        if remaining == Some(0) && budget.is_some() {
+            return AlgoRun {
+                outputs: vec![None; view.node_count()],
+                rounds: budget.unwrap_or(phase1.rounds),
+                messages: phase1.messages,
+                completed: false,
+            };
+        }
+        let adder = GreedyClassMatching { num_colors: ec.palette() };
+        let phase2 = adder.execute_view(view, &phase1.outputs, remaining, seed ^ 0xabcd, session);
         AlgoRun {
             outputs: phase2.outputs,
             rounds: phase1.rounds + phase2.rounds,

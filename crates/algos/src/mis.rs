@@ -14,7 +14,8 @@
 
 use crate::coloring::{MisFromColoring, ReducedColoring};
 use local_runtime::{
-    Action, AlgoRun, Graph, GraphAlgorithm, NodeInit, NodeProgram, ProgramSpec, RoundCtx,
+    Action, AlgoRun, Graph, GraphAlgorithm, GraphView, NodeInit, NodeProgram, ProgramSpec,
+    RoundCtx, Session,
 };
 use rand::Rng;
 
@@ -213,6 +214,25 @@ pub fn central_greedy_mis(g: &Graph) -> Vec<bool> {
     in_set
 }
 
+/// [`central_greedy_mis`] over a live [`GraphView`]; identical output (live-indexed) to
+/// running the graph version on the materialized subgraph, since identities are preserved.
+pub fn central_greedy_mis_view(view: &GraphView<'_>) -> Vec<bool> {
+    let n = view.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(view.id(v)));
+    let mut in_set = vec![false; n];
+    let mut blocked = vec![false; n];
+    for v in order {
+        if !blocked[v] {
+            in_set[v] = true;
+            for w in view.neighbors(v) {
+                blocked[w] = true;
+            }
+        }
+    }
+    in_set
+}
+
 /// The non-uniform colouring-based MIS: (Δ+1)-colouring followed by [`MisFromColoring`].
 ///
 /// Non-uniform in `{Δ, m}`; round bound `O(Δ̃² + log* m̃) + (Δ̃ + 1)`.
@@ -261,6 +281,41 @@ impl GraphAlgorithm for ColoringMis {
         }
         let phase2 = MisFromColoring.execute(graph, &phase1.outputs, remaining, seed ^ 0x5eed);
         // Observation 2.1: the running time of A1;A2 is at most the sum of the running times.
+        AlgoRun {
+            outputs: phase2.outputs,
+            rounds: phase1.rounds + phase2.rounds,
+            messages: phase1.messages + phase2.messages,
+            completed: phase1.completed && phase2.completed,
+        }
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[()],
+        budget: Option<u64>,
+        seed: u64,
+        session: &mut Session,
+    ) -> AlgoRun<bool> {
+        if view.is_empty() {
+            return AlgoRun::empty();
+        }
+        debug_assert_eq!(inputs.len(), view.node_count());
+        // Both phases are node automata, so the whole pipeline runs on the live view with the
+        // session's buffers — no subgraph is materialized on the alternation hot path.
+        let coloring = ReducedColoring::delta_plus_one(self.delta_guess, self.id_bound_guess);
+        let phase1 = coloring.execute_view(view, inputs, budget, seed, session);
+        let remaining = budget.map(|b| b.saturating_sub(phase1.rounds));
+        if remaining == Some(0) && budget.is_some() {
+            return AlgoRun {
+                outputs: vec![false; view.node_count()],
+                rounds: budget.unwrap_or(phase1.rounds),
+                messages: phase1.messages,
+                completed: false,
+            };
+        }
+        let phase2 =
+            MisFromColoring.execute_view(view, &phase1.outputs, remaining, seed ^ 0x5eed, session);
         AlgoRun {
             outputs: phase2.outputs,
             rounds: phase1.rounds + phase2.rounds,

@@ -16,7 +16,7 @@
 //! looks inside the algorithm, only at its declared time bound and its output.
 
 use crate::mis::LubyMis;
-use local_runtime::{AlgoRun, Graph, GraphAlgorithm};
+use local_runtime::{AlgoRun, Graph, GraphAlgorithm, GraphView, Session};
 
 /// Budgeted-Luby (2, β)-ruling set: a weak Monte-Carlo algorithm, non-uniform in `{n}`.
 #[derive(Debug, Clone)]
@@ -54,6 +54,19 @@ impl GraphAlgorithm for MisRulingSet {
         let own_bound = self.round_bound();
         let effective = budget.map_or(own_bound, |b| b.min(own_bound));
         LubyMis.execute(graph, inputs, Some(effective), seed)
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[()],
+        budget: Option<u64>,
+        seed: u64,
+        session: &mut Session,
+    ) -> AlgoRun<bool> {
+        let own_bound = self.round_bound();
+        let effective = budget.map_or(own_bound, |b| b.min(own_bound));
+        LubyMis.execute_view(view, inputs, Some(effective), seed, session)
     }
 }
 

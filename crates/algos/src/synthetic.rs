@@ -17,9 +17,9 @@
 //! transformers' guess schedules, iteration counts, and round accounting for the paper's exact
 //! time functions, which is what Table 1 rows (ii), (viii) and (ix) need.
 
-use crate::mis::central_greedy_mis;
+use crate::mis::{central_greedy_mis, central_greedy_mis_view};
 use local_graphs::Parameter;
-use local_runtime::{AlgoRun, Graph, GraphAlgorithm, NodeId};
+use local_runtime::{AlgoRun, Graph, GraphAlgorithm, GraphView, NodeId, Session};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::sync::Arc;
@@ -111,6 +111,13 @@ impl SyntheticMis {
     fn guesses_are_good(&self, graph: &Graph) -> bool {
         self.parameters.iter().zip(self.guesses.iter()).all(|(p, &guess)| guess >= p.eval(graph))
     }
+
+    fn guesses_are_good_view(&self, view: &GraphView<'_>) -> bool {
+        self.parameters
+            .iter()
+            .zip(self.guesses.iter())
+            .all(|(p, &guess)| guess >= p.eval_view(view))
+    }
 }
 
 impl GraphAlgorithm for SyntheticMis {
@@ -141,6 +148,29 @@ impl GraphAlgorithm for SyntheticMis {
             // paper's canonical arbitrary output).
             vec![false; graph.node_count()]
         };
+        AlgoRun { outputs, rounds, messages: 0, completed: finished_in_time }
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[()],
+        budget: Option<u64>,
+        seed: u64,
+        _session: &mut Session,
+    ) -> AlgoRun<bool> {
+        if view.is_empty() {
+            return AlgoRun::empty();
+        }
+        debug_assert_eq!(inputs.len(), view.node_count());
+        let declared = self.declared_rounds();
+        let rounds = budget.map_or(declared, |b| b.min(declared));
+        let finished_in_time = budget.is_none_or(|b| declared <= b);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x53_59_4e_54);
+        let lucky = rng.gen_bool(self.success_probability.clamp(0.0, 1.0));
+        let correct = finished_in_time && self.guesses_are_good_view(view) && lucky;
+        let outputs =
+            if correct { central_greedy_mis_view(view) } else { vec![false; view.node_count()] };
         AlgoRun { outputs, rounds, messages: 0, completed: finished_in_time }
     }
 }
@@ -186,6 +216,21 @@ pub fn central_greedy_matching(g: &Graph) -> Vec<Option<NodeId>> {
     partner
 }
 
+/// [`central_greedy_matching`] over a live [`GraphView`]; identical (live-indexed) output to
+/// the graph version on the materialized subgraph.
+pub fn central_greedy_matching_view(view: &GraphView<'_>) -> Vec<Option<NodeId>> {
+    let mut edges: Vec<(usize, usize)> = view.edges().collect();
+    edges.sort_by_key(|&(u, v)| (view.id(u).min(view.id(v)), view.id(u).max(view.id(v))));
+    let mut partner: Vec<Option<NodeId>> = vec![None; view.node_count()];
+    for (u, v) in edges {
+        if partner[u].is_none() && partner[v].is_none() {
+            partner[u] = Some(view.id(v));
+            partner[v] = Some(view.id(u));
+        }
+    }
+    partner
+}
+
 impl GraphAlgorithm for SyntheticMatching {
     type Input = ();
     type Output = Option<NodeId>;
@@ -209,6 +254,30 @@ impl GraphAlgorithm for SyntheticMatching {
             central_greedy_matching(graph)
         } else {
             vec![None; graph.node_count()]
+        };
+        AlgoRun { outputs, rounds, messages: 0, completed: finished_in_time }
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[()],
+        budget: Option<u64>,
+        _seed: u64,
+        _session: &mut Session,
+    ) -> AlgoRun<Option<NodeId>> {
+        if view.is_empty() {
+            return AlgoRun::empty();
+        }
+        debug_assert_eq!(inputs.len(), view.node_count());
+        let declared = self.declared_rounds();
+        let rounds = budget.map_or(declared, |b| b.min(declared));
+        let finished_in_time = budget.is_none_or(|b| declared <= b);
+        let good = self.n_guess >= view.node_count() as u64;
+        let outputs = if finished_in_time && good {
+            central_greedy_matching_view(view)
+        } else {
+            vec![None; view.node_count()]
         };
         AlgoRun { outputs, rounds, messages: 0, completed: finished_in_time }
     }

@@ -19,7 +19,7 @@ use local_algos::mis::{ColoringMis, GreedyMis, LubyMis};
 use local_algos::ruling::MisRulingSet;
 use local_algos::synthetic::{SyntheticMatching, SyntheticMis};
 use local_graphs::{log_star, Parameter};
-use local_runtime::{AlgoRun, DynAlgorithm, Graph, GraphAlgorithm, NodeId};
+use local_runtime::{AlgoRun, DynAlgorithm, Graph, GraphAlgorithm, GraphView, NodeId, Session};
 use std::sync::Arc;
 
 // --------------------------------------------------------------------------- MIS rows -------
@@ -143,10 +143,33 @@ impl GraphAlgorithm for TransformedMis {
         seed: u64,
     ) -> AlgoRun<bool> {
         let run = self.inner.solve(graph, &vec![(); graph.node_count()], seed);
+        Self::budgeted(run, budget, graph.node_count())
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        _inputs: &[()],
+        budget: Option<u64>,
+        seed: u64,
+        session: &mut Session,
+    ) -> AlgoRun<bool> {
+        let n = view.node_count();
+        let run = self.inner.solve_view(view.clone(), &vec![(); n], seed, session);
+        Self::budgeted(run, budget, n)
+    }
+}
+
+impl TransformedMis {
+    fn budgeted(
+        run: crate::transform::UniformRun<bool>,
+        budget: Option<u64>,
+        n: usize,
+    ) -> AlgoRun<bool> {
         match budget {
             Some(b) if run.rounds > b => AlgoRun {
                 // Cut off before completion: no correctness promise, emit placeholders.
-                outputs: vec![false; graph.node_count()],
+                outputs: vec![false; n],
                 rounds: b,
                 messages: run.messages,
                 completed: false,

@@ -35,6 +35,7 @@ pub mod funcs;
 pub mod nonuniform;
 pub mod problem;
 pub mod pruning;
+pub mod rebuild;
 pub mod seqnum;
 pub mod theorem5;
 pub mod transform;

@@ -18,7 +18,7 @@
 use crate::problem::{
     MatchingProblem, MisProblem, Problem, RulingSetProblem, SlcColor, SlcInput, SlcProblem,
 };
-use local_runtime::{Graph, NodeId};
+use local_runtime::{GraphView, NodeId};
 
 /// The outcome of one pruning invocation on a configuration with `n` nodes: which nodes are
 /// pruned, and the (possibly rewritten) inputs of the surviving nodes.
@@ -44,13 +44,21 @@ impl<I> Pruned<I> {
 }
 
 /// A pruning algorithm for problem `P` (a uniform LOCAL algorithm of constant running time).
+///
+/// The configuration is handed over as a live [`GraphView`] — the alternating drivers never
+/// materialize the surviving subgraph, so the pruning rule reads the current configuration
+/// through the view's (dense, subgraph-identical) live indices.
 pub trait PruningAlgorithm<P: Problem>: Send + Sync {
     /// The constant number of rounds one invocation costs.
     fn rounds(&self) -> u64;
 
     /// Runs the pruning rule on `(G, x, ŷ)`.
-    fn prune(&self, graph: &Graph, input: &[P::Input], tentative: &[P::Output])
-        -> Pruned<P::Input>;
+    fn prune(
+        &self,
+        view: &GraphView<'_>,
+        input: &[P::Input],
+        tentative: &[P::Output],
+    ) -> Pruned<P::Input>;
 
     /// Normalises a tentative output vector before the outputs of pruned nodes are frozen by
     /// the alternating driver.
@@ -59,8 +67,8 @@ pub trait PruningAlgorithm<P: Problem>: Send + Sync {
     /// partner claims: in the paper's output encoding (`y(u) = y(v)` marks a matched pair) an
     /// unreciprocated value simply means "unmatched", but with the explicit partner encoding
     /// used here it must be cleared for the glued vector to be well-formed.
-    fn normalize(&self, graph: &Graph, tentative: &[P::Output]) -> Vec<P::Output> {
-        let _ = graph;
+    fn normalize(&self, view: &GraphView<'_>, tentative: &[P::Output]) -> Vec<P::Output> {
+        let _ = view;
         tentative.to_vec()
     }
 }
@@ -82,18 +90,24 @@ impl RulingSetPruning {
         RulingSetPruning { beta: 1 }
     }
 
-    fn prune_bools(&self, graph: &Graph, tentative: &[bool]) -> Vec<bool> {
-        let n = graph.node_count();
+    fn prune_bools(&self, view: &GraphView<'_>, tentative: &[bool]) -> Vec<bool> {
+        let n = view.node_count();
         // "Good" set nodes: in the set with no set neighbour.
-        let good: Vec<bool> = (0..n)
-            .map(|v| tentative[v] && !graph.neighbors(v).iter().any(|&w| tentative[w]))
-            .collect();
+        let good: Vec<bool> =
+            (0..n).map(|v| tentative[v] && !view.neighbors(v).any(|w| tentative[w])).collect();
+        if self.beta == 1 {
+            // MIS fast path: the ball of radius 1 is the closed neighbourhood, and a non-set
+            // node is never "good", so a per-node BFS would be pure overhead on the hot path.
+            return (0..n)
+                .map(|u| if tentative[u] { good[u] } else { view.neighbors(u).any(|v| good[v]) })
+                .collect();
+        }
         (0..n)
             .map(|u| {
                 if tentative[u] {
                     good[u]
                 } else {
-                    graph.ball(u, self.beta).iter().any(|&v| good[v])
+                    view.ball(u, self.beta).iter().any(|&v| good[v])
                 }
             })
             .collect()
@@ -105,8 +119,8 @@ impl PruningAlgorithm<RulingSetProblem> for RulingSetPruning {
         1 + self.beta as u64
     }
 
-    fn prune(&self, graph: &Graph, input: &[()], tentative: &[bool]) -> Pruned<()> {
-        Pruned { pruned: self.prune_bools(graph, tentative), new_inputs: input.to_vec() }
+    fn prune(&self, view: &GraphView<'_>, input: &[()], tentative: &[bool]) -> Pruned<()> {
+        Pruned { pruned: self.prune_bools(view, tentative), new_inputs: input.to_vec() }
     }
 }
 
@@ -115,10 +129,10 @@ impl PruningAlgorithm<MisProblem> for RulingSetPruning {
         2
     }
 
-    fn prune(&self, graph: &Graph, input: &[()], tentative: &[bool]) -> Pruned<()> {
+    fn prune(&self, view: &GraphView<'_>, input: &[()], tentative: &[bool]) -> Pruned<()> {
         // MIS is the (2, 1)-ruling set problem.
         let rule = RulingSetPruning { beta: 1 };
-        Pruned { pruned: rule.prune_bools(graph, tentative), new_inputs: input.to_vec() }
+        Pruned { pruned: rule.prune_bools(view, tentative), new_inputs: input.to_vec() }
     }
 }
 
@@ -130,22 +144,22 @@ impl PruningAlgorithm<MisProblem> for RulingSetPruning {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct MatchingPruning;
 
-fn is_matched_pair(graph: &Graph, partner: &[Option<NodeId>], u: usize, v: usize) -> bool {
-    graph.has_edge(u, v) && partner[u] == Some(graph.id(v)) && partner[v] == Some(graph.id(u))
+fn is_matched_pair(view: &GraphView<'_>, partner: &[Option<NodeId>], u: usize, v: usize) -> bool {
+    view.has_edge(u, v) && partner[u] == Some(view.id(v)) && partner[v] == Some(view.id(u))
 }
 
 impl MatchingPruning {
-    fn matched_nodes(graph: &Graph, tentative: &[Option<NodeId>]) -> Vec<bool> {
-        let n = graph.node_count();
+    fn matched_nodes(view: &GraphView<'_>, tentative: &[Option<NodeId>]) -> Vec<bool> {
+        let n = view.node_count();
         let mut id_to_index = std::collections::HashMap::new();
         for v in 0..n {
-            id_to_index.insert(graph.id(v), v);
+            id_to_index.insert(view.id(v), v);
         }
         (0..n)
             .map(|u| {
                 tentative[u]
                     .and_then(|pid| id_to_index.get(&pid).copied())
-                    .is_some_and(|p| is_matched_pair(graph, tentative, u, p))
+                    .is_some_and(|p| is_matched_pair(view, tentative, u, p))
             })
             .collect()
     }
@@ -156,16 +170,21 @@ impl PruningAlgorithm<MatchingProblem> for MatchingPruning {
         3
     }
 
-    fn prune(&self, graph: &Graph, input: &[()], tentative: &[Option<NodeId>]) -> Pruned<()> {
-        let matched = Self::matched_nodes(graph, tentative);
-        let n = graph.node_count();
+    fn prune(
+        &self,
+        view: &GraphView<'_>,
+        input: &[()],
+        tentative: &[Option<NodeId>],
+    ) -> Pruned<()> {
+        let matched = Self::matched_nodes(view, tentative);
+        let n = view.node_count();
         let pruned: Vec<bool> =
-            (0..n).map(|u| matched[u] || graph.neighbors(u).iter().all(|&v| matched[v])).collect();
+            (0..n).map(|u| matched[u] || view.neighbors(u).all(|v| matched[v])).collect();
         Pruned { pruned, new_inputs: input.to_vec() }
     }
 
-    fn normalize(&self, graph: &Graph, tentative: &[Option<NodeId>]) -> Vec<Option<NodeId>> {
-        let matched = Self::matched_nodes(graph, tentative);
+    fn normalize(&self, view: &GraphView<'_>, tentative: &[Option<NodeId>]) -> Vec<Option<NodeId>> {
+        let matched = Self::matched_nodes(view, tentative);
         tentative
             .iter()
             .enumerate()
@@ -188,12 +207,17 @@ impl PruningAlgorithm<SlcProblem> for SlcPruning {
         1
     }
 
-    fn prune(&self, graph: &Graph, input: &[SlcInput], tentative: &[SlcColor]) -> Pruned<SlcInput> {
-        let n = graph.node_count();
+    fn prune(
+        &self,
+        view: &GraphView<'_>,
+        input: &[SlcInput],
+        tentative: &[SlcColor],
+    ) -> Pruned<SlcInput> {
+        let n = view.node_count();
         let pruned: Vec<bool> = (0..n)
             .map(|u| {
                 input[u].list.contains(&tentative[u])
-                    && graph.neighbors(u).iter().all(|&v| tentative[v] != tentative[u])
+                    && view.neighbors(u).all(|v| tentative[v] != tentative[u])
             })
             .collect();
         let new_inputs: Vec<SlcInput> = (0..n)
@@ -202,7 +226,7 @@ impl PruningAlgorithm<SlcProblem> for SlcPruning {
                     input[u].clone()
                 } else {
                     let mut list = input[u].list.clone();
-                    for &v in graph.neighbors(u) {
+                    for v in view.neighbors(u) {
                         if pruned[v] {
                             list.remove(&tentative[v]);
                         }
@@ -220,9 +244,14 @@ mod tests {
     use super::*;
     use crate::problem::Problem;
     use local_graphs::{cycle, gnp, path, star};
+    use local_runtime::Graph;
 
     fn units(n: usize) -> Vec<()> {
         vec![(); n]
+    }
+
+    fn view(g: &Graph) -> GraphView<'_> {
+        GraphView::full(g)
     }
 
     // ------------------------------------------------------------------ MIS / ruling set ----
@@ -233,7 +262,8 @@ mod tests {
         let solution = [true, false, true, false, true, false];
         assert!(MisProblem.validate(&g, &units(6), &solution).is_ok());
         let pruning = RulingSetPruning::mis();
-        let result = PruningAlgorithm::<MisProblem>::prune(&pruning, &g, &units(6), &solution);
+        let result =
+            PruningAlgorithm::<MisProblem>::prune(&pruning, &view(&g), &units(6), &solution);
         assert!(result.all_pruned(), "solution detection failed");
     }
 
@@ -243,7 +273,8 @@ mod tests {
         // Only node 0 is in the set: nodes 0 and 1 are fine (pruned); the tail is not.
         let tentative = [true, false, false, false, false, false];
         let pruning = RulingSetPruning::mis();
-        let result = PruningAlgorithm::<MisProblem>::prune(&pruning, &g, &units(6), &tentative);
+        let result =
+            PruningAlgorithm::<MisProblem>::prune(&pruning, &view(&g), &units(6), &tentative);
         assert!(result.pruned[0]);
         assert!(result.pruned[1]);
         assert!(!result.pruned[2], "node 2 has no good set node within distance 1");
@@ -257,7 +288,8 @@ mod tests {
         // Adjacent set nodes are not "good": nothing can be pruned around them.
         let tentative = [true, true, false];
         let pruning = RulingSetPruning::mis();
-        let result = PruningAlgorithm::<MisProblem>::prune(&pruning, &g, &units(3), &tentative);
+        let result =
+            PruningAlgorithm::<MisProblem>::prune(&pruning, &view(&g), &units(3), &tentative);
         assert!(!result.pruned[0]);
         assert!(!result.pruned[1]);
         assert!(!result.pruned[2]);
@@ -273,7 +305,8 @@ mod tests {
             let tentative: Vec<bool> =
                 (0..n).map(|v| (v as u64 * 7 + seed).is_multiple_of(3)).collect();
             let pruning = RulingSetPruning::mis();
-            let result = PruningAlgorithm::<MisProblem>::prune(&pruning, &g, &units(n), &tentative);
+            let result =
+                PruningAlgorithm::<MisProblem>::prune(&pruning, &view(&g), &units(n), &tentative);
             let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
             let (sub, back) = g.induced_subgraph(&keep);
             let sub_solution = local_algos::mis::central_greedy_mis(&sub);
@@ -294,7 +327,7 @@ mod tests {
         let tentative = [true, false, false, false, false, false, false];
         let pruning = RulingSetPruning { beta: 3 };
         let result =
-            PruningAlgorithm::<RulingSetProblem>::prune(&pruning, &g, &units(7), &tentative);
+            PruningAlgorithm::<RulingSetProblem>::prune(&pruning, &view(&g), &units(7), &tentative);
         assert_eq!(result.pruned, vec![true, true, true, true, false, false, false]);
         assert_eq!(PruningAlgorithm::<RulingSetProblem>::rounds(&pruning), 4);
     }
@@ -307,7 +340,7 @@ mod tests {
         assert!(problem.validate(&g, &units(7), &solution).is_ok());
         let pruning = RulingSetPruning { beta: 3 };
         let result =
-            PruningAlgorithm::<RulingSetProblem>::prune(&pruning, &g, &units(7), &solution);
+            PruningAlgorithm::<RulingSetProblem>::prune(&pruning, &view(&g), &units(7), &solution);
         assert!(result.all_pruned());
     }
 
@@ -320,8 +353,12 @@ mod tests {
             let tentative: Vec<bool> =
                 (0..n).map(|v| (v as u64 + seed).is_multiple_of(4)).collect();
             let pruning = RulingSetPruning { beta };
-            let result =
-                PruningAlgorithm::<RulingSetProblem>::prune(&pruning, &g, &units(n), &tentative);
+            let result = PruningAlgorithm::<RulingSetProblem>::prune(
+                &pruning,
+                &view(&g),
+                &units(n),
+                &tentative,
+            );
             let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
             let (sub, back) = g.induced_subgraph(&keep);
             // Any MIS of the remainder is a (2, β)-ruling set of it.
@@ -342,7 +379,7 @@ mod tests {
     fn matching_pruning_detects_solutions() {
         let g = path(4);
         let solution = [Some(1), Some(0), Some(3), Some(2)];
-        let result = MatchingPruning.prune(&g, &units(4), &solution);
+        let result = MatchingPruning.prune(&view(&g), &units(4), &solution);
         assert!(result.all_pruned());
         assert_eq!(PruningAlgorithm::<MatchingProblem>::rounds(&MatchingPruning), 3);
     }
@@ -353,7 +390,7 @@ mod tests {
         // Only the middle edge (1, 2) is matched: 1 and 2 are pruned (matched); 0 and 3 are
         // pruned too because their only neighbour is matched.
         let tentative = [None, Some(2), Some(1), None];
-        let result = MatchingPruning.prune(&g, &units(4), &tentative);
+        let result = MatchingPruning.prune(&view(&g), &units(4), &tentative);
         assert!(result.all_pruned());
     }
 
@@ -362,7 +399,7 @@ mod tests {
         let g = path(5);
         // Edge (0,1) matched; nodes 2, 3, 4 form an augmentable path and must survive.
         let tentative = [Some(1), Some(0), None, None, None];
-        let result = MatchingPruning.prune(&g, &units(5), &tentative);
+        let result = MatchingPruning.prune(&view(&g), &units(5), &tentative);
         assert!(result.pruned[0] && result.pruned[1]);
         assert!(!result.pruned[3] && !result.pruned[4]);
         // Node 2's neighbours: 1 (matched) and 3 (unmatched) → not saturated, stays.
@@ -374,7 +411,7 @@ mod tests {
         let g = path(3);
         // Node 0 claims node 1 but node 1 does not reciprocate: nobody is matched.
         let tentative = [Some(1), None, None];
-        let result = MatchingPruning.prune(&g, &units(3), &tentative);
+        let result = MatchingPruning.prune(&view(&g), &units(3), &tentative);
         assert_eq!(result.pruned_count(), 0);
     }
 
@@ -393,11 +430,11 @@ mod tests {
                         .map(|&w| g.id(w))
                 })
                 .collect();
-            let result = MatchingPruning.prune(&g, &units(n), &tentative);
+            let result = MatchingPruning.prune(&view(&g), &units(n), &tentative);
             let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
             let (sub, back) = g.induced_subgraph(&keep);
             let sub_solution = local_algos::synthetic::central_greedy_matching(&sub);
-            let mut combined = MatchingPruning.normalize(&g, &tentative);
+            let mut combined = MatchingPruning.normalize(&view(&g), &tentative);
             for (i, &orig) in back.iter().enumerate() {
                 combined[orig] = sub_solution[i];
             }
@@ -415,7 +452,7 @@ mod tests {
         let inputs = vec![SlcInput::full(2, 3); 4];
         let solution = [(1, 1), (2, 1), (1, 1), (2, 1)];
         assert!(SlcProblem.validate(&g, &inputs, &solution).is_ok());
-        let result = SlcPruning.prune(&g, &inputs, &solution);
+        let result = SlcPruning.prune(&view(&g), &inputs, &solution);
         assert!(result.all_pruned());
         assert_eq!(PruningAlgorithm::<SlcProblem>::rounds(&SlcPruning), 1);
     }
@@ -428,7 +465,7 @@ mod tests {
         // node 1's, so *neither* 0 nor 1 is pruned; node 2 has a distinct in-list colour and no
         // clash with node 1, so node 2 is pruned and its colour is removed from node 1's list.
         let tentative = [(1, 1), (1, 1), (2, 2)];
-        let result = SlcPruning.prune(&g, &inputs, &tentative);
+        let result = SlcPruning.prune(&view(&g), &inputs, &tentative);
         assert_eq!(result.pruned, vec![false, false, true]);
         assert!(!result.new_inputs[1].list.contains(&(2, 2)));
         assert!(result.new_inputs[0].list.contains(&(2, 2)), "node 0 keeps unaffected entries");
@@ -442,7 +479,7 @@ mod tests {
         let inputs: Vec<SlcInput> = (0..5).map(|_| SlcInput::full(4, 2)).collect();
         // Leaves 1 and 2 pick valid distinct colours, centre clashes with leaf 3's colour.
         let tentative = [(1, 1), (1, 2), (2, 1), (1, 1), (2, 2)];
-        let result = SlcPruning.prune(&g, &inputs, &tentative);
+        let result = SlcPruning.prune(&view(&g), &inputs, &tentative);
         let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
         let (sub, back) = g.induced_subgraph(&keep);
         for (sub_idx, &orig) in back.iter().enumerate() {
@@ -462,7 +499,7 @@ mod tests {
         let inputs = vec![SlcInput::full(2, 3); 6];
         // A tentative output where only some nodes are consistent.
         let tentative = [(1, 1), (1, 1), (2, 1), (3, 1), (9, 9), (2, 2)];
-        let result = SlcPruning.prune(&g, &inputs, &tentative);
+        let result = SlcPruning.prune(&view(&g), &inputs, &tentative);
         let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
         let (sub, back) = g.induced_subgraph(&keep);
         // Solve the remaining SLC instance greedily (centralised reference).

@@ -1,0 +1,420 @@
+//! Reference alternation drivers that rebuild the configuration after every pruning step.
+//!
+//! This is the pre-session execution strategy: every sub-iteration materializes the surviving
+//! subgraph with [`Graph::induced_subgraph`] and runs the black box through a fresh
+//! [`GraphAlgorithm::execute`] call. It is kept — verbatim in behaviour — for two reasons:
+//!
+//! 1. **Equivalence oracle.** The zero-rebuild path of [`crate::transform`] (live
+//!    [`GraphView`] + reusable session) promises byte-identical [`UniformRun`]s; the property
+//!    tests drive both paths over scenario grids and compare outputs, rounds, messages, and
+//!    traces field by field.
+//! 2. **Benchmark baseline.** The `alternation_hotpath` bench in `local-bench` measures the
+//!    throughput of the session path against this rebuild path on doubling-budget MIS runs.
+//!
+//! The timing fields of the returned [`UniformRun`]s are left at zero — this path exists to
+//! be compared against, not profiled.
+
+use crate::nonuniform::Determinism;
+use crate::problem::{MisProblem, Problem, RulingSetProblem};
+use crate::pruning::{Pruned, PruningAlgorithm};
+use crate::transform::{FastestOfTransformer, SubIterationTrace, UniformRun, UniformTransformer};
+use local_runtime::{Graph, GraphAlgorithm, GraphView};
+
+/// The seed implementation of the (2, β)-ruling-set pruning, kept verbatim in *cost profile*:
+/// every covered-node check materializes a ball via a BFS whose distance array spans the whole
+/// configuration — `O(n)` per node, `O(n²)` per pruning invocation. The pruning *decisions*
+/// are identical to [`crate::pruning::RulingSetPruning`] (the property tests compare the two
+/// drivers output-for-output); only the work profile differs.
+///
+/// This type exists for the `alternation_hotpath` bench, whose baseline must reproduce the
+/// pre-refactor execution costs. Don't use it outside benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct SeedRulingSetPruning {
+    /// The domination radius β ≥ 1.
+    pub beta: usize,
+}
+
+impl SeedRulingSetPruning {
+    /// The seed's ball computation: a full-size distance array per call (the pre-refactor
+    /// `Graph::ball`), BFS to depth `r`, sorted output.
+    fn ball(view: &GraphView<'_>, v: usize, r: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; view.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut out = vec![v];
+        dist[v] = 0;
+        queue.push_back(v);
+        while let Some(u) = queue.pop_front() {
+            if dist[u] == r {
+                continue;
+            }
+            for w in view.neighbors(u) {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[u] + 1;
+                    out.push(w);
+                    queue.push_back(w);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn prune_bools(&self, view: &GraphView<'_>, tentative: &[bool]) -> Vec<bool> {
+        let n = view.node_count();
+        let good: Vec<bool> =
+            (0..n).map(|v| tentative[v] && !view.neighbors(v).any(|w| tentative[w])).collect();
+        (0..n)
+            .map(|u| {
+                if tentative[u] {
+                    good[u]
+                } else {
+                    Self::ball(view, u, self.beta).iter().any(|&v| good[v])
+                }
+            })
+            .collect()
+    }
+}
+
+impl PruningAlgorithm<MisProblem> for SeedRulingSetPruning {
+    fn rounds(&self) -> u64 {
+        2
+    }
+
+    fn prune(&self, view: &GraphView<'_>, input: &[()], tentative: &[bool]) -> Pruned<()> {
+        let rule = SeedRulingSetPruning { beta: 1 };
+        Pruned { pruned: rule.prune_bools(view, tentative), new_inputs: input.to_vec() }
+    }
+}
+
+impl PruningAlgorithm<RulingSetProblem> for SeedRulingSetPruning {
+    fn rounds(&self) -> u64 {
+        1 + self.beta as u64
+    }
+
+    fn prune(&self, view: &GraphView<'_>, input: &[()], tentative: &[bool]) -> Pruned<()> {
+        Pruned { pruned: self.prune_bools(view, tentative), new_inputs: input.to_vec() }
+    }
+}
+
+/// The rebuild-per-prune twin of `AlternationState`.
+struct RebuildState<P: Problem> {
+    graph: Graph,
+    inputs: Vec<P::Input>,
+    back: Vec<usize>,
+    outputs: Vec<Option<P::Output>>,
+    rounds: u64,
+    messages: u64,
+    subiterations: u64,
+    trace: Vec<SubIterationTrace>,
+}
+
+impl<P: Problem> RebuildState<P> {
+    fn new(graph: &Graph, inputs: &[P::Input]) -> Self {
+        RebuildState {
+            graph: graph.clone(),
+            inputs: inputs.to_vec(),
+            back: (0..graph.node_count()).collect(),
+            outputs: vec![None; graph.node_count()],
+            rounds: 0,
+            messages: 0,
+            subiterations: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    fn alive(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    fn attempt<Pr: PruningAlgorithm<P> + ?Sized>(
+        &mut self,
+        iteration: u64,
+        algorithm: &dyn GraphAlgorithm<Input = P::Input, Output = P::Output>,
+        guesses: &[u64],
+        budget: u64,
+        pruning: &Pr,
+        seed: u64,
+    ) {
+        let alive_before = self.alive();
+        let run =
+            self.graph.is_empty().then(local_runtime::AlgoRun::empty).unwrap_or_else(|| {
+                algorithm.execute(&self.graph, &self.inputs, Some(budget), seed)
+            });
+        self.rounds += budget + pruning.rounds();
+        self.messages += run.messages;
+        self.subiterations += 1;
+
+        let full = GraphView::full(&self.graph);
+        let tentative = pruning.normalize(&full, &run.outputs);
+        let pruned = pruning.prune(&full, &self.inputs, &tentative);
+        drop(full);
+        let pruned_count = pruned.pruned_count();
+        self.trace.push(SubIterationTrace {
+            iteration,
+            guesses: guesses.to_vec(),
+            budget,
+            alive_before,
+            pruned: pruned_count,
+        });
+        if pruned_count == 0 {
+            return;
+        }
+        for (v, output) in tentative.iter().enumerate() {
+            if pruned.pruned[v] {
+                self.outputs[self.back[v]] = Some(output.clone());
+            }
+        }
+        let keep: Vec<bool> = pruned.pruned.iter().map(|&p| !p).collect();
+        let (sub, sub_back) = self.graph.induced_subgraph(&keep);
+        self.inputs = sub_back.iter().map(|&old| pruned.new_inputs[old].clone()).collect();
+        self.back = sub_back.iter().map(|&old| self.back[old]).collect();
+        self.graph = sub;
+    }
+
+    fn finish<O: Clone>(self, fallback: &O) -> UniformRun<O>
+    where
+        P: Problem<Output = O>,
+    {
+        let solved = self.graph.is_empty();
+        let outputs =
+            self.outputs.into_iter().map(|o| o.unwrap_or_else(|| fallback.clone())).collect();
+        UniformRun {
+            outputs,
+            rounds: self.rounds,
+            messages: self.messages,
+            iterations: 0,
+            subiterations: self.subiterations,
+            solved,
+            trace: self.trace,
+            attempt_micros: 0,
+            prune_micros: 0,
+        }
+    }
+}
+
+impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
+    /// Runs the uniform algorithm through the rebuild-per-prune reference path.
+    ///
+    /// Semantically identical to [`UniformTransformer::solve`] — outputs, rounds, messages,
+    /// iteration counts, and traces agree for every seed — but pays an `O(n + m)` subgraph
+    /// copy per pruning step and a full runtime re-allocation per attempt.
+    pub fn solve_rebuild(
+        &self,
+        graph: &Graph,
+        inputs: &[P::Input],
+        seed: u64,
+    ) -> UniformRun<P::Output> {
+        match self.algorithm.determinism {
+            Determinism::Deterministic => self.solve_deterministic_rebuild(graph, inputs, seed),
+            Determinism::WeakMonteCarlo => self.solve_las_vegas_rebuild(graph, inputs, seed),
+        }
+    }
+
+    fn solve_deterministic_rebuild(
+        &self,
+        graph: &Graph,
+        inputs: &[P::Input],
+        seed: u64,
+    ) -> UniformRun<P::Output> {
+        let mut state = RebuildState::<P>::new(graph, inputs);
+        let c = self.algorithm.time_bound.bounding_constant();
+        let mut iterations = 0;
+        for i in 1..=self.max_iterations {
+            if state.alive() == 0 {
+                break;
+            }
+            iterations = i;
+            let budget = c.saturating_mul(1u64 << i.min(62));
+            for (j, guesses) in
+                self.algorithm.time_bound.set_sequence(1u64 << i.min(62)).iter().enumerate()
+            {
+                if state.alive() == 0 {
+                    break;
+                }
+                let algo = (self.algorithm.build)(guesses);
+                state.attempt(
+                    i,
+                    algo.as_ref(),
+                    guesses,
+                    budget,
+                    self.pruning.as_ref(),
+                    seed ^ (i << 32) ^ j as u64,
+                );
+            }
+        }
+        let mut run = state.finish(&self.fallback_output);
+        run.iterations = iterations;
+        run
+    }
+
+    fn solve_las_vegas_rebuild(
+        &self,
+        graph: &Graph,
+        inputs: &[P::Input],
+        seed: u64,
+    ) -> UniformRun<P::Output> {
+        let mut state = RebuildState::<P>::new(graph, inputs);
+        let c = self.algorithm.time_bound.bounding_constant();
+        let mut iterations = 0;
+        'outer: for i in 1..=self.max_iterations {
+            if state.alive() == 0 {
+                break;
+            }
+            iterations = i;
+            for j in 1..=i {
+                if state.alive() == 0 {
+                    break 'outer;
+                }
+                let budget = c.saturating_mul(1u64 << j.min(62));
+                for (k, guesses) in
+                    self.algorithm.time_bound.set_sequence(1u64 << j.min(62)).iter().enumerate()
+                {
+                    if state.alive() == 0 {
+                        break 'outer;
+                    }
+                    let algo = (self.algorithm.build)(guesses);
+                    state.attempt(
+                        j,
+                        algo.as_ref(),
+                        guesses,
+                        budget,
+                        self.pruning.as_ref(),
+                        seed ^ (i << 40) ^ (j << 20) ^ k as u64,
+                    );
+                }
+            }
+        }
+        let mut run = state.finish(&self.fallback_output);
+        run.iterations = iterations;
+        run
+    }
+}
+
+impl<P: Problem, Pr: PruningAlgorithm<P>> FastestOfTransformer<P, Pr> {
+    /// Runs the Theorem 4 combinator through the rebuild-per-prune reference path
+    /// (see [`UniformTransformer::solve_rebuild`]).
+    pub fn solve_rebuild(
+        &self,
+        graph: &Graph,
+        inputs: &[P::Input],
+        seed: u64,
+    ) -> UniformRun<P::Output> {
+        let mut state = RebuildState::<P>::new(graph, inputs);
+        let mut iterations = 0;
+        for i in 1..=self.max_iterations {
+            if state.alive() == 0 {
+                break;
+            }
+            iterations = i;
+            let budget = 1u64 << i.min(62);
+            for (k, component) in self.components.iter().enumerate() {
+                if state.alive() == 0 {
+                    break;
+                }
+                state.attempt(
+                    i,
+                    component.algorithm.as_ref(),
+                    &[],
+                    budget,
+                    self.pruning.as_ref(),
+                    seed ^ (i << 32) ^ k as u64,
+                );
+            }
+        }
+        let mut run = state.finish(&self.fallback_output);
+        run.iterations = iterations;
+        run
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::catalog;
+    use crate::problem::Problem;
+    use local_graphs::{gnp, grid, path};
+
+    fn units(n: usize) -> Vec<()> {
+        vec![(); n]
+    }
+
+    #[test]
+    fn rebuild_path_matches_view_path_exactly() {
+        let transformer = catalog::uniform_coloring_mis();
+        for (i, g) in [path(40), grid(6, 6), gnp(80, 0.08, 4)].iter().enumerate() {
+            let n = g.node_count();
+            let fast = transformer.solve(g, &units(n), i as u64);
+            let reference = transformer.solve_rebuild(g, &units(n), i as u64);
+            assert_eq!(fast.outputs, reference.outputs, "graph {i}: outputs diverge");
+            assert_eq!(fast.rounds, reference.rounds, "graph {i}: rounds diverge");
+            assert_eq!(fast.messages, reference.messages, "graph {i}: messages diverge");
+            assert_eq!(fast.iterations, reference.iterations);
+            assert_eq!(fast.subiterations, reference.subiterations);
+            assert_eq!(fast.solved, reference.solved);
+            assert_eq!(fast.trace, reference.trace, "graph {i}: traces diverge");
+            crate::problem::MisProblem.validate(g, &units(n), &fast.outputs).unwrap();
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_view_for_materializing_black_box() {
+        // ArboricityMis has no view-native execute_view: the fast driver reaches it through
+        // the session's epoch-cached materialization. Results must still be byte-identical.
+        let transformer = catalog::uniform_arboricity_mis();
+        let g = local_graphs::forest_union(90, 3, 5);
+        let n = g.node_count();
+        let fast = transformer.solve(&g, &units(n), 2);
+        let reference = transformer.solve_rebuild(&g, &units(n), 2);
+        assert_eq!(fast.outputs, reference.outputs);
+        assert_eq!(fast.rounds, reference.rounds);
+        assert_eq!(fast.messages, reference.messages);
+        assert_eq!(fast.trace, reference.trace);
+        crate::problem::MisProblem.validate(&g, &units(n), &fast.outputs).unwrap();
+    }
+
+    #[test]
+    fn seed_pruning_reproduces_fast_pruning_decisions() {
+        // The bench baseline (rebuild driver + seed ball-based pruning) must stay
+        // output-identical to the optimized path, or the throughput comparison is meaningless.
+        let black_box = catalog::coloring_mis_black_box();
+        let fast = catalog::uniform_coloring_mis();
+        let reference = crate::transform::UniformTransformer::new(
+            black_box,
+            super::SeedRulingSetPruning { beta: 1 },
+            false,
+        );
+        for seed in 0..3u64 {
+            let g = gnp(70, 0.09, seed);
+            let a = fast.solve(&g, &units(70), seed);
+            let b = reference.solve_rebuild(&g, &units(70), seed);
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.rounds, b.rounds);
+            assert_eq!(a.trace, b.trace);
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_view_for_las_vegas_driver() {
+        let transformer = catalog::uniform_ruling_set(2);
+        for seed in 0..3u64 {
+            let g = gnp(60, 0.08, seed);
+            let fast = transformer.solve(&g, &units(60), seed);
+            let reference = transformer.solve_rebuild(&g, &units(60), seed);
+            assert_eq!(fast.outputs, reference.outputs);
+            assert_eq!(fast.rounds, reference.rounds);
+            assert_eq!(fast.messages, reference.messages);
+            assert_eq!(fast.trace, reference.trace);
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_view_for_fastest_of_combinator() {
+        let combiner = catalog::corollary1_mis();
+        let g = gnp(70, 0.1, 2);
+        let fast = combiner.solve(&g, &units(70), 0);
+        let reference = combiner.solve_rebuild(&g, &units(70), 0);
+        assert_eq!(fast.outputs, reference.outputs);
+        assert_eq!(fast.rounds, reference.rounds);
+        assert_eq!(fast.messages, reference.messages);
+        assert_eq!(fast.trace, reference.trace);
+    }
+}

@@ -31,7 +31,7 @@ use crate::seqnum::TimeBound;
 use crate::transform::UniformTransformer;
 use local_algos::coloring::RefineColoring;
 use local_graphs::Parameter;
-use local_runtime::{AlgoRun, DynAlgorithm, Graph, GraphAlgorithm};
+use local_runtime::{AlgoRun, DynAlgorithm, Graph, GraphAlgorithm, GraphView, Session};
 use std::sync::Arc;
 
 /// The non-uniform `g(Δ̃)`-colouring black box handed to the Theorem 5 transformer.
@@ -75,6 +75,26 @@ impl GraphAlgorithm for SlcFromColoring {
     ) -> AlgoRun<SlcColor> {
         let unit_inputs = vec![(); graph.node_count()];
         let run = self.inner.execute(graph, &unit_inputs, budget, seed);
+        self.lift(run, inputs)
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[SlcInput],
+        budget: Option<u64>,
+        seed: u64,
+        session: &mut Session,
+    ) -> AlgoRun<SlcColor> {
+        let unit_inputs = vec![(); view.node_count()];
+        let run = self.inner.execute_view(view, &unit_inputs, budget, seed, session);
+        self.lift(run, inputs)
+    }
+}
+
+impl SlcFromColoring {
+    /// Maps the wrapped colouring's outputs into the nodes' SLC lists.
+    fn lift(&self, run: AlgoRun<u64>, inputs: &[SlcInput]) -> AlgoRun<SlcColor> {
         let outputs: Vec<SlcColor> = run
             .outputs
             .iter()
@@ -108,6 +128,12 @@ pub struct ColoringRun {
     pub layers: usize,
     /// `true` when every layer's SLC instance was solved before the safety cap.
     pub solved: bool,
+    /// Wall-clock time spent inside black-box attempts, summed over layers, in microseconds
+    /// (profiling aid; non-deterministic).
+    pub attempt_micros: u64,
+    /// Wall-clock time spent in pruning, summed over layers, in microseconds (profiling aid;
+    /// non-deterministic).
+    pub prune_micros: u64,
 }
 
 /// The Theorem 5 transformer: a uniform `O(g(Δ))`-colouring algorithm built from a non-uniform
@@ -149,8 +175,14 @@ impl ColoringTransformer {
         2 * (self.black_box.palette)(top)
     }
 
-    /// Runs the uniform colouring algorithm.
+    /// Runs the uniform colouring algorithm with a throwaway [`Session`].
     pub fn solve(&self, graph: &Graph, seed: u64) -> ColoringRun {
+        self.solve_in(graph, seed, &mut Session::new())
+    }
+
+    /// Like [`ColoringTransformer::solve`], but reuses the caller's [`Session`] buffers
+    /// across layers and phases.
+    pub fn solve_in(&self, graph: &Graph, seed: u64, session: &mut Session) -> ColoringRun {
         let n = graph.node_count();
         if n == 0 {
             return ColoringRun {
@@ -159,6 +191,8 @@ impl ColoringTransformer {
                 messages: 0,
                 layers: 0,
                 solved: true,
+                attempt_micros: 0,
+                prune_micros: 0,
             };
         }
         let max_degree = graph.max_degree() as u64;
@@ -185,6 +219,8 @@ impl ColoringTransformer {
         let mut messages = 0u64;
         let mut solved = true;
         let mut nonempty_layers = 0usize;
+        let mut attempt_micros = 0u64;
+        let mut prune_micros = 0u64;
 
         // `delta_hat` is `thresholds[layer]`, i.e. D_{layer+1} in 1-based threshold indexing.
         for (layer, &delta_hat) in thresholds.iter().enumerate().take(num_layers + 1).skip(1) {
@@ -193,12 +229,15 @@ impl ColoringTransformer {
                 continue;
             }
             nonempty_layers += 1;
-            let (sub, back) = graph.induced_subgraph(&keep);
+            // The layer is a live view over the base graph — never materialized; the SLC
+            // alternation below shrinks its own clone of the view in place.
+            let layer_view = GraphView::with_mask(graph, &keep);
             let base_palette = (self.black_box.palette)(delta_hat).max(delta_hat + 1);
 
             // ---- Phase 1: uniform SLC via the Theorem 1 transformer over the m̃ guess. ----
-            let slc_inputs: Vec<SlcInput> =
-                (0..sub.node_count()).map(|_| SlcInput::full(delta_hat, base_palette)).collect();
+            let slc_inputs: Vec<SlcInput> = (0..layer_view.node_count())
+                .map(|_| SlcInput::full(delta_hat, base_palette))
+                .collect();
             let build = self.black_box.build.clone();
             let time = self.black_box.time.clone();
             let palette_for_adapter = base_palette;
@@ -215,8 +254,15 @@ impl ColoringTransformer {
             );
             let mut transformer = UniformTransformer::new(slc_black_box, SlcPruning, (1, 1));
             transformer.max_iterations = self.max_iterations;
-            let phase1 = transformer.solve(&sub, &slc_inputs, seed ^ ((layer as u64) << 8));
+            let phase1 = transformer.solve_view(
+                layer_view.clone(),
+                &slc_inputs,
+                seed ^ ((layer as u64) << 8),
+                session,
+            );
             solved &= phase1.solved;
+            attempt_micros += phase1.attempt_micros;
+            prune_micros += phase1.prune_micros;
 
             // Map SLC pairs to integers in [0, base_palette·(Δ̂+1)).
             let phase1_colors: Vec<u64> = phase1
@@ -232,19 +278,28 @@ impl ColoringTransformer {
                 initial_palette_guess: phase1_palette,
                 target_colors: delta_hat + 1,
             };
-            let phase2 = refine.execute(&sub, &phase1_colors, None, seed ^ 0x77);
+            let phase2 =
+                refine.execute_view(&layer_view, &phase1_colors, None, seed ^ 0x77, session);
             solved &= phase2.completed;
 
             // ---- Final colours: shift into the layer's private range. ----
             let offset = (self.black_box.palette)(delta_hat);
-            for (sub_idx, &orig) in back.iter().enumerate() {
+            for (sub_idx, &orig) in layer_view.live_nodes().iter().enumerate() {
                 colors[orig] = offset + phase2.outputs[sub_idx];
             }
             max_rounds = max_rounds.max(phase1.rounds + phase2.rounds);
             messages += phase1.messages + phase2.messages;
         }
 
-        ColoringRun { colors, rounds: max_rounds, messages, layers: nonempty_layers, solved }
+        ColoringRun {
+            colors,
+            rounds: max_rounds,
+            messages,
+            layers: nonempty_layers,
+            solved,
+            attempt_micros,
+            prune_micros,
+        }
     }
 }
 

@@ -21,12 +21,13 @@
 use crate::nonuniform::{Determinism, NonUniformAlgorithm};
 use crate::problem::Problem;
 use crate::pruning::PruningAlgorithm;
-use local_runtime::{Graph, GraphAlgorithm};
+use local_runtime::{Graph, GraphAlgorithm, GraphView, Session};
 use serde::Serialize;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A record of one executed sub-iteration, for the Figure 1 style traces.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct SubIterationTrace {
     /// Outer iteration index `i` (budgets are `c·2^i`).
     pub iteration: u64,
@@ -58,38 +59,54 @@ pub struct UniformRun<O> {
     pub solved: bool,
     /// Per-sub-iteration trace.
     pub trace: Vec<SubIterationTrace>,
+    /// Wall-clock time spent inside black-box attempts, in microseconds (profiling aid;
+    /// non-deterministic, excluded from reproducibility comparisons).
+    pub attempt_micros: u64,
+    /// Wall-clock time spent in pruning and configuration shrinking, in microseconds
+    /// (profiling aid; non-deterministic).
+    pub prune_micros: u64,
 }
 
-/// Shared bookkeeping of the alternating drivers: the current configuration, the frozen
-/// outputs, and the round/trace accounting.
-struct AlternationState<P: Problem> {
-    graph: Graph,
+/// Shared bookkeeping of the alternating drivers: the current configuration (a live
+/// [`GraphView`] that pruning shrinks in place — nothing is rebuilt between attempts), the
+/// frozen outputs, the reusable execution [`Session`], and the round/trace accounting.
+struct AlternationState<'g, 's, P: Problem> {
+    view: GraphView<'g>,
     inputs: Vec<P::Input>,
-    /// Mapping from the current configuration's node indices to the original indices.
+    /// Mapping from the current live indices to the *initial* view's indices (the caller's
+    /// output indexing).
     back: Vec<usize>,
     outputs: Vec<Option<P::Output>>,
+    session: &'s mut Session,
     rounds: u64,
     messages: u64,
     subiterations: u64,
     trace: Vec<SubIterationTrace>,
+    attempt_micros: u64,
+    prune_micros: u64,
 }
 
-impl<P: Problem> AlternationState<P> {
-    fn new(graph: &Graph, inputs: &[P::Input]) -> Self {
+impl<'g, 's, P: Problem> AlternationState<'g, 's, P> {
+    fn new(view: GraphView<'g>, inputs: &[P::Input], session: &'s mut Session) -> Self {
+        let n = view.node_count();
+        assert_eq!(inputs.len(), n, "one input per (live) node is required");
         AlternationState {
-            graph: graph.clone(),
+            view,
             inputs: inputs.to_vec(),
-            back: (0..graph.node_count()).collect(),
-            outputs: vec![None; graph.node_count()],
+            back: (0..n).collect(),
+            outputs: vec![None; n],
+            session,
             rounds: 0,
             messages: 0,
             subiterations: 0,
             trace: Vec::new(),
+            attempt_micros: 0,
+            prune_micros: 0,
         }
     }
 
     fn alive(&self) -> usize {
-        self.graph.node_count()
+        self.view.node_count()
     }
 
     /// Runs one sub-iteration: the black-box attempt followed by the pruning algorithm.
@@ -103,17 +120,21 @@ impl<P: Problem> AlternationState<P> {
         seed: u64,
     ) {
         let alive_before = self.alive();
-        let run =
-            self.graph.is_empty().then(local_runtime::AlgoRun::empty).unwrap_or_else(|| {
-                algorithm.execute(&self.graph, &self.inputs, Some(budget), seed)
-            });
+        let attempt_started = Instant::now();
+        let run = if self.view.is_empty() {
+            local_runtime::AlgoRun::empty()
+        } else {
+            algorithm.execute_view(&self.view, &self.inputs, Some(budget), seed, self.session)
+        };
+        self.attempt_micros += attempt_started.elapsed().as_micros() as u64;
         // Charge the full allocated budget plus the pruning time, as in the paper's analysis.
         self.rounds += budget + pruning.rounds();
         self.messages += run.messages;
         self.subiterations += 1;
 
-        let tentative = pruning.normalize(&self.graph, &run.outputs);
-        let pruned = pruning.prune(&self.graph, &self.inputs, &tentative);
+        let prune_started = Instant::now();
+        let tentative = pruning.normalize(&self.view, &run.outputs);
+        let pruned = pruning.prune(&self.view, &self.inputs, &tentative);
         let pruned_count = pruned.pruned_count();
         self.trace.push(SubIterationTrace {
             iteration,
@@ -123,6 +144,7 @@ impl<P: Problem> AlternationState<P> {
             pruned: pruned_count,
         });
         if pruned_count == 0 {
+            self.prune_micros += prune_started.elapsed().as_micros() as u64;
             return;
         }
         // Freeze the outputs of pruned nodes.
@@ -131,19 +153,22 @@ impl<P: Problem> AlternationState<P> {
                 self.outputs[self.back[v]] = Some(output.clone());
             }
         }
-        // Shrink the configuration to the survivors, rewriting inputs as the pruning dictates.
+        // Shrink the configuration to the survivors, rewriting inputs as the pruning dictates:
+        // the view is filtered in place (cost proportional to the pruned nodes' adjacency, not
+        // to the graph), no CSR copy happens.
         let keep: Vec<bool> = pruned.pruned.iter().map(|&p| !p).collect();
-        let (sub, sub_back) = self.graph.induced_subgraph(&keep);
-        self.inputs = sub_back.iter().map(|&old| pruned.new_inputs[old].clone()).collect();
-        self.back = sub_back.iter().map(|&old| self.back[old]).collect();
-        self.graph = sub;
+        self.inputs =
+            (0..alive_before).filter(|&v| keep[v]).map(|v| pruned.new_inputs[v].clone()).collect();
+        self.back = (0..alive_before).filter(|&v| keep[v]).map(|v| self.back[v]).collect();
+        self.view.retain(&keep);
+        self.prune_micros += prune_started.elapsed().as_micros() as u64;
     }
 
     fn finish<O: Clone>(self, fallback: &O) -> UniformRun<O>
     where
         P: Problem<Output = O>,
     {
-        let solved = self.graph.is_empty();
+        let solved = self.view.is_empty();
         let outputs =
             self.outputs.into_iter().map(|o| o.unwrap_or_else(|| fallback.clone())).collect();
         UniformRun {
@@ -154,6 +179,8 @@ impl<P: Problem> AlternationState<P> {
             subiterations: self.subiterations,
             solved,
             trace: self.trace,
+            attempt_micros: self.attempt_micros,
+            prune_micros: self.prune_micros,
         }
     }
 }
@@ -183,14 +210,39 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
         }
     }
 
-    /// Runs the uniform algorithm on `(G, x)`.
+    /// Runs the uniform algorithm on `(G, x)` with a throwaway [`Session`].
     ///
     /// Dispatches on the black box's [`Determinism`]: Algorithm π (Theorem 1) for
     /// deterministic black boxes, Algorithm τ (Theorem 2) for weak Monte-Carlo ones.
     pub fn solve(&self, graph: &Graph, inputs: &[P::Input], seed: u64) -> UniformRun<P::Output> {
+        self.solve_in(graph, inputs, seed, &mut Session::new())
+    }
+
+    /// Like [`UniformTransformer::solve`], but reuses the caller's [`Session`] buffers —
+    /// the entry point for schedulers that run many solves back to back.
+    pub fn solve_in(
+        &self,
+        graph: &Graph,
+        inputs: &[P::Input],
+        seed: u64,
+        session: &mut Session,
+    ) -> UniformRun<P::Output> {
+        self.solve_view(GraphView::full(graph), inputs, seed, session)
+    }
+
+    /// Runs the uniform algorithm on an arbitrary live view (used by the Theorem 5 layering,
+    /// which hands each degree layer over as a view of the base graph). Outputs are indexed by
+    /// the view's initial live indices. The session's buffers carry across every attempt.
+    pub fn solve_view(
+        &self,
+        view: GraphView<'_>,
+        inputs: &[P::Input],
+        seed: u64,
+        session: &mut Session,
+    ) -> UniformRun<P::Output> {
         match self.algorithm.determinism {
-            Determinism::Deterministic => self.solve_deterministic(graph, inputs, seed),
-            Determinism::WeakMonteCarlo => self.solve_las_vegas(graph, inputs, seed),
+            Determinism::Deterministic => self.solve_deterministic(view, inputs, seed, session),
+            Determinism::WeakMonteCarlo => self.solve_las_vegas(view, inputs, seed, session),
         }
     }
 
@@ -198,11 +250,12 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
     /// of `S_f(2^i)`, each restricted to `c·2^i` rounds and followed by the pruning algorithm.
     fn solve_deterministic(
         &self,
-        graph: &Graph,
+        view: GraphView<'_>,
         inputs: &[P::Input],
         seed: u64,
+        session: &mut Session,
     ) -> UniformRun<P::Output> {
-        let mut state = AlternationState::<P>::new(graph, inputs);
+        let mut state = AlternationState::<P>::new(view, inputs, session);
         let c = self.algorithm.time_bound.bounding_constant();
         let mut iterations = 0;
         for i in 1..=self.max_iterations {
@@ -238,11 +291,12 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
     /// box geometrically many fresh chances at every budget level.
     fn solve_las_vegas(
         &self,
-        graph: &Graph,
+        view: GraphView<'_>,
         inputs: &[P::Input],
         seed: u64,
+        session: &mut Session,
     ) -> UniformRun<P::Output> {
-        let mut state = AlternationState::<P>::new(graph, inputs);
+        let mut state = AlternationState::<P>::new(view, inputs, session);
         let c = self.algorithm.time_bound.bounding_constant();
         let mut iterations = 0;
         'outer: for i in 1..=self.max_iterations {
@@ -323,9 +377,31 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> FastestOfTransformer<P, Pr> {
         }
     }
 
-    /// Runs the combined uniform algorithm.
+    /// Runs the combined uniform algorithm with a throwaway [`Session`].
     pub fn solve(&self, graph: &Graph, inputs: &[P::Input], seed: u64) -> UniformRun<P::Output> {
-        let mut state = AlternationState::<P>::new(graph, inputs);
+        self.solve_in(graph, inputs, seed, &mut Session::new())
+    }
+
+    /// Like [`FastestOfTransformer::solve`], but reuses the caller's [`Session`].
+    pub fn solve_in(
+        &self,
+        graph: &Graph,
+        inputs: &[P::Input],
+        seed: u64,
+        session: &mut Session,
+    ) -> UniformRun<P::Output> {
+        self.solve_view(GraphView::full(graph), inputs, seed, session)
+    }
+
+    /// Runs the combined uniform algorithm on a live view.
+    pub fn solve_view(
+        &self,
+        view: GraphView<'_>,
+        inputs: &[P::Input],
+        seed: u64,
+        session: &mut Session,
+    ) -> UniformRun<P::Output> {
+        let mut state = AlternationState::<P>::new(view, inputs, session);
         let mut iterations = 0;
         for i in 1..=self.max_iterations {
             if state.alive() == 0 {

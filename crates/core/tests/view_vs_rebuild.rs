@@ -1,0 +1,107 @@
+//! Property test: the zero-rebuild alternation path (live `GraphView` + reusable `Session`)
+//! produces byte-identical `UniformRun`s — outputs, rounds, messages, iteration counts, and
+//! full sub-iteration traces — to the rebuild-per-prune reference path, across a scenario
+//! grid of problems, graph families, sizes, and seeds. Also re-checks that session reuse
+//! across consecutive solves does not leak state between runs.
+
+use local_uniform::catalog;
+use local_uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
+use local_uniform::UniformRun;
+use proptest::prelude::*;
+
+fn units(n: usize) -> Vec<()> {
+    vec![(); n]
+}
+
+/// Field-by-field equality of two runs, ignoring only the wall-clock profiling micros.
+fn assert_identical<O: PartialEq + std::fmt::Debug>(
+    fast: &UniformRun<O>,
+    reference: &UniformRun<O>,
+    label: &str,
+) {
+    assert_eq!(fast.outputs, reference.outputs, "{label}: outputs diverge");
+    assert_eq!(fast.rounds, reference.rounds, "{label}: rounds diverge");
+    assert_eq!(fast.messages, reference.messages, "{label}: messages diverge");
+    assert_eq!(fast.iterations, reference.iterations, "{label}: iterations diverge");
+    assert_eq!(fast.subiterations, reference.subiterations, "{label}: subiterations diverge");
+    assert_eq!(fast.solved, reference.solved, "{label}: solved flags diverge");
+    assert_eq!(fast.trace, reference.trace, "{label}: traces diverge");
+}
+
+/// The small scenario grid the equivalence is checked over.
+const FAMILIES: [local_graphs::Family; 4] = [
+    local_graphs::Family::Path,
+    local_graphs::Family::Grid,
+    local_graphs::Family::SparseGnp,
+    local_graphs::Family::Forest3,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mis_alternation_is_byte_identical_across_paths(
+        family in 0usize..FAMILIES.len(),
+        n in 24usize..80,
+        seed in 0u64..1000,
+    ) {
+        let g = FAMILIES[family].generate(n, seed);
+        let n = g.node_count();
+        let transformer = catalog::uniform_coloring_mis();
+        let mut session = local_runtime::Session::new();
+        let fast = transformer.solve_in(&g, &units(n), seed, &mut session);
+        let reference = transformer.solve_rebuild(&g, &units(n), seed);
+        assert_identical(&fast, &reference, "mis");
+        prop_assert!(fast.solved);
+        prop_assert!(MisProblem.validate(&g, &units(n), &fast.outputs).is_ok());
+        // Session reuse: a second solve through the same session stays identical.
+        let again = transformer.solve_in(&g, &units(n), seed, &mut session);
+        assert_identical(&again, &reference, "mis (reused session)");
+    }
+
+    #[test]
+    fn matching_alternation_is_byte_identical_across_paths(
+        family in 0usize..FAMILIES.len(),
+        n in 24usize..64,
+        seed in 0u64..1000,
+    ) {
+        let g = FAMILIES[family].generate(n, seed);
+        let n = g.node_count();
+        let transformer = catalog::uniform_matching();
+        let fast = transformer.solve(&g, &units(n), seed);
+        let reference = transformer.solve_rebuild(&g, &units(n), seed);
+        assert_identical(&fast, &reference, "matching");
+        prop_assert!(MatchingProblem.validate(&g, &units(n), &fast.outputs).is_ok());
+    }
+
+    #[test]
+    fn las_vegas_ruling_set_is_byte_identical_across_paths(
+        n in 24usize..64,
+        seed in 0u64..1000,
+    ) {
+        let g = local_graphs::Family::SparseGnp.generate(n, seed);
+        let n = g.node_count();
+        let transformer = catalog::uniform_ruling_set(2);
+        let fast = transformer.solve(&g, &units(n), seed);
+        let reference = transformer.solve_rebuild(&g, &units(n), seed);
+        assert_identical(&fast, &reference, "ruling-set");
+        prop_assert!(RulingSetProblem::two(2).validate(&g, &units(n), &fast.outputs).is_ok());
+    }
+
+    #[test]
+    fn synthetic_black_box_alternation_is_byte_identical_across_paths(
+        n in 24usize..96,
+        seed in 0u64..1000,
+    ) {
+        // The synthetic black box evaluates graph parameters on the live configuration and
+        // computes its reference solution centrally — exercises the view-native parameter
+        // evaluation (`Parameter::eval_view`) and `central_greedy_mis_view`.
+        let g = local_graphs::Family::UnitDisk.generate(n, seed);
+        let n = g.node_count();
+        let transformer = catalog::uniform_ps_mis();
+        let fast = transformer.solve(&g, &units(n), seed);
+        let reference = transformer.solve_rebuild(&g, &units(n), seed);
+        assert_identical(&fast, &reference, "synthetic");
+        prop_assert!(MisProblem.validate(&g, &units(n), &fast.outputs).is_ok());
+    }
+}

@@ -12,8 +12,10 @@
 //!   `sparse-gnp`, `tree`), or `all`.
 //! * `--sizes`     comma list (`200,400`) or doubling ladder (`100..10000`).
 //! * `--seeds`     replicates per cell (default 2).
-//! * `--threads`   worker threads (default: available parallelism).
+//! * `--threads`   worker threads (default: available parallelism; must be ≥ 1).
 //! * `--out`       write the JSON report here; `--csv` additionally writes per-cell CSV.
+//! * `--profile`   emit per-phase timings (attempt / pruning / instance generation) as extra
+//!   CSV columns and a printed summary; the JSON report always carries them per cell.
 
 use local_engine::{parse_sizes, run_grid, ProblemKind, ScenarioGrid, SweepConfig};
 use local_graphs::Family;
@@ -28,6 +30,7 @@ struct Args {
     base_seed: u64,
     out: Option<String>,
     csv: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -40,6 +43,7 @@ fn parse_args() -> Result<Args, String> {
         base_seed: 0,
         out: None,
         csv: None,
+        profile: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -77,7 +81,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--threads" => {
                 args.threads =
-                    value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?
+                    value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?;
+                if args.threads == 0 {
+                    return Err(
+                        "--threads must be at least 1 (a sweep cannot run with zero workers)"
+                            .to_string(),
+                    );
+                }
             }
             "--base-seed" => {
                 args.base_seed =
@@ -85,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--csv" => args.csv = Some(value("--csv")?),
+            "--profile" => args.profile = true,
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
@@ -101,6 +112,10 @@ sweep — parallel batched experiment engine for uniform LOCAL algorithms
 USAGE:
   sweep [--problems LIST|all] [--families LIST|all] [--sizes 200,400 | 100..10000]
         [--seeds N] [--threads N] [--base-seed S] [--out report.json] [--csv cells.csv]
+        [--profile]
+
+  --profile  emit per-phase wall-time columns (attempt / pruning / instance generation) in
+             the CSV output and print a phase-time summary.
 
 EXAMPLE:
   sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..1600 \\
@@ -134,6 +149,25 @@ fn main() -> ExitCode {
     let report = run_grid(&grid, &SweepConfig::with_threads(args.threads));
 
     println!("{}", report.render_summaries());
+    if args.profile {
+        let attempt: u64 = report.cells.iter().map(|c| c.attempt_micros).sum();
+        let prune: u64 = report.cells.iter().map(|c| c.prune_micros).sum();
+        // Instance generation is shared across the cells of one instance (identified within a
+        // sweep by family × size × replicate); count each distinct instance exactly once.
+        let instance_gen: u64 = report
+            .cells
+            .iter()
+            .map(|c| ((&c.family, c.requested_n, c.replicate), c.instance_micros))
+            .collect::<std::collections::BTreeMap<_, _>>()
+            .values()
+            .sum();
+        println!(
+            "phases: attempt {:.1} ms, pruning {:.1} ms, instance-gen {:.1} ms",
+            attempt as f64 / 1000.0,
+            prune as f64 / 1000.0,
+            instance_gen as f64 / 1000.0
+        );
+    }
     let invalid = report.cells.iter().filter(|c| !c.valid).count();
     println!(
         "{} cells, {} distinct instances, {:.1} ms wall, {} invalid",
@@ -151,7 +185,7 @@ fn main() -> ExitCode {
         println!("wrote JSON report to {path}");
     }
     if let Some(path) = &args.csv {
-        if let Err(e) = std::fs::write(path, report.to_csv()) {
+        if let Err(e) = std::fs::write(path, report.to_csv_with(args.profile)) {
             eprintln!("sweep: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }

@@ -48,4 +48,4 @@ pub mod scheduler;
 
 pub use report::{summarize, CellResult, GroupSummary, Report};
 pub use scenario::{parse_sizes, ProblemKind, Scenario, ScenarioGrid};
-pub use scheduler::{run_cell, run_grid, Instance, SweepConfig};
+pub use scheduler::{run_cell, run_cell_in, run_grid, Instance, SweepConfig};

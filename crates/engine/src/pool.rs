@@ -20,20 +20,39 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_indexed_with(count, threads, || (), |(), index| job(index))
+}
+
+/// Like [`run_indexed`], but each worker owns a private state built by `init` (called once per
+/// worker, on the worker's own thread) and handed to every job the worker claims.
+///
+/// This is how the scheduler pools one reusable execution session per worker: consecutive
+/// cells claimed by the same worker reuse its session's buffers. Jobs must not let the state
+/// influence their *result* (only their speed), or thread-count independence is lost.
+pub fn run_indexed_with<S, T, I, F>(count: usize, threads: usize, init: I, job: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     if threads <= 1 || count <= 1 {
-        return (0..count).map(job).collect();
+        let mut state = init();
+        return (0..count).map(|index| job(&mut state, index)).collect();
     }
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<T>>> = (0..count).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..threads.min(count) {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, Ordering::Relaxed);
-                if index >= count {
-                    break;
+            scope.spawn(|| {
+                let mut state = init();
+                loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    if index >= count {
+                        break;
+                    }
+                    let result = job(&mut state, index);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
                 }
-                let result = job(index);
-                *slots[index].lock().expect("result slot poisoned") = Some(result);
             });
         }
     });
@@ -77,5 +96,27 @@ mod tests {
     fn more_threads_than_jobs_is_fine() {
         let out = run_indexed(3, 64, |i| i);
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_state_is_reused_within_a_worker() {
+        // Sequential path: a single state sees every job.
+        let out = run_indexed_with(
+            5,
+            1,
+            || 0u32,
+            |calls, i| {
+                *calls += 1;
+                (*calls as usize, i)
+            },
+        );
+        assert_eq!(out.iter().map(|&(c, _)| c).collect::<Vec<_>>(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn worker_state_does_not_change_results_across_thread_counts() {
+        let seq = run_indexed_with(40, 1, || (), |(), i| i * 3);
+        let par = run_indexed_with(40, 8, || (), |(), i| i * 3);
+        assert_eq!(seq, par);
     }
 }

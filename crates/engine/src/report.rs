@@ -38,13 +38,28 @@ pub struct CellResult {
     /// Wall-clock execution time of the whole cell, in microseconds. Excluded from
     /// determinism comparisons (see [`CellResult::deterministic_view`]).
     pub wall_micros: u64,
+    /// Wall-clock time the uniform driver spent inside black-box attempts, in microseconds
+    /// (0 for problems without an alternation driver). Non-deterministic.
+    pub attempt_micros: u64,
+    /// Wall-clock time the uniform driver spent in pruning + configuration shrinking, in
+    /// microseconds. Non-deterministic.
+    pub prune_micros: u64,
+    /// Wall-clock time spent generating the cell's graph instance, in microseconds (shared
+    /// across the cells that reuse the instance). Non-deterministic.
+    pub instance_micros: u64,
 }
 
 impl CellResult {
-    /// A copy with the (non-deterministic) wall time zeroed, for byte-identical comparison
-    /// between sequential and parallel sweeps.
+    /// A copy with every (non-deterministic) wall-time field zeroed, for byte-identical
+    /// comparison between sequential and parallel sweeps.
     pub fn deterministic_view(&self) -> CellResult {
-        CellResult { wall_micros: 0, ..self.clone() }
+        CellResult {
+            wall_micros: 0,
+            attempt_micros: 0,
+            prune_micros: 0,
+            instance_micros: 0,
+            ..self.clone()
+        }
     }
 }
 
@@ -77,6 +92,16 @@ pub struct GroupSummary {
     pub total_uniform_messages: u64,
     /// Total wall time spent in the group, in microseconds.
     pub total_wall_micros: u64,
+}
+
+/// Quotes a CSV field per RFC 4180 when it contains a comma, quote, or line break; problem
+/// and family names are free-form strings, so interpolating them raw would corrupt rows.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
 }
 
 /// `q`-th percentile (nearest-rank) of an already sorted slice.
@@ -156,16 +181,27 @@ impl Report {
 
     /// Serializes the cells as CSV (one row per cell, with a header).
     pub fn to_csv(&self) -> String {
+        self.to_csv_with(false)
+    }
+
+    /// Serializes the cells as CSV; with `profile` set, appends the per-phase timing columns
+    /// (`attempt_micros`, `prune_micros`, `instance_micros`) emitted by the `--profile` sweep
+    /// flag. Text fields are RFC-4180-quoted when they contain separators or quotes.
+    pub fn to_csv_with(&self, profile: bool) -> String {
         let mut out = String::from(
             "problem,family,requested_n,n,edges,replicate,seed,uniform_rounds,\
              uniform_messages,nonuniform_rounds,nonuniform_messages,overhead_ratio,\
-             subiterations,solved,valid,wall_micros\n",
+             subiterations,solved,valid,wall_micros",
         );
+        if profile {
+            out.push_str(",attempt_micros,prune_micros,instance_micros");
+        }
+        out.push('\n');
         for c in &self.cells {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}\n",
-                c.problem,
-                c.family,
+                "{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+                csv_escape(&c.problem),
+                csv_escape(&c.family),
                 c.requested_n,
                 c.n,
                 c.edges,
@@ -181,6 +217,13 @@ impl Report {
                 c.valid,
                 c.wall_micros
             ));
+            if profile {
+                out.push_str(&format!(
+                    ",{},{},{}",
+                    c.attempt_micros, c.prune_micros, c.instance_micros
+                ));
+            }
+            out.push('\n');
         }
         out
     }
@@ -243,6 +286,9 @@ mod tests {
             solved: true,
             valid,
             wall_micros: 1234,
+            attempt_micros: 900,
+            prune_micros: 200,
+            instance_micros: 50,
         }
     }
 
@@ -311,11 +357,60 @@ mod tests {
     }
 
     #[test]
-    fn deterministic_view_masks_wall_time_only() {
+    fn deterministic_view_masks_all_wall_time_fields() {
         let a = cell("mis", "grid", 10, 2.0, true);
         let mut b = a.clone();
         b.wall_micros = 9999;
+        b.attempt_micros = 1;
+        b.prune_micros = 2;
+        b.instance_micros = 3;
         assert_ne!(a, b);
         assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+
+    #[test]
+    fn csv_escapes_commas_quotes_and_newlines() {
+        let report = Report {
+            threads: 1,
+            base_seed: 0,
+            cell_count: 1,
+            distinct_instances: 1,
+            total_wall_micros: 1,
+            summaries: Vec::new(),
+            cells: vec![cell("ruling-set, b=2", "weird \"family\"\nname", 5, 1.0, true)],
+        };
+        let csv = report.to_csv();
+        let body = csv.split_once('\n').unwrap().1;
+        assert!(body.starts_with("\"ruling-set, b=2\",\"weird \"\"family\"\"\nname\","));
+        // The quoted newline must not introduce a spurious record: exactly header + 1 row
+        // worth of unquoted line breaks.
+        let records = csv.matches(",true,true,").count();
+        assert_eq!(records, 1);
+    }
+
+    #[test]
+    fn plain_fields_are_not_quoted() {
+        assert_eq!(super::csv_escape("mis"), "mis");
+        assert_eq!(super::csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(super::csv_escape("q\"t"), "\"q\"\"t\"");
+    }
+
+    #[test]
+    fn profiled_csv_appends_phase_columns() {
+        let report = Report {
+            threads: 1,
+            base_seed: 0,
+            cell_count: 1,
+            distinct_instances: 1,
+            total_wall_micros: 1,
+            summaries: Vec::new(),
+            cells: vec![cell("mis", "grid", 10, 2.0, true)],
+        };
+        let plain = report.to_csv();
+        assert!(!plain.lines().next().unwrap().contains("attempt_micros"));
+        let profiled = report.to_csv_with(true);
+        let lines: Vec<&str> = profiled.lines().collect();
+        assert!(lines[0].ends_with("attempt_micros,prune_micros,instance_micros"));
+        assert!(lines[1].ends_with(",900,200,50"));
     }
 }

@@ -21,7 +21,7 @@ use local_algos::checkers;
 use local_algos::edge_coloring::LineGraphEdgeColoring;
 use local_algos::mis::LubyMis;
 use local_graphs::{GraphParams, InstanceKey};
-use local_runtime::{Graph, GraphAlgorithm};
+use local_runtime::{Graph, GraphAlgorithm, Session};
 use local_uniform::catalog;
 use local_uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
 use std::collections::{BTreeSet, HashMap};
@@ -57,13 +57,17 @@ pub struct Instance {
     pub graph: Graph,
     /// Ground-truth global parameters (the correct guesses for non-uniform baselines).
     pub params: GraphParams,
+    /// Wall-clock time it took to generate the instance, in microseconds (the "instance
+    /// generation" phase of the `--profile` report).
+    pub gen_micros: u64,
 }
 
 impl Instance {
     /// Realizes the instance a key names.
     pub fn generate(key: InstanceKey) -> Self {
+        let started = Instant::now();
         let (graph, params) = key.realize();
-        Instance { key, graph, params }
+        Instance { key, graph, params, gen_micros: started.elapsed().as_micros() as u64 }
     }
 }
 
@@ -83,11 +87,13 @@ pub fn run_grid(grid: &ScenarioGrid, cfg: &SweepConfig) -> Report {
         pool::run_indexed(keys.len(), cfg.threads, |i| Arc::new(Instance::generate(keys[i])));
     let cache: HashMap<InstanceKey, Arc<Instance>> = keys.iter().copied().zip(instances).collect();
 
-    // Phase 2: execute cells, work-stealing over the same pool.
-    let results = pool::run_indexed(cells.len(), cfg.threads, |i| {
+    // Phase 2: execute cells, work-stealing over the same pool. Every worker owns one
+    // reusable execution session, so consecutive cells claimed by the same worker (often over
+    // the same cached instance) reuse its buffers instead of reallocating the runtime.
+    let results = pool::run_indexed_with(cells.len(), cfg.threads, Session::new, |session, i| {
         let cell = &cells[i];
         let instance = &cache[&cell.instance_key(grid.base_seed)];
-        run_cell(cell, instance, grid.base_seed)
+        run_cell_in(cell, instance, grid.base_seed, session)
     });
 
     Report {
@@ -110,15 +116,29 @@ struct Measured {
     subiterations: u64,
     solved: bool,
     valid: bool,
+    attempt_micros: u64,
+    prune_micros: u64,
 }
 
 fn units(n: usize) -> Vec<()> {
     vec![(); n]
 }
 
-/// Executes one cell: the uniform algorithm and the non-uniform baseline with correct
-/// guesses, both validated against the problem's ground-truth checker.
+/// Executes one cell with a throwaway execution session; see [`run_cell_in`].
 pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellResult {
+    run_cell_in(cell, instance, base_seed, &mut Session::new())
+}
+
+/// Executes one cell: the uniform algorithm and the non-uniform baseline with correct
+/// guesses, both validated against the problem's ground-truth checker. The caller's
+/// [`Session`] is reused across every attempt of the uniform driver (and across cells, when
+/// the scheduler hands one session per worker).
+pub fn run_cell_in(
+    cell: &Scenario,
+    instance: &Instance,
+    base_seed: u64,
+    session: &mut Session,
+) -> CellResult {
     let started = Instant::now();
     let seed = cell.cell_seed(base_seed);
     let graph = &instance.graph;
@@ -130,20 +150,23 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 graph,
                 (baseline.build)(&[params.max_degree, params.max_id]),
                 seed,
-                |g, s| catalog::uniform_coloring_mis().solve(g, &units(g.node_count()), s),
+                session,
+                |g, s, session| {
+                    catalog::uniform_coloring_mis().solve_in(g, &units(g.node_count()), s, session)
+                },
             )
         }
         ProblemKind::PsMis => {
             let baseline = catalog::panconesi_srinivasan_mis_black_box();
-            run_mis_cell(graph, (baseline.build)(&[params.n]), seed, |g, s| {
-                catalog::uniform_ps_mis().solve(g, &units(g.node_count()), s)
+            run_mis_cell(graph, (baseline.build)(&[params.n]), seed, session, |g, s, session| {
+                catalog::uniform_ps_mis().solve_in(g, &units(g.node_count()), s, session)
             })
         }
         ProblemKind::ArboricityMis => {
             let baseline = catalog::arboricity_mis_black_box();
             let guesses = [params.degeneracy.max(1), params.n, params.max_id];
-            run_mis_cell(graph, (baseline.build)(&guesses), seed, |g, s| {
-                catalog::uniform_arboricity_mis().solve(g, &units(g.node_count()), s)
+            run_mis_cell(graph, (baseline.build)(&guesses), seed, session, |g, s, session| {
+                catalog::uniform_arboricity_mis().solve_in(g, &units(g.node_count()), s, session)
             })
         }
         ProblemKind::Corollary1Mis => {
@@ -154,7 +177,10 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 graph,
                 (baseline.build)(&[params.max_degree, params.max_id]),
                 seed,
-                |g, s| catalog::corollary1_mis().solve(g, &units(g.node_count()), s),
+                session,
+                |g, s, session| {
+                    catalog::corollary1_mis().solve_in(g, &units(g.node_count()), s, session)
+                },
             )
         }
         ProblemKind::LubyMis => {
@@ -170,6 +196,8 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 subiterations: 0,
                 solved: run.completed,
                 valid,
+                attempt_micros: 0,
+                prune_micros: 0,
             }
         }
         ProblemKind::Matching => {
@@ -178,14 +206,23 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 graph,
                 (baseline.build)(&[params.max_degree, params.max_id]),
                 seed,
-                |g, s| catalog::uniform_matching().solve(g, &units(g.node_count()), s),
+                session,
+                |g, s, session| {
+                    catalog::uniform_matching().solve_in(g, &units(g.node_count()), s, session)
+                },
             )
         }
         ProblemKind::Log4Matching => {
             let baseline = catalog::synthetic_log4_matching_black_box();
-            run_matching_cell(graph, (baseline.build)(&[params.n]), seed, |g, s| {
-                catalog::uniform_log4_matching().solve(g, &units(g.node_count()), s)
-            })
+            run_matching_cell(
+                graph,
+                (baseline.build)(&[params.n]),
+                seed,
+                session,
+                |g, s, session| {
+                    catalog::uniform_log4_matching().solve_in(g, &units(g.node_count()), s, session)
+                },
+            )
         }
         ProblemKind::RulingSet(beta) => {
             let baseline = catalog::ruling_set_black_box();
@@ -195,10 +232,11 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 None,
                 seed,
             );
-            let uni = catalog::uniform_ruling_set(beta as usize).solve(
+            let uni = catalog::uniform_ruling_set(beta as usize).solve_in(
                 graph,
                 &units(graph.node_count()),
                 seed,
+                session,
             );
             // The Monte-Carlo baseline is allowed to fail; the Las Vegas claim is on the
             // uniform output only.
@@ -213,6 +251,8 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 subiterations: uni.subiterations,
                 solved: uni.solved,
                 valid,
+                attempt_micros: uni.attempt_micros,
+                prune_micros: uni.prune_micros,
             }
         }
         ProblemKind::LambdaColoring(lambda) => {
@@ -224,7 +264,7 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 seed,
             );
             let transformer = catalog::uniform_lambda_coloring(lambda);
-            let uni = transformer.solve(graph, seed);
+            let uni = transformer.solve_in(graph, seed, session);
             let nu_valid = checkers::check_coloring_with_palette(
                 graph,
                 &nu.outputs,
@@ -242,9 +282,11 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
                 subiterations: 0,
                 solved: uni.solved,
                 valid: nu_valid && uni_valid,
+                attempt_micros: uni.attempt_micros,
+                prune_micros: uni.prune_micros,
             }
         }
-        ProblemKind::EdgeColoring => run_edge_coloring_cell(graph, params, seed),
+        ProblemKind::EdgeColoring => run_edge_coloring_cell(graph, params, seed, session),
     };
 
     CellResult {
@@ -264,6 +306,9 @@ pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellRes
         solved: measured.solved,
         valid: measured.valid,
         wall_micros: started.elapsed().as_micros() as u64,
+        attempt_micros: measured.attempt_micros,
+        prune_micros: measured.prune_micros,
+        instance_micros: instance.gen_micros,
     }
 }
 
@@ -275,10 +320,11 @@ fn run_transformed_cell<P: Problem<Input = ()>>(
     graph: &Graph,
     baseline: local_runtime::DynAlgorithm<(), P::Output>,
     seed: u64,
-    uniform: impl Fn(&Graph, u64) -> local_uniform::UniformRun<P::Output>,
+    session: &mut Session,
+    uniform: impl Fn(&Graph, u64, &mut Session) -> local_uniform::UniformRun<P::Output>,
 ) -> Measured {
     let nu = baseline.execute(graph, &units(graph.node_count()), None, seed);
-    let uni = uniform(graph, seed);
+    let uni = uniform(graph, seed, session);
     let valid = problem.validate(graph, &units(graph.node_count()), &nu.outputs).is_ok()
         && problem.validate(graph, &units(graph.node_count()), &uni.outputs).is_ok();
     Measured {
@@ -289,6 +335,8 @@ fn run_transformed_cell<P: Problem<Input = ()>>(
         subiterations: uni.subiterations,
         solved: uni.solved,
         valid,
+        attempt_micros: uni.attempt_micros,
+        prune_micros: uni.prune_micros,
     }
 }
 
@@ -297,9 +345,10 @@ fn run_mis_cell(
     graph: &Graph,
     baseline: local_runtime::DynAlgorithm<(), bool>,
     seed: u64,
-    uniform: impl Fn(&Graph, u64) -> local_uniform::UniformRun<bool>,
+    session: &mut Session,
+    uniform: impl Fn(&Graph, u64, &mut Session) -> local_uniform::UniformRun<bool>,
 ) -> Measured {
-    run_transformed_cell(&MisProblem, graph, baseline, seed, uniform)
+    run_transformed_cell(&MisProblem, graph, baseline, seed, session, uniform)
 }
 
 /// [`run_transformed_cell`] specialised to the maximal-matching validator.
@@ -307,15 +356,25 @@ fn run_matching_cell(
     graph: &Graph,
     baseline: local_runtime::DynAlgorithm<(), Option<local_runtime::NodeId>>,
     seed: u64,
-    uniform: impl Fn(&Graph, u64) -> local_uniform::UniformRun<Option<local_runtime::NodeId>>,
+    session: &mut Session,
+    uniform: impl Fn(
+        &Graph,
+        u64,
+        &mut Session,
+    ) -> local_uniform::UniformRun<Option<local_runtime::NodeId>>,
 ) -> Measured {
-    run_transformed_cell(&MatchingProblem, graph, baseline, seed, uniform)
+    run_transformed_cell(&MatchingProblem, graph, baseline, seed, session, uniform)
 }
 
 /// Edge colouring: the non-uniform line-graph baseline versus Theorem 5 on the line graph
 /// (a vertex colouring of `L(G)` is an edge colouring of `G`; +1 round to exchange the
 /// chosen colours over the edges).
-fn run_edge_coloring_cell(graph: &Graph, params: &GraphParams, seed: u64) -> Measured {
+fn run_edge_coloring_cell(
+    graph: &Graph,
+    params: &GraphParams,
+    seed: u64,
+    session: &mut Session,
+) -> Measured {
     let baseline =
         LineGraphEdgeColoring { delta_guess: params.max_degree, id_bound_guess: params.max_id };
     let nu = baseline.execute(graph, &units(graph.node_count()), None, seed);
@@ -323,7 +382,7 @@ fn run_edge_coloring_cell(graph: &Graph, params: &GraphParams, seed: u64) -> Mea
 
     let (lg, edges) = graph.line_graph();
     let transformer = catalog::uniform_lambda_coloring(1);
-    let uni = transformer.solve(&lg, seed);
+    let uni = transformer.solve_in(&lg, seed, session);
     let mut edge_color = HashMap::new();
     for (i, &(u, v)) in edges.iter().enumerate() {
         edge_color.insert((u.min(v), u.max(v)), uni.colors[i]);
@@ -341,6 +400,8 @@ fn run_edge_coloring_cell(graph: &Graph, params: &GraphParams, seed: u64) -> Mea
         subiterations: 0,
         solved: uni.solved,
         valid: nu_valid && uni_valid,
+        attempt_micros: uni.attempt_micros,
+        prune_micros: uni.prune_micros,
     }
 }
 

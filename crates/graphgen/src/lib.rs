@@ -23,8 +23,8 @@ pub mod structured;
 
 pub use families::{Family, InstanceKey};
 pub use params::{
-    arboricity_lower_bound, arboricity_upper_bound, degeneracy, degeneracy_ordering, diameter,
-    log_star, GraphParams, Parameter,
+    arboricity_lower_bound, arboricity_upper_bound, degeneracy, degeneracy_ordering,
+    degeneracy_view, diameter, log_star, GraphParams, Parameter,
 };
 pub use random::{
     forest_union, gnp, gnp_avg_degree, preferential_attachment, random_regular, random_tree,

@@ -10,7 +10,7 @@
 //! parameter, so every monotonicity argument in the paper carries over (documented substitution
 //! in DESIGN.md).
 
-use local_runtime::Graph;
+use local_runtime::{Graph, GraphView};
 use serde::{Deserialize, Serialize};
 
 /// A non-decreasing graph parameter, in the sense of Section 2 of the paper: a function of the
@@ -38,6 +38,18 @@ impl Parameter {
             Parameter::MaxDegree => g.max_degree() as u64,
             Parameter::Degeneracy => degeneracy(g) as u64,
             Parameter::MaxId => g.max_id(),
+        }
+    }
+
+    /// Evaluates the parameter on a live [`GraphView`] — the value the parameter takes on the
+    /// *current configuration* of an alternating algorithm, without materializing it.
+    /// Agrees with [`Parameter::eval`] on the materialized subgraph.
+    pub fn eval_view(&self, view: &GraphView<'_>) -> u64 {
+        match self {
+            Parameter::N => view.node_count() as u64,
+            Parameter::MaxDegree => view.max_degree() as u64,
+            Parameter::Degeneracy => degeneracy_view(view) as u64,
+            Parameter::MaxId => view.max_id(),
         }
     }
 
@@ -115,6 +127,47 @@ pub fn degeneracy(g: &Graph) -> usize {
         peeled += 1;
         degen = degen.max(degree[v]);
         for &w in g.neighbors(v) {
+            if !removed[w] {
+                degree[w] -= 1;
+                buckets[degree[w]].push(w);
+            }
+        }
+    }
+    degen
+}
+
+/// The degeneracy of a live [`GraphView`], by the same peeling procedure as [`degeneracy`]
+/// but over the view's live adjacency. Agrees with `degeneracy` on the materialized subgraph.
+pub fn degeneracy_view(view: &GraphView<'_>) -> usize {
+    let n = view.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let mut degree: Vec<usize> = (0..n).map(|v| view.degree(v)).collect();
+    let max_deg = *degree.iter().max().unwrap_or(&0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); max_deg + 1];
+    for (v, &d) in degree.iter().enumerate() {
+        buckets[d].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut degen = 0;
+    let mut peeled = 0;
+    let mut cursor = 0usize;
+    while peeled < n {
+        cursor = cursor.saturating_sub(1);
+        let v = loop {
+            while buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let candidate = buckets[cursor].pop().expect("bucket checked non-empty");
+            if !removed[candidate] && degree[candidate] == cursor {
+                break candidate;
+            }
+        };
+        removed[v] = true;
+        peeled += 1;
+        degen = degen.max(degree[v]);
+        for w in view.neighbors(v) {
             if !removed[w] {
                 degree[w] -= 1;
                 buckets[degree[w]].push(w);

@@ -11,6 +11,8 @@
 use crate::graph::Graph;
 use crate::program::ProgramSpec;
 use crate::runner::{run, RunConfig};
+use crate::session::{run_view, Session};
+use crate::view::GraphView;
 
 /// The outcome of executing a [`GraphAlgorithm`].
 #[derive(Debug, Clone)]
@@ -58,6 +60,30 @@ pub trait GraphAlgorithm: Send + Sync {
         budget: Option<u64>,
         seed: u64,
     ) -> AlgoRun<Self::Output>;
+
+    /// Executes the algorithm on a live [`GraphView`], reusing the session's buffers.
+    ///
+    /// This is the zero-rebuild entry point used by the alternating drivers: pruning shrinks
+    /// the view in place and the next attempt runs here without materializing a subgraph.
+    /// The contract is strict equivalence — for any view, this must return exactly what
+    /// [`GraphAlgorithm::execute`] would return on [`GraphView::materialize`]'s graph.
+    ///
+    /// The default implementation materializes and delegates — through the session's
+    /// epoch-keyed cache, so consecutive attempts on an unchanged configuration copy the
+    /// subgraph once, not once per attempt. Node-automaton algorithms (every [`ProgramSpec`])
+    /// override it with a direct view execution, and composite algorithms should forward to
+    /// their phases' `execute_view` when their global computation permits.
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[Self::Input],
+        budget: Option<u64>,
+        seed: u64,
+        session: &mut Session,
+    ) -> AlgoRun<Self::Output> {
+        let sub = session.materialized_graph(view);
+        self.execute(sub, inputs, budget, seed)
+    }
 }
 
 /// Every node-automaton specification is a graph algorithm: the runtime drives it.
@@ -74,6 +100,24 @@ impl<S: ProgramSpec> GraphAlgorithm for S {
     ) -> AlgoRun<Self::Output> {
         let cfg = RunConfig { seed, max_rounds: budget, ..RunConfig::default() };
         let exec = run(graph, inputs, self, &cfg);
+        AlgoRun {
+            outputs: exec.outputs,
+            rounds: exec.rounds,
+            messages: exec.messages,
+            completed: exec.completed,
+        }
+    }
+
+    fn execute_view(
+        &self,
+        view: &GraphView<'_>,
+        inputs: &[Self::Input],
+        budget: Option<u64>,
+        seed: u64,
+        session: &mut Session,
+    ) -> AlgoRun<Self::Output> {
+        let cfg = RunConfig { seed, max_rounds: budget, ..RunConfig::default() };
+        let exec = run_view(view, inputs, self, &cfg, session);
         AlgoRun {
             outputs: exec.outputs,
             rounds: exec.rounds,

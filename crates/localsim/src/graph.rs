@@ -184,6 +184,11 @@ impl Graph {
         reverse
     }
 
+    /// CSR internals (offsets, adjacency, reverse-arc positions), for the live-view overlay.
+    pub(crate) fn csr(&self) -> (&[usize], &[NodeIndex], &[usize]) {
+        (&self.offsets, &self.adjacency, &self.reverse)
+    }
+
     /// Number of nodes `n = |V(G)|`.
     pub fn node_count(&self) -> usize {
         self.offsets.len() - 1

@@ -18,6 +18,10 @@
 //!   guesses through the spec.
 //! * [`run`] — the round-driving engine with a round budget (the paper's *restriction to `i`
 //!   rounds*) and exact round accounting.
+//! * [`GraphView`] / [`Session`] — the zero-rebuild execution core: live-mask views that let
+//!   pruning shrink a configuration without copying the CSR, and reusable sessions whose
+//!   frontier-driven round loop ([`run_view`]) touches only active nodes and live inboxes —
+//!   byte-identical to [`run`] on the materialized subgraph.
 //!
 //! ## Example
 //!
@@ -67,11 +71,15 @@ pub mod graph;
 pub mod program;
 pub mod rng;
 pub mod runner;
+pub mod session;
 pub mod trace;
+pub mod view;
 
 pub use algorithm::{AlgoRun, DynAlgorithm, GraphAlgorithm};
 pub use graph::{Graph, GraphError, NodeId, NodeIndex};
 pub use program::{Action, Incoming, NodeInit, NodeProgram, ProgramSpec, RoundCtx};
 pub use rng::{mix_seed, node_rng};
 pub use runner::{run, run_sequence, Execution, RunConfig};
+pub use session::{run_view, Session, Topology};
 pub use trace::{ExecutionTrace, RoundTrace};
+pub use view::GraphView;

@@ -67,14 +67,15 @@ pub trait NodeProgram {
 /// runtime cuts the execution short (the paper's *algorithm restricted to `i` rounds*).
 ///
 /// Specs are `Send + Sync` and their inputs/outputs are `Send` so that batch schedulers can
-/// run many executions of the same spec concurrently across experiment cells.
+/// run many executions of the same spec concurrently across experiment cells. The `'static`
+/// bounds let a reusable [`crate::session::Session`] pool typed message buffers across runs.
 pub trait ProgramSpec: Send + Sync {
     /// Problem input type `x(v)` handed to every node.
-    type Input: Clone + Send + Sync;
+    type Input: Clone + Send + Sync + 'static;
     /// Message type of the node programs.
-    type Msg: Clone + Send;
+    type Msg: Clone + Send + 'static;
     /// Output type of the node programs.
-    type Output: Clone + Send;
+    type Output: Clone + Send + 'static;
     /// The node automaton type.
     type Prog: NodeProgram<Msg = Self::Msg, Output = Self::Output>;
 

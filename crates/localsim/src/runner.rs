@@ -10,9 +10,9 @@
 //! time over all nodes.
 
 use crate::graph::Graph;
-use crate::program::{Action, Incoming, NodeInit, NodeProgram, ProgramSpec, RoundCtx};
-use crate::rng::node_rng;
-use crate::trace::{ExecutionTrace, RoundTrace};
+use crate::program::ProgramSpec;
+use crate::session::{run_core, Session};
+use crate::trace::ExecutionTrace;
 
 /// Configuration of one execution.
 #[derive(Debug, Clone)]
@@ -84,6 +84,10 @@ impl<O> Execution<O> {
 
 /// Runs `spec` on `graph` with per-node inputs `inputs`.
 ///
+/// Drives the frontier-based loop of [`crate::session`] over the full graph with a throwaway
+/// [`Session`]; callers that execute many runs (alternating drivers, batch schedulers) should
+/// hold a session and use [`crate::session::run_view`] to reuse its buffers.
+///
 /// # Panics
 ///
 /// Panics if `inputs.len() != graph.node_count()`.
@@ -93,100 +97,7 @@ pub fn run<S: ProgramSpec>(
     spec: &S,
     cfg: &RunConfig,
 ) -> Execution<S::Output> {
-    let n = graph.node_count();
-    assert_eq!(inputs.len(), n, "one input per node is required");
-
-    let inits: Vec<NodeInit<S::Input>> = (0..n)
-        .map(|v| NodeInit {
-            index: v,
-            id: graph.id(v),
-            degree: graph.degree(v),
-            neighbor_ids: graph.neighbors(v).iter().map(|&w| graph.id(w)).collect(),
-            input: inputs[v].clone(),
-        })
-        .collect();
-
-    let mut programs: Vec<S::Prog> = inits.iter().map(|init| spec.build(init)).collect();
-    let mut rngs: Vec<_> = (0..n).map(|v| node_rng(cfg.seed, graph.id(v))).collect();
-
-    let mut outputs: Vec<Option<S::Output>> = vec![None; n];
-    let mut termination = vec![0u64; n];
-    let mut halted = vec![false; n];
-    let mut inboxes: Vec<Vec<Incoming<S::Msg>>> = vec![Vec::new(); n];
-    let mut next_inboxes: Vec<Vec<Incoming<S::Msg>>> = vec![Vec::new(); n];
-    let mut messages: u64 = 0;
-    let mut trace = cfg.record_trace.then(ExecutionTrace::default);
-
-    let limit = cfg.max_rounds.unwrap_or(cfg.hard_cap).min(cfg.hard_cap);
-    let mut rounds_executed = 0u64;
-    let mut active = n;
-
-    let mut round: u64 = 0;
-    while active > 0 && round < limit {
-        let mut outbox: Vec<(usize, S::Msg)> = Vec::new();
-        let mut delivered_this_round = 0u64;
-        for v in 0..n {
-            if halted[v] {
-                continue;
-            }
-            outbox.clear();
-            let action = {
-                let mut ctx = RoundCtx {
-                    round,
-                    degree: graph.degree(v),
-                    inbox: &inboxes[v],
-                    outbox: &mut outbox,
-                    rng: &mut rngs[v],
-                };
-                programs[v].round(&mut ctx)
-            };
-            for (port, msg) in outbox.drain(..) {
-                let w = graph.neighbor(v, port);
-                let arrival_port = graph.reverse_port(v, port);
-                next_inboxes[w].push(Incoming { port: arrival_port, msg });
-                delivered_this_round += 1;
-            }
-            if let Action::Halt(out) = action {
-                outputs[v] = Some(out);
-                // Halting during round r means the node used r communication rounds.
-                termination[v] = round;
-                halted[v] = true;
-                active -= 1;
-            }
-        }
-        messages += delivered_this_round;
-        for v in 0..n {
-            inboxes[v].clear();
-            std::mem::swap(&mut inboxes[v], &mut next_inboxes[v]);
-        }
-        round += 1;
-        rounds_executed = round;
-        if let Some(t) = trace.as_mut() {
-            t.rounds.push(RoundTrace {
-                round: round - 1,
-                active_nodes: active,
-                messages: delivered_this_round,
-            });
-        }
-    }
-
-    let completed = active == 0;
-    // Force outputs of nodes that never halted and charge them the full execution length.
-    let cut_off_at = rounds_executed;
-    let outputs: Vec<S::Output> = outputs
-        .into_iter()
-        .enumerate()
-        .map(|(v, o)| o.unwrap_or_else(|| spec.default_output(&inits[v])))
-        .collect();
-    let termination: Vec<u64> = termination
-        .iter()
-        .zip(halted.iter())
-        .map(|(&t, &h)| if h { t } else { cut_off_at })
-        .collect();
-
-    let rounds = termination.iter().copied().max().unwrap_or(0);
-
-    Execution { outputs, rounds, termination, halted, messages, completed, trace }
+    run_core(graph, inputs, spec, cfg, &mut Session::new())
 }
 
 /// Runs `first` and then `second`, feeding the outputs of `first` to `second` as inputs

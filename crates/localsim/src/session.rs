@@ -1,0 +1,435 @@
+//! Reusable execution sessions and the frontier-driven round loop.
+//!
+//! The alternating drivers of the paper run the same black box dozens of times with doubling
+//! budgets; allocating programs, RNG streams, inboxes, and bookkeeping arrays from scratch for
+//! every attempt dominates the cost of short attempts. A [`Session`] owns that per-node state
+//! and is reset — not reallocated — between attempts; callers (the transformers, the engine's
+//! worker threads) keep one session alive across a whole alternation run or grid shard.
+//!
+//! The round loop itself is frontier-driven: it iterates an *active worklist* of non-halted
+//! nodes (in the synchronous LOCAL model every non-halted node takes a step each round, so the
+//! frontier is exactly the non-halted set) and touches only the inboxes that actually received
+//! messages, instead of scanning all `n` nodes and `n` inboxes per round. Iteration order is
+//! ascending node index — identical to the dense scan — so executions are byte-identical to
+//! the classic [`crate::runner::run`] loop.
+
+use crate::graph::{Graph, NodeId};
+use crate::program::{Action, Incoming, NodeInit, NodeProgram, ProgramSpec, RoundCtx};
+use crate::rng::node_rng;
+use crate::runner::{Execution, RunConfig};
+use crate::trace::{ExecutionTrace, RoundTrace};
+use crate::view::GraphView;
+use rand_chacha::ChaCha8Rng;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+
+/// Read access to a communication topology, as needed by the round loop.
+///
+/// The loop addresses nodes two ways: by dense *node index* (`0..node_count()`, what the
+/// caller's input/output vectors use) and by *slot* — the index space message buffers live in.
+/// For a [`Graph`] the two coincide; for a [`GraphView`] the slot is the node's base index,
+/// which makes every adjacency access a flat segment read (no per-message translation back to
+/// live indices). The loop is monomorphized per topology, so full-graph runs pay no view
+/// overhead.
+pub trait Topology {
+    /// Number of (live) nodes.
+    fn node_count(&self) -> usize;
+    /// Size of the slot space (message buffers are sized to this).
+    fn slot_count(&self) -> usize;
+    /// The slot of node `v` (identity for graphs, base index for views).
+    fn slot(&self, v: usize) -> usize;
+    /// Identity of node `v`.
+    fn id(&self, v: usize) -> NodeId;
+    /// Degree of the node in slot `s`.
+    fn slot_degree(&self, s: usize) -> usize;
+    /// The slot of the `port`-th neighbor of the node in slot `s`.
+    fn slot_neighbor(&self, s: usize, port: usize) -> usize;
+    /// The port at which slot `s` appears in the neighbor list of its `port`-th neighbor.
+    fn slot_reverse_port(&self, s: usize, port: usize) -> usize;
+    /// Identities of the neighbors of node `v`, in port order.
+    fn neighbor_ids(&self, v: usize) -> Vec<NodeId>;
+}
+
+impl Topology for Graph {
+    fn node_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+    fn slot_count(&self) -> usize {
+        Graph::node_count(self)
+    }
+    fn slot(&self, v: usize) -> usize {
+        v
+    }
+    fn id(&self, v: usize) -> NodeId {
+        Graph::id(self, v)
+    }
+    fn slot_degree(&self, s: usize) -> usize {
+        Graph::degree(self, s)
+    }
+    fn slot_neighbor(&self, s: usize, port: usize) -> usize {
+        Graph::neighbor(self, s, port)
+    }
+    fn slot_reverse_port(&self, s: usize, port: usize) -> usize {
+        Graph::reverse_port(self, s, port)
+    }
+    fn neighbor_ids(&self, v: usize) -> Vec<NodeId> {
+        self.neighbors(v).iter().map(|&w| Graph::id(self, w)).collect()
+    }
+}
+
+impl Topology for GraphView<'_> {
+    fn node_count(&self) -> usize {
+        GraphView::node_count(self)
+    }
+    fn slot_count(&self) -> usize {
+        GraphView::slot_count(self)
+    }
+    fn slot(&self, v: usize) -> usize {
+        self.base_index(v)
+    }
+    fn id(&self, v: usize) -> NodeId {
+        GraphView::id(self, v)
+    }
+    fn slot_degree(&self, s: usize) -> usize {
+        GraphView::slot_degree(self, s)
+    }
+    fn slot_neighbor(&self, s: usize, port: usize) -> usize {
+        GraphView::slot_neighbor(self, s, port)
+    }
+    fn slot_reverse_port(&self, s: usize, port: usize) -> usize {
+        GraphView::slot_reverse_port(self, s, port)
+    }
+    fn neighbor_ids(&self, v: usize) -> Vec<NodeId> {
+        let s = self.base_index(v);
+        self.slot_neighbors(s).iter().map(|&w| self.base().id(w)).collect()
+    }
+}
+
+/// Double-buffered inboxes for one message type, pooled across runs by [`Session`].
+struct InboxBuffers<M> {
+    cur: Vec<Vec<Incoming<M>>>,
+    next: Vec<Vec<Incoming<M>>>,
+}
+
+impl<M> InboxBuffers<M> {
+    fn new() -> Self {
+        InboxBuffers { cur: Vec::new(), next: Vec::new() }
+    }
+
+    /// Resizes to `n` slots and clears any stale content (capacities are kept warm).
+    fn reset(&mut self, n: usize) {
+        self.cur.iter_mut().for_each(Vec::clear);
+        self.next.iter_mut().for_each(Vec::clear);
+        self.cur.resize_with(n, Vec::new);
+        self.next.resize_with(n, Vec::new);
+    }
+}
+
+/// Reusable per-node execution state: RNG streams, halt/termination bookkeeping, the active
+/// worklist, and a pool of typed inbox buffers.
+///
+/// A session is cheap to create but pays off when reused: every buffer is reset in place
+/// between runs, so consecutive attempts of an alternation (or consecutive cells of a sweep
+/// shard) allocate almost nothing.
+#[derive(Default)]
+pub struct Session {
+    rngs: Vec<ChaCha8Rng>,
+    halted: Vec<bool>,
+    termination: Vec<u64>,
+    active: Vec<usize>,
+    has_next: Vec<bool>,
+    touched_prev: Vec<usize>,
+    touched_now: Vec<usize>,
+    inbox_pool: HashMap<TypeId, Box<dyn Any>>,
+    /// Materialized-subgraph cache for composite algorithms without a view-native path,
+    /// keyed by the view's content epoch (equal epoch ⇒ structurally identical view).
+    materialized: Option<(u64, Graph)>,
+}
+
+impl Session {
+    /// A fresh session with empty buffers.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// The materialization of `view`, cached by content epoch: repeated attempts on an
+    /// unchanged configuration (the common case between prunings) copy the subgraph once, not
+    /// once per attempt. Used by the default [`crate::algorithm::GraphAlgorithm::execute_view`].
+    pub fn materialized_graph(&mut self, view: &GraphView<'_>) -> &Graph {
+        let epoch = view.epoch();
+        if self.materialized.as_ref().is_none_or(|&(cached, _)| cached != epoch) {
+            let (graph, _back) = view.materialize();
+            self.materialized = Some((epoch, graph));
+        }
+        &self.materialized.as_ref().expect("cache filled above").1
+    }
+
+    fn take_inboxes<M: 'static>(&mut self, n: usize) -> Box<InboxBuffers<M>> {
+        let mut buffers = self
+            .inbox_pool
+            .remove(&TypeId::of::<M>())
+            .and_then(|b| b.downcast::<InboxBuffers<M>>().ok())
+            .unwrap_or_else(|| Box::new(InboxBuffers::new()));
+        buffers.reset(n);
+        buffers
+    }
+
+    fn put_inboxes<M: 'static>(&mut self, buffers: Box<InboxBuffers<M>>) {
+        self.inbox_pool.insert(TypeId::of::<M>(), buffers);
+    }
+}
+
+/// Runs `spec` over `view` with the session's reusable buffers.
+///
+/// For the same alive set, seed, and spec this is byte-identical to materializing the view
+/// with [`GraphView::materialize`] and calling [`crate::runner::run`] on the result: node
+/// indexing, port numbering, message order, and the identity-derived RNG streams all agree.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != view.node_count()`.
+pub fn run_view<S: ProgramSpec>(
+    view: &GraphView<'_>,
+    inputs: &[S::Input],
+    spec: &S,
+    cfg: &RunConfig,
+    session: &mut Session,
+) -> Execution<S::Output> {
+    run_core(view, inputs, spec, cfg, session)
+}
+
+/// The shared round loop; monomorphized over the topology (graph or view).
+pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
+    topo: &T,
+    inputs: &[S::Input],
+    spec: &S,
+    cfg: &RunConfig,
+    session: &mut Session,
+) -> Execution<S::Output> {
+    let n = topo.node_count();
+    let slots = topo.slot_count();
+    assert_eq!(inputs.len(), n, "one input per node is required");
+
+    let inits: Vec<NodeInit<S::Input>> = (0..n)
+        .map(|v| NodeInit {
+            index: v,
+            id: topo.id(v),
+            degree: topo.slot_degree(topo.slot(v)),
+            neighbor_ids: topo.neighbor_ids(v),
+            input: inputs[v].clone(),
+        })
+        .collect();
+    let mut programs: Vec<S::Prog> = inits.iter().map(|init| spec.build(init)).collect();
+
+    session.rngs.clear();
+    session.rngs.extend((0..n).map(|v| node_rng(cfg.seed, topo.id(v))));
+    session.halted.clear();
+    session.halted.resize(n, false);
+    session.termination.clear();
+    session.termination.resize(n, 0);
+    session.active.clear();
+    session.active.extend(0..n);
+    session.has_next.clear();
+    session.has_next.resize(slots, false);
+    session.touched_prev.clear();
+    session.touched_now.clear();
+    let mut inboxes = session.take_inboxes::<S::Msg>(slots);
+
+    let mut outputs: Vec<Option<S::Output>> = vec![None; n];
+    let mut messages: u64 = 0;
+    let mut trace = cfg.record_trace.then(ExecutionTrace::default);
+
+    let limit = cfg.max_rounds.unwrap_or(cfg.hard_cap).min(cfg.hard_cap);
+    let mut rounds_executed = 0u64;
+    let mut active_count = n;
+    let mut outbox: Vec<(usize, S::Msg)> = Vec::new();
+
+    let mut round: u64 = 0;
+    while active_count > 0 && round < limit {
+        let mut delivered_this_round = 0u64;
+        let mut any_halt = false;
+        for idx in 0..session.active.len() {
+            let v = session.active[idx];
+            let s = topo.slot(v);
+            outbox.clear();
+            let action = {
+                let mut ctx = RoundCtx {
+                    round,
+                    degree: topo.slot_degree(s),
+                    inbox: &inboxes.cur[s],
+                    outbox: &mut outbox,
+                    rng: &mut session.rngs[v],
+                };
+                programs[v].round(&mut ctx)
+            };
+            for (port, msg) in outbox.drain(..) {
+                let w = topo.slot_neighbor(s, port);
+                let arrival_port = topo.slot_reverse_port(s, port);
+                if !session.has_next[w] {
+                    session.has_next[w] = true;
+                    session.touched_now.push(w);
+                }
+                inboxes.next[w].push(Incoming { port: arrival_port, msg });
+                delivered_this_round += 1;
+            }
+            if let Action::Halt(out) = action {
+                outputs[v] = Some(out);
+                // Halting during round r means the node used r communication rounds.
+                session.termination[v] = round;
+                session.halted[v] = true;
+                active_count -= 1;
+                any_halt = true;
+            }
+        }
+        messages += delivered_this_round;
+        // Only inboxes that held or received messages are touched (not all n).
+        for &v in &session.touched_prev {
+            inboxes.cur[v].clear();
+        }
+        for &w in &session.touched_now {
+            std::mem::swap(&mut inboxes.cur[w], &mut inboxes.next[w]);
+            session.has_next[w] = false;
+        }
+        std::mem::swap(&mut session.touched_prev, &mut session.touched_now);
+        session.touched_now.clear();
+        if any_halt {
+            let halted = &session.halted;
+            session.active.retain(|&v| !halted[v]);
+        }
+        round += 1;
+        rounds_executed = round;
+        if let Some(t) = trace.as_mut() {
+            t.rounds.push(RoundTrace {
+                round: round - 1,
+                active_nodes: active_count,
+                messages: delivered_this_round,
+            });
+        }
+    }
+    programs.clear();
+
+    let completed = active_count == 0;
+    // Force outputs of nodes that never halted and charge them the full execution length.
+    let cut_off_at = rounds_executed;
+    let outputs: Vec<S::Output> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(v, o)| o.unwrap_or_else(|| spec.default_output(&inits[v])))
+        .collect();
+    let termination: Vec<u64> = session
+        .termination
+        .iter()
+        .zip(session.halted.iter())
+        .map(|(&t, &h)| if h { t } else { cut_off_at })
+        .collect();
+    let halted = session.halted.clone();
+    let rounds = termination.iter().copied().max().unwrap_or(0);
+
+    for &v in &session.touched_prev {
+        inboxes.cur[v].clear();
+    }
+    session.touched_prev.clear();
+    session.put_inboxes(inboxes);
+
+    Execution { outputs, rounds, termination, halted, messages, completed, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+
+    /// Gossip spec: flood identities, output the max seen after `radius` rounds.
+    struct MaxIdSpec {
+        radius: u64,
+    }
+    struct MaxIdProg {
+        radius: u64,
+        best: u64,
+    }
+    impl NodeProgram for MaxIdProg {
+        type Msg = u64;
+        type Output = u64;
+        fn round(&mut self, ctx: &mut RoundCtx<'_, u64>) -> Action<u64> {
+            for m in ctx.inbox() {
+                self.best = self.best.max(m.msg);
+            }
+            if ctx.round() == self.radius {
+                return Action::Halt(self.best);
+            }
+            ctx.broadcast(self.best);
+            Action::Continue
+        }
+    }
+    impl ProgramSpec for MaxIdSpec {
+        type Input = ();
+        type Msg = u64;
+        type Output = u64;
+        type Prog = MaxIdProg;
+        fn build(&self, init: &NodeInit<()>) -> MaxIdProg {
+            MaxIdProg { radius: self.radius, best: init.id }
+        }
+        fn default_output(&self, _init: &NodeInit<()>) -> u64 {
+            0
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges).unwrap()
+    }
+
+    #[test]
+    fn view_run_matches_graph_run_on_full_view() {
+        let g = path(8);
+        let cfg = RunConfig::seeded(3).with_trace();
+        let reference = run(&g, &[(); 8], &MaxIdSpec { radius: 3 }, &cfg);
+        let view = GraphView::full(&g);
+        let mut session = Session::new();
+        let via_view = run_view(&view, &[(); 8], &MaxIdSpec { radius: 3 }, &cfg, &mut session);
+        assert_eq!(via_view.outputs, reference.outputs);
+        assert_eq!(via_view.rounds, reference.rounds);
+        assert_eq!(via_view.messages, reference.messages);
+        assert_eq!(via_view.termination, reference.termination);
+        assert_eq!(via_view.trace.unwrap().rounds.len(), reference.trace.unwrap().rounds.len());
+    }
+
+    #[test]
+    fn view_run_matches_materialized_subgraph_run() {
+        let g = path(10);
+        let keep: Vec<bool> = (0..10).map(|v| v != 3 && v != 7).collect();
+        let (sub, _back) = g.induced_subgraph(&keep);
+        let cfg = RunConfig::seeded(11);
+        let reference = run(&sub, &vec![(); sub.node_count()], &MaxIdSpec { radius: 4 }, &cfg);
+        let view = GraphView::with_mask(&g, &keep);
+        let mut session = Session::new();
+        let via_view = run_view(
+            &view,
+            &vec![(); view.node_count()],
+            &MaxIdSpec { radius: 4 },
+            &cfg,
+            &mut session,
+        );
+        assert_eq!(via_view.outputs, reference.outputs);
+        assert_eq!(via_view.rounds, reference.rounds);
+        assert_eq!(via_view.messages, reference.messages);
+    }
+
+    #[test]
+    fn session_reuse_across_runs_is_clean() {
+        let g = path(6);
+        let view = GraphView::full(&g);
+        let mut session = Session::new();
+        let cfg = RunConfig::seeded(0);
+        let first = run_view(&view, &[(); 6], &MaxIdSpec { radius: 2 }, &cfg, &mut session);
+        let second = run_view(&view, &[(); 6], &MaxIdSpec { radius: 2 }, &cfg, &mut session);
+        assert_eq!(first.outputs, second.outputs);
+        assert_eq!(first.messages, second.messages);
+        // A run over a shrunken view after a big one must not see stale state.
+        let mut small = GraphView::full(&g);
+        small.retain(&[true, true, true, false, false, false]);
+        let shrunk = run_view(&small, &[(); 3], &MaxIdSpec { radius: 2 }, &cfg, &mut session);
+        assert_eq!(shrunk.outputs.len(), 3);
+        assert_eq!(shrunk.outputs, vec![2, 2, 2]);
+    }
+}

@@ -78,7 +78,7 @@ proptest! {
         let n = g.node_count();
         let tentative: Vec<bool> = (0..n).map(|v| bits[v % bits.len()]).collect();
         let pruning = RulingSetPruning::mis();
-        let result = PruningAlgorithm::<MisProblem>::prune(&pruning, &g, &vec![(); n], &tentative);
+        let result = PruningAlgorithm::<MisProblem>::prune(&pruning, &localkit::runtime::GraphView::full(&g), &vec![(); n], &tentative);
         // Solution detection (contrapositive direction via gluing): solve the remainder and glue.
         let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
         let (sub, back) = g.induced_subgraph(&keep);
@@ -90,7 +90,7 @@ proptest! {
         prop_assert!(MisProblem.validate(&g, &vec![(); n], &combined).is_ok());
         // Solution detection (direct direction): a correct solution is fully pruned.
         let correct = localkit::algos::mis::central_greedy_mis(&g);
-        let detect = PruningAlgorithm::<MisProblem>::prune(&pruning, &g, &vec![(); n], &correct);
+        let detect = PruningAlgorithm::<MisProblem>::prune(&pruning, &localkit::runtime::GraphView::full(&g), &vec![(); n], &correct);
         prop_assert!(detect.all_pruned());
     }
 
@@ -112,11 +112,11 @@ proptest! {
                 }
             })
             .collect();
-        let result = MatchingPruning.prune(&g, &vec![(); n], &tentative);
+        let result = MatchingPruning.prune(&localkit::runtime::GraphView::full(&g), &vec![(); n], &tentative);
         let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
         let (sub, back) = g.induced_subgraph(&keep);
         let sub_solution = localkit::algos::synthetic::central_greedy_matching(&sub);
-        let mut combined = MatchingPruning.normalize(&g, &tentative);
+        let mut combined = MatchingPruning.normalize(&localkit::runtime::GraphView::full(&g), &tentative);
         for (i, &orig) in back.iter().enumerate() {
             combined[orig] = sub_solution[i];
         }
