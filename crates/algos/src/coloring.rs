@@ -23,6 +23,8 @@
 //! into an MIS in (number of colours) extra rounds, and is *uniform* given the colouring.
 
 use local_runtime::{Action, NodeInit, NodeProgram, ProgramSpec, RoundCtx};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Returns the smallest prime `>= x` (trial division; fine for the palette sizes involved).
 pub fn smallest_prime_at_least(x: u64) -> u64 {
@@ -100,20 +102,61 @@ pub fn linial_final_palette(id_bound: u64, delta: u64) -> u64 {
     palette
 }
 
+/// Appends the coefficients (base-`q` digits) of a colour's polynomial of degree `<= d`.
+///
+/// Stops dividing as soon as the colour is exhausted and pads with zeros: under a generous
+/// identity-bound guess (say `m̃ = 2^48` against identities around `10^4`) almost all high
+/// digits are zero, and skipping their divisions is the hot-path win of the Linial step.
+fn push_poly_digits(color: u64, d: u32, q: u64, out: &mut Vec<u64>) {
+    let mut rest = color;
+    let mut produced = 0u32;
+    while rest > 0 && produced <= d {
+        out.push(rest % q);
+        rest /= q;
+        produced += 1;
+    }
+    for _ in produced..=d {
+        out.push(0);
+    }
+}
+
 /// Maps a colour to the coefficients (base-`q` digits) of its polynomial of degree `<= d`.
+#[cfg(test)]
 fn color_to_poly(color: u64, d: u32, q: u64) -> Vec<u64> {
     let mut coeffs = Vec::with_capacity(d as usize + 1);
-    let mut rest = color;
-    for _ in 0..=d {
-        coeffs.push(rest % q);
-        rest /= q;
-    }
+    push_poly_digits(color, d, q, &mut coeffs);
     coeffs
 }
 
 fn eval_poly(coeffs: &[u64], a: u64, q: u64) -> u64 {
-    // Horner, all values < q < 2^32-ish so u64 multiplication does not overflow for our sizes;
-    // use u128 to be safe anyway.
+    // Leading zero coefficients leave a Horner accumulator at zero; skip their
+    // multiply-and-reduce steps outright (the digit layout above makes them the common
+    // case under generous guesses).
+    let mut coeffs = coeffs;
+    while let Some((&0, rest)) = coeffs.split_last() {
+        coeffs = rest;
+    }
+    if q < (1 << 20) {
+        // Hot path: with q < 2^20 two unreduced Horner steps stay below q³ + q² + q < 2^62,
+        // so one division pays for two coefficients. This runs once per (evaluation point ×
+        // neighbour × node × Linial round) — the inner loop of the colouring attempts.
+        let mut acc: u64 = 0;
+        let mut chunks = coeffs.rchunks_exact(2);
+        for pair in &mut chunks {
+            acc = ((acc * a + pair[1]) * a + pair[0]) % q;
+        }
+        if let [c] = chunks.remainder() {
+            acc = (acc * a + *c) % q;
+        }
+        return acc;
+    }
+    if q < (1 << 32) {
+        let mut acc: u64 = 0;
+        for &c in coeffs.iter().rev() {
+            acc = (acc * a + c) % q;
+        }
+        return acc;
+    }
     let mut acc: u128 = 0;
     for &c in coeffs.iter().rev() {
         acc = (acc * u128::from(a) + u128::from(c)) % u128::from(q);
@@ -121,23 +164,88 @@ fn eval_poly(coeffs: &[u64], a: u64, q: u64) -> u64 {
     acc as u64
 }
 
-/// Given my colour, my neighbours' colours and the step parameters, pick the new colour
-/// `a·q + p(a)` for an evaluation point `a` where my polynomial differs from every neighbour's.
-fn linial_recolor(my_color: u64, neighbor_colors: &[u64], d: u32, q: u64) -> u64 {
-    let mine = color_to_poly(my_color, d, q);
-    let others: Vec<Vec<u64>> = neighbor_colors.iter().map(|&c| color_to_poly(c, d, q)).collect();
-    for a in 0..q {
-        let val = eval_poly(&mine, a, q);
-        let clash = others.iter().any(|p| p != &mine && eval_poly(p, a, q) == val);
+/// Reusable workspace of the Linial recolouring step: the node's own polynomial digits, the
+/// neighbours' digits (flattened, stride `d + 1`), and the inbox colours. One per node
+/// automaton, reused across rounds — the recolouring allocates nothing after its first use.
+#[derive(Debug, Clone, Default)]
+struct RecolorScratch {
+    mine: Vec<u64>,
+    others: Vec<u64>,
+    neighbor_colors: Vec<u64>,
+}
+
+impl RecolorScratch {
+    /// Given my colour, the neighbour colours staged in `self.neighbor_colors`, and the step
+    /// parameters, pick the new colour `a·q + p(a)` for an evaluation point `a` where my
+    /// polynomial differs from every neighbour's.
+    fn recolor(&mut self, my_color: u64, d: u32, q: u64) -> u64 {
+        let stride = d as usize + 1;
+        self.mine.clear();
+        push_poly_digits(my_color, d, q, &mut self.mine);
         // Note: a neighbour whose polynomial *equals* mine (possible only under bad guesses,
-        // when the colour space overflows the polynomial space) cannot be avoided; correctness
-        // is only promised for good guesses, as in the paper.
-        if !clash {
-            return a * q + val;
+        // when the colour space overflows the polynomial space) cannot be avoided and is
+        // dropped here, once, instead of being compared at every evaluation point;
+        // correctness is only promised for good guesses, as in the paper.
+        self.others.clear();
+        for &c in &self.neighbor_colors {
+            let start = self.others.len();
+            push_poly_digits(c, d, q, &mut self.others);
+            if self.others[start..] == self.mine[..] {
+                self.others.truncate(start);
+            }
         }
+        for a in 0..q {
+            let val = eval_poly(&self.mine, a, q);
+            let clash = self.others.chunks_exact(stride).any(|p| eval_poly(p, a, q) == val);
+            if !clash {
+                return a * q + val;
+            }
+        }
+        // No free evaluation point (only possible with bad guesses): return something
+        // deterministic.
+        q * q - 1
     }
-    // No free evaluation point (only possible with bad guesses): return something deterministic.
-    q * q - 1
+
+    /// Stages the inbox colours for the next [`RecolorScratch::recolor`] call.
+    fn stage<'a>(&mut self, inbox: impl Iterator<Item = &'a local_runtime::Incoming<u64>>) {
+        self.neighbor_colors.clear();
+        self.neighbor_colors.extend(inbox.map(|m| m.msg));
+    }
+}
+
+/// The schedule and final palette implied by a guess pair, shared by every node automaton of
+/// a spec through an [`Arc`] — computing it *once per attempt* instead of once per node
+/// removes the dominant build-time cost (prime search) of short colouring attempts.
+#[derive(Debug, Clone)]
+struct LinialPlan {
+    schedule: Arc<[(u32, u64)]>,
+    final_palette: u64,
+}
+
+thread_local! {
+    /// Last-plan memo: the runtime builds all `n` automata of an attempt back to back with
+    /// the same guesses, so a single-entry per-thread cache turns `n` schedule computations
+    /// into one (no locks, bounded memory).
+    static LAST_PLAN: RefCell<Option<((u64, u64), LinialPlan)>> = const { RefCell::new(None) };
+}
+
+fn cached_plan(id_bound: u64, delta: u64) -> LinialPlan {
+    LAST_PLAN.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        match slot.as_ref() {
+            Some((key, plan)) if *key == (id_bound, delta) => plan.clone(),
+            _ => {
+                let schedule: Arc<[(u32, u64)]> = linial_schedule(id_bound, delta).into();
+                let final_palette = schedule
+                    .last()
+                    .map(|&(_, q)| q * q)
+                    .unwrap_or_else(|| id_bound.saturating_add(1).max(2));
+                let plan = LinialPlan { schedule, final_palette };
+                *slot = Some(((id_bound, delta), plan.clone()));
+                plan
+            }
+        }
+    })
 }
 
 /// Messages exchanged by the colouring algorithms: the sender's current colour.
@@ -167,8 +275,9 @@ impl LinialColoring {
 /// Node automaton for [`LinialColoring`].
 #[derive(Debug)]
 pub struct LinialProg {
-    schedule: Vec<(u32, u64)>,
+    schedule: Arc<[(u32, u64)]>,
     color: u64,
+    scratch: RecolorScratch,
 }
 
 impl NodeProgram for LinialProg {
@@ -180,8 +289,8 @@ impl NodeProgram for LinialProg {
         if t > 0 {
             // Apply step t-1 of the schedule using the neighbour colours broadcast last round.
             if let Some(&(d, q)) = self.schedule.get(t - 1) {
-                let neighbor_colors: Vec<u64> = ctx.inbox().iter().map(|m| m.msg).collect();
-                self.color = linial_recolor(self.color, &neighbor_colors, d, q);
+                self.scratch.stage(ctx.inbox().iter());
+                self.color = self.scratch.recolor(self.color, d, q);
             }
         }
         if t == self.schedule.len() {
@@ -200,8 +309,9 @@ impl ProgramSpec for LinialColoring {
 
     fn build(&self, init: &NodeInit<()>) -> LinialProg {
         LinialProg {
-            schedule: linial_schedule(self.id_bound_guess, self.delta_guess),
+            schedule: cached_plan(self.id_bound_guess, self.delta_guess).schedule,
             color: init.id,
+            scratch: RecolorScratch::default(),
         }
     }
 
@@ -291,13 +401,14 @@ enum ReducePhase {
 /// Node automaton for [`ReducedColoring`].
 #[derive(Debug)]
 pub struct ReducedColoringProg {
-    schedule: Vec<(u32, u64)>,
+    schedule: Arc<[(u32, u64)]>,
     linial_palette: u64,
     target: u64,
     color: u64,
     phase: ReducePhase,
     /// Round at which the elimination phase started (= number of Linial rounds).
     eliminate_start: u64,
+    scratch: RecolorScratch,
 }
 
 impl NodeProgram for ReducedColoringProg {
@@ -306,13 +417,13 @@ impl NodeProgram for ReducedColoringProg {
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, ColorMsg>) -> Action<u64> {
         let t = ctx.round();
-        let neighbor_colors: Vec<u64> = ctx.inbox().iter().map(|m| m.msg).collect();
         match self.phase {
             ReducePhase::Linial => {
                 let step = t as usize;
                 if step > 0 {
                     if let Some(&(d, q)) = self.schedule.get(step - 1) {
-                        self.color = linial_recolor(self.color, &neighbor_colors, d, q);
+                        self.scratch.stage(ctx.inbox().iter());
+                        self.color = self.scratch.recolor(self.color, d, q);
                     }
                 }
                 if step == self.schedule.len() {
@@ -334,7 +445,7 @@ impl NodeProgram for ReducedColoringProg {
                     if self.color == class && self.color >= self.target {
                         // Recolour greedily into [0, target).
                         let used: std::collections::BTreeSet<u64> =
-                            neighbor_colors.iter().copied().collect();
+                            ctx.inbox().iter().map(|m| m.msg).collect();
                         self.color = (0..self.target)
                             .find(|c| !used.contains(c))
                             .unwrap_or(self.target.saturating_sub(1));
@@ -359,15 +470,15 @@ impl ProgramSpec for ReducedColoring {
     type Prog = ReducedColoringProg;
 
     fn build(&self, init: &NodeInit<()>) -> ReducedColoringProg {
-        let schedule = linial_schedule(self.id_bound_guess, self.delta_guess);
-        let linial_palette = linial_final_palette(self.id_bound_guess, self.delta_guess);
+        let plan = cached_plan(self.id_bound_guess, self.delta_guess);
         ReducedColoringProg {
-            schedule,
-            linial_palette,
-            target: self.final_palette(),
+            target: self.target.palette(self.delta_guess, plan.final_palette),
+            linial_palette: plan.final_palette,
+            schedule: plan.schedule,
             color: init.id,
             phase: ReducePhase::Linial,
             eliminate_start: 0,
+            scratch: RecolorScratch::default(),
         }
     }
 
@@ -419,20 +530,23 @@ impl ProgramSpec for RefineColoring {
 
     fn build(&self, init: &NodeInit<u64>) -> ReducedColoringProg {
         let id_bound = self.initial_palette_guess.saturating_sub(1);
-        let schedule = linial_schedule(id_bound, self.delta_guess);
-        let linial_palette = linial_final_palette(id_bound, self.delta_guess);
+        let plan = cached_plan(id_bound, self.delta_guess);
         ReducedColoringProg {
-            schedule,
-            linial_palette,
-            target: self.final_palette(),
-            color: init.input,
+            target: self
+                .target_colors
+                .max(self.delta_guess + 1)
+                .min(plan.final_palette.max(self.delta_guess + 1)),
+            linial_palette: plan.final_palette,
+            schedule: plan.schedule,
+            color: *init.input,
             phase: ReducePhase::Linial,
             eliminate_start: 0,
+            scratch: RecolorScratch::default(),
         }
     }
 
     fn default_output(&self, init: &NodeInit<u64>) -> u64 {
-        init.input
+        *init.input
     }
 }
 
@@ -479,7 +593,7 @@ impl ProgramSpec for MisFromColoring {
     type Prog = MisFromColoringProg;
 
     fn build(&self, init: &NodeInit<u64>) -> MisFromColoringProg {
-        MisFromColoringProg { color: init.input, dominated: false }
+        MisFromColoringProg { color: *init.input, dominated: false }
     }
 
     fn default_output(&self, _init: &NodeInit<u64>) -> bool {

@@ -42,7 +42,6 @@ pub enum ProposalMsg {
 /// Node automaton for [`ProposalMatching`].
 #[derive(Debug)]
 pub struct ProposalProg {
-    neighbor_ids: Vec<u64>,
     /// Neighbours that can still be matched to me.
     available: Vec<bool>,
     /// Port I proposed to in the current phase, if any.
@@ -103,18 +102,17 @@ impl NodeProgram for ProposalProg {
                     let mut best: Option<usize> = None;
                     for &(port, msg) in &inbox {
                         if msg == ProposalMsg::Propose && self.available[port] {
+                            let ids = ctx.neighbor_ids();
                             best = match best {
                                 None => Some(port),
-                                Some(b) if self.neighbor_ids[port] < self.neighbor_ids[b] => {
-                                    Some(port)
-                                }
+                                Some(b) if ids[port] < ids[b] => Some(port),
                                 keep => keep,
                             };
                         }
                     }
                     if let Some(port) = best {
                         self.accepted = Some(port);
-                        self.partner = Some(self.neighbor_ids[port]);
+                        self.partner = Some(ctx.neighbor_ids()[port]);
                         ctx.send(port, ProposalMsg::Accept);
                     }
                 }
@@ -126,7 +124,7 @@ impl NodeProgram for ProposalProg {
                     let accepted_by_target =
                         inbox.iter().any(|&(p, msg)| p == port && msg == ProposalMsg::Accept);
                     if accepted_by_target {
-                        self.partner = Some(self.neighbor_ids[port]);
+                        self.partner = Some(ctx.neighbor_ids()[port]);
                     }
                 }
                 Action::Continue
@@ -143,7 +141,6 @@ impl ProgramSpec for ProposalMatching {
 
     fn build(&self, init: &NodeInit<()>) -> ProposalProg {
         ProposalProg {
-            neighbor_ids: init.neighbor_ids.clone(),
             available: vec![true; init.degree],
             proposed_to: None,
             accepted: None,
@@ -174,7 +171,6 @@ pub enum PointerMsg {
 /// Node automaton for [`PointerMatching`].
 #[derive(Debug)]
 pub struct PointerProg {
-    neighbor_ids: Vec<u64>,
     available: Vec<bool>,
     pointed_at: Option<usize>,
     partner: Partner,
@@ -203,9 +199,10 @@ impl NodeProgram for PointerProg {
                 return Action::Halt(None);
             }
             // Point at the smallest-identity available neighbour.
+            let ids = ctx.neighbor_ids();
             let target = (0..self.available.len())
                 .filter(|&p| self.available[p])
-                .min_by_key(|&p| self.neighbor_ids[p])
+                .min_by_key(|&p| ids[p])
                 .expect("an available neighbour exists");
             self.pointed_at = Some(target);
             ctx.send(target, PointerMsg::PointAt);
@@ -215,7 +212,7 @@ impl NodeProgram for PointerProg {
                 let mutual =
                     inbox.iter().any(|&(p, msg)| p == target && msg == PointerMsg::PointAt);
                 if mutual {
-                    self.partner = Some(self.neighbor_ids[target]);
+                    self.partner = Some(ctx.neighbor_ids()[target]);
                 }
             }
             Action::Continue
@@ -230,12 +227,7 @@ impl ProgramSpec for PointerMatching {
     type Prog = PointerProg;
 
     fn build(&self, init: &NodeInit<()>) -> PointerProg {
-        PointerProg {
-            neighbor_ids: init.neighbor_ids.clone(),
-            available: vec![true; init.degree],
-            pointed_at: None,
-            partner: None,
-        }
+        PointerProg { available: vec![true; init.degree], pointed_at: None, partner: None }
     }
 
     fn default_output(&self, _init: &NodeInit<()>) -> Partner {
@@ -262,7 +254,6 @@ pub type MatchedMsg = bool;
 #[derive(Debug)]
 pub struct GreedyClassProg {
     port_colors: Vec<u64>,
-    neighbor_ids: Vec<u64>,
     neighbor_matched: Vec<bool>,
     partner: Partner,
     num_colors: u64,
@@ -287,7 +278,7 @@ impl NodeProgram for GreedyClassProg {
             {
                 // The neighbour sees the same colour on the shared edge and the same matched
                 // statuses as of the previous round, so the decision is symmetric.
-                self.partner = Some(self.neighbor_ids[port]);
+                self.partner = Some(ctx.neighbor_ids()[port]);
                 ctx.broadcast(true);
             }
         }
@@ -307,7 +298,6 @@ impl ProgramSpec for GreedyClassMatching {
     fn build(&self, init: &NodeInit<PortColors>) -> GreedyClassProg {
         GreedyClassProg {
             port_colors: init.input.clone(),
-            neighbor_ids: init.neighbor_ids.clone(),
             neighbor_matched: vec![false; init.degree],
             partner: None,
             num_colors: self.num_colors,

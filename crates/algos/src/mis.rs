@@ -131,11 +131,12 @@ pub enum GreedyMsg {
     Retired,
 }
 
-/// Node automaton for [`GreedyMis`].
+/// Node automaton for [`GreedyMis`]. Neighbor identities are read per round from
+/// [`RoundCtx::neighbor_ids`] (the runtime's cached init slab) instead of being copied into
+/// the automaton, so building a node costs one `undecided` vector and nothing else.
 #[derive(Debug)]
 pub struct GreedyMisProg {
     my_id: u64,
-    neighbor_ids: Vec<u64>,
     undecided_neighbors: Vec<bool>,
     dominated: bool,
 }
@@ -160,9 +161,10 @@ impl NodeProgram for GreedyMisProg {
             ctx.broadcast(GreedyMsg::Retired);
             return Action::Halt(false);
         }
-        let highest_undecided = (0..self.neighbor_ids.len())
+        let neighbor_ids = ctx.neighbor_ids();
+        let highest_undecided = (0..neighbor_ids.len())
             .filter(|&p| self.undecided_neighbors[p])
-            .map(|p| self.neighbor_ids[p])
+            .map(|p| neighbor_ids[p])
             .max();
         match highest_undecided {
             Some(h) if h > self.my_id => Action::Continue,
@@ -184,7 +186,6 @@ impl ProgramSpec for GreedyMis {
     fn build(&self, init: &NodeInit<()>) -> GreedyMisProg {
         GreedyMisProg {
             my_id: init.id,
-            neighbor_ids: init.neighbor_ids.clone(),
             undecided_neighbors: vec![true; init.degree],
             dominated: false,
         }

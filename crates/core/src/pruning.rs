@@ -60,16 +60,16 @@ pub trait PruningAlgorithm<P: Problem>: Send + Sync {
         tentative: &[P::Output],
     ) -> Pruned<P::Input>;
 
-    /// Normalises a tentative output vector before the outputs of pruned nodes are frozen by
-    /// the alternating driver.
+    /// Normalises a tentative output vector *in place* before the outputs of pruned nodes are
+    /// frozen by the alternating driver.
     ///
-    /// The default is the identity. The matching pruning overrides it to clear dangling
+    /// The default is the identity (a no-op, so the alternation hot path pays neither a copy
+    /// nor an allocation per attempt). The matching pruning overrides it to clear dangling
     /// partner claims: in the paper's output encoding (`y(u) = y(v)` marks a matched pair) an
     /// unreciprocated value simply means "unmatched", but with the explicit partner encoding
     /// used here it must be cleared for the glued vector to be well-formed.
-    fn normalize(&self, view: &GraphView<'_>, tentative: &[P::Output]) -> Vec<P::Output> {
-        let _ = view;
-        tentative.to_vec()
+    fn normalize(&self, view: &GraphView<'_>, tentative: &mut [P::Output]) {
+        let _ = (view, tentative);
     }
 }
 
@@ -183,13 +183,13 @@ impl PruningAlgorithm<MatchingProblem> for MatchingPruning {
         Pruned { pruned, new_inputs: input.to_vec() }
     }
 
-    fn normalize(&self, view: &GraphView<'_>, tentative: &[Option<NodeId>]) -> Vec<Option<NodeId>> {
+    fn normalize(&self, view: &GraphView<'_>, tentative: &mut [Option<NodeId>]) {
         let matched = Self::matched_nodes(view, tentative);
-        tentative
-            .iter()
-            .enumerate()
-            .map(|(v, &claim)| if matched[v] { claim } else { None })
-            .collect()
+        for (claim, matched) in tentative.iter_mut().zip(matched) {
+            if !matched {
+                *claim = None;
+            }
+        }
     }
 }
 
@@ -434,7 +434,8 @@ mod tests {
             let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
             let (sub, back) = g.induced_subgraph(&keep);
             let sub_solution = local_algos::synthetic::central_greedy_matching(&sub);
-            let mut combined = MatchingPruning.normalize(&view(&g), &tentative);
+            let mut combined = tentative.clone();
+            MatchingPruning.normalize(&view(&g), &mut combined);
             for (i, &orig) in back.iter().enumerate() {
                 combined[orig] = sub_solution[i];
             }

@@ -105,11 +105,12 @@ struct RebuildState<P: Problem> {
     rounds: u64,
     messages: u64,
     subiterations: u64,
+    record_trace: bool,
     trace: Vec<SubIterationTrace>,
 }
 
 impl<P: Problem> RebuildState<P> {
-    fn new(graph: &Graph, inputs: &[P::Input]) -> Self {
+    fn new(graph: &Graph, inputs: &[P::Input], record_trace: bool) -> Self {
         RebuildState {
             graph: graph.clone(),
             inputs: inputs.to_vec(),
@@ -118,6 +119,7 @@ impl<P: Problem> RebuildState<P> {
             rounds: 0,
             messages: 0,
             subiterations: 0,
+            record_trace,
             trace: Vec::new(),
         }
     }
@@ -145,17 +147,20 @@ impl<P: Problem> RebuildState<P> {
         self.subiterations += 1;
 
         let full = GraphView::full(&self.graph);
-        let tentative = pruning.normalize(&full, &run.outputs);
+        let mut tentative = run.outputs;
+        pruning.normalize(&full, &mut tentative);
         let pruned = pruning.prune(&full, &self.inputs, &tentative);
         drop(full);
         let pruned_count = pruned.pruned_count();
-        self.trace.push(SubIterationTrace {
-            iteration,
-            guesses: guesses.to_vec(),
-            budget,
-            alive_before,
-            pruned: pruned_count,
-        });
+        if self.record_trace {
+            self.trace.push(SubIterationTrace {
+                iteration,
+                guesses: guesses.to_vec(),
+                budget,
+                alive_before,
+                pruned: pruned_count,
+            });
+        }
         if pruned_count == 0 {
             return;
         }
@@ -216,7 +221,7 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
         inputs: &[P::Input],
         seed: u64,
     ) -> UniformRun<P::Output> {
-        let mut state = RebuildState::<P>::new(graph, inputs);
+        let mut state = RebuildState::<P>::new(graph, inputs, self.record_trace);
         let c = self.algorithm.time_bound.bounding_constant();
         let mut iterations = 0;
         for i in 1..=self.max_iterations {
@@ -253,7 +258,7 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
         inputs: &[P::Input],
         seed: u64,
     ) -> UniformRun<P::Output> {
-        let mut state = RebuildState::<P>::new(graph, inputs);
+        let mut state = RebuildState::<P>::new(graph, inputs, self.record_trace);
         let c = self.algorithm.time_bound.bounding_constant();
         let mut iterations = 0;
         'outer: for i in 1..=self.max_iterations {
@@ -299,7 +304,7 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> FastestOfTransformer<P, Pr> {
         inputs: &[P::Input],
         seed: u64,
     ) -> UniformRun<P::Output> {
-        let mut state = RebuildState::<P>::new(graph, inputs);
+        let mut state = RebuildState::<P>::new(graph, inputs, self.record_trace);
         let mut iterations = 0;
         for i in 1..=self.max_iterations {
             if state.alive() == 0 {

@@ -75,7 +75,7 @@ impl GraphAlgorithm for SlcFromColoring {
     ) -> AlgoRun<SlcColor> {
         let unit_inputs = vec![(); graph.node_count()];
         let run = self.inner.execute(graph, &unit_inputs, budget, seed);
-        self.lift(run, inputs)
+        self.lift(&run, inputs)
     }
 
     fn execute_view(
@@ -88,13 +88,17 @@ impl GraphAlgorithm for SlcFromColoring {
     ) -> AlgoRun<SlcColor> {
         let unit_inputs = vec![(); view.node_count()];
         let run = self.inner.execute_view(view, &unit_inputs, budget, seed, session);
-        self.lift(run, inputs)
+        let lifted = self.lift(&run, inputs);
+        // The wrapped colouring's u64 outputs are done with: back to the session pool, so
+        // the next attempt's colouring phase reuses the buffer.
+        session.recycle_outputs(run.outputs);
+        lifted
     }
 }
 
 impl SlcFromColoring {
     /// Maps the wrapped colouring's outputs into the nodes' SLC lists.
-    fn lift(&self, run: AlgoRun<u64>, inputs: &[SlcInput]) -> AlgoRun<SlcColor> {
+    fn lift(&self, run: &AlgoRun<u64>, inputs: &[SlcInput]) -> AlgoRun<SlcColor> {
         let outputs: Vec<SlcColor> = run
             .outputs
             .iter()

@@ -81,13 +81,21 @@ struct AlternationState<'g, 's, P: Problem> {
     rounds: u64,
     messages: u64,
     subiterations: u64,
+    record_trace: bool,
     trace: Vec<SubIterationTrace>,
+    /// Reused survivor mask (allocated once, refilled per effective pruning).
+    keep: Vec<bool>,
     attempt_micros: u64,
     prune_micros: u64,
 }
 
 impl<'g, 's, P: Problem> AlternationState<'g, 's, P> {
-    fn new(view: GraphView<'g>, inputs: &[P::Input], session: &'s mut Session) -> Self {
+    fn new(
+        view: GraphView<'g>,
+        inputs: &[P::Input],
+        session: &'s mut Session,
+        record_trace: bool,
+    ) -> Self {
         let n = view.node_count();
         assert_eq!(inputs.len(), n, "one input per (live) node is required");
         AlternationState {
@@ -99,7 +107,9 @@ impl<'g, 's, P: Problem> AlternationState<'g, 's, P> {
             rounds: 0,
             messages: 0,
             subiterations: 0,
+            record_trace,
             trace: Vec::new(),
+            keep: Vec::new(),
             attempt_micros: 0,
             prune_micros: 0,
         }
@@ -110,6 +120,11 @@ impl<'g, 's, P: Problem> AlternationState<'g, 's, P> {
     }
 
     /// Runs one sub-iteration: the black-box attempt followed by the pruning algorithm.
+    ///
+    /// On an unsuccessful attempt (nothing pruned) the configuration is untouched, the
+    /// attempt's output vector goes back to the session pool, and — because the view's epoch
+    /// is unchanged — the next attempt reuses every cached buffer: the steady state of the
+    /// doubling cascade executes without allocating in the runtime.
     fn attempt<Pr: PruningAlgorithm<P> + ?Sized>(
         &mut self,
         iteration: u64,
@@ -133,17 +148,21 @@ impl<'g, 's, P: Problem> AlternationState<'g, 's, P> {
         self.subiterations += 1;
 
         let prune_started = Instant::now();
-        let tentative = pruning.normalize(&self.view, &run.outputs);
+        let mut tentative = run.outputs;
+        pruning.normalize(&self.view, &mut tentative);
         let pruned = pruning.prune(&self.view, &self.inputs, &tentative);
         let pruned_count = pruned.pruned_count();
-        self.trace.push(SubIterationTrace {
-            iteration,
-            guesses: guesses.to_vec(),
-            budget,
-            alive_before,
-            pruned: pruned_count,
-        });
+        if self.record_trace {
+            self.trace.push(SubIterationTrace {
+                iteration,
+                guesses: guesses.to_vec(),
+                budget,
+                alive_before,
+                pruned: pruned_count,
+            });
+        }
         if pruned_count == 0 {
+            self.session.recycle_outputs(tentative);
             self.prune_micros += prune_started.elapsed().as_micros() as u64;
             return;
         }
@@ -153,14 +172,17 @@ impl<'g, 's, P: Problem> AlternationState<'g, 's, P> {
                 self.outputs[self.back[v]] = Some(output.clone());
             }
         }
+        self.session.recycle_outputs(tentative);
         // Shrink the configuration to the survivors, rewriting inputs as the pruning dictates:
         // the view is filtered in place (cost proportional to the pruned nodes' adjacency, not
         // to the graph), no CSR copy happens.
-        let keep: Vec<bool> = pruned.pruned.iter().map(|&p| !p).collect();
+        self.keep.clear();
+        self.keep.extend(pruned.pruned.iter().map(|&p| !p));
+        let keep = &self.keep;
         self.inputs =
             (0..alive_before).filter(|&v| keep[v]).map(|v| pruned.new_inputs[v].clone()).collect();
         self.back = (0..alive_before).filter(|&v| keep[v]).map(|v| self.back[v]).collect();
-        self.view.retain(&keep);
+        self.view.retain(keep);
         self.prune_micros += prune_started.elapsed().as_micros() as u64;
     }
 
@@ -197,6 +219,11 @@ pub struct UniformTransformer<P: Problem, Pr: PruningAlgorithm<P>> {
     /// Safety cap on the number of outer iterations (the uniform algorithm itself has no such
     /// cap; this only guards the simulation against mis-specified time bounds).
     pub max_iterations: u64,
+    /// Whether to record the per-sub-iteration [`SubIterationTrace`]s (on by default).
+    /// Recording allocates per attempt; throughput-sensitive callers (benchmarks, large
+    /// sweeps that never read traces) can switch it off with
+    /// [`UniformTransformer::without_trace`].
+    pub record_trace: bool,
 }
 
 impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
@@ -207,7 +234,14 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
             pruning: Arc::new(pruning),
             fallback_output,
             max_iterations: 40,
+            record_trace: true,
         }
+    }
+
+    /// Disables sub-iteration trace recording (the returned runs carry an empty trace).
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
+        self
     }
 
     /// Runs the uniform algorithm on `(G, x)` with a throwaway [`Session`].
@@ -255,7 +289,7 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
         seed: u64,
         session: &mut Session,
     ) -> UniformRun<P::Output> {
-        let mut state = AlternationState::<P>::new(view, inputs, session);
+        let mut state = AlternationState::<P>::new(view, inputs, session, self.record_trace);
         let c = self.algorithm.time_bound.bounding_constant();
         let mut iterations = 0;
         for i in 1..=self.max_iterations {
@@ -296,7 +330,7 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> UniformTransformer<P, Pr> {
         seed: u64,
         session: &mut Session,
     ) -> UniformRun<P::Output> {
-        let mut state = AlternationState::<P>::new(view, inputs, session);
+        let mut state = AlternationState::<P>::new(view, inputs, session, self.record_trace);
         let c = self.algorithm.time_bound.bounding_constant();
         let mut iterations = 0;
         'outer: for i in 1..=self.max_iterations {
@@ -360,6 +394,9 @@ pub struct FastestOfTransformer<P: Problem, Pr: PruningAlgorithm<P>> {
     pub fallback_output: P::Output,
     /// Safety cap on the number of doubling iterations.
     pub max_iterations: u64,
+    /// Whether to record per-sub-iteration traces (see
+    /// [`UniformTransformer::record_trace`]).
+    pub record_trace: bool,
 }
 
 impl<P: Problem, Pr: PruningAlgorithm<P>> FastestOfTransformer<P, Pr> {
@@ -374,7 +411,14 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> FastestOfTransformer<P, Pr> {
             pruning: Arc::new(pruning),
             fallback_output,
             max_iterations: 40,
+            record_trace: true,
         }
+    }
+
+    /// Disables sub-iteration trace recording (the returned runs carry an empty trace).
+    pub fn without_trace(mut self) -> Self {
+        self.record_trace = false;
+        self
     }
 
     /// Runs the combined uniform algorithm with a throwaway [`Session`].
@@ -401,7 +445,7 @@ impl<P: Problem, Pr: PruningAlgorithm<P>> FastestOfTransformer<P, Pr> {
         seed: u64,
         session: &mut Session,
     ) -> UniformRun<P::Output> {
-        let mut state = AlternationState::<P>::new(view, inputs, session);
+        let mut state = AlternationState::<P>::new(view, inputs, session, self.record_trace);
         let mut iterations = 0;
         for i in 1..=self.max_iterations {
             if state.alive() == 0 {

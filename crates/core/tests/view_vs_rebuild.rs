@@ -89,6 +89,49 @@ proptest! {
     }
 
     #[test]
+    fn retain_refreshes_cached_inits_and_outputs_stay_byte_identical(
+        n in 24usize..96,
+        seed in 0u64..1000,
+        drop_stride in 2usize..5,
+    ) {
+        // The session caches frozen NodeInit slabs per view epoch. Mutating the view through
+        // retain() must refresh the cache (stale ids/ports would silently corrupt runs), and
+        // every run on the live view must stay byte-identical to executing on the
+        // materialized subgraph — the rebuild path.
+        use local_algos::mis::GreedyMis;
+        use local_runtime::{GraphAlgorithm, GraphView, Session};
+
+        let g = local_graphs::Family::SparseGnp.generate(n, seed);
+        let n = g.node_count();
+        let mut view = GraphView::full(&g);
+        let mut session = Session::new();
+
+        let first = GreedyMis.execute_view(&view, &units(n), None, seed, &mut session);
+        let cached = session.cached_init_epoch();
+        prop_assert_eq!(cached, Some(view.epoch()), "slab must be keyed by the view epoch");
+
+        // A second run on the unchanged view reuses the cached slab (same epoch) and agrees.
+        let again = GreedyMis.execute_view(&view, &units(n), None, seed, &mut session);
+        prop_assert_eq!(session.cached_init_epoch(), cached);
+        prop_assert_eq!(&first.outputs, &again.outputs);
+
+        // Mutate the configuration: drop every `drop_stride`-th live node.
+        let keep: Vec<bool> = (0..n).map(|v| !v.is_multiple_of(drop_stride)).collect();
+        view.retain(&keep);
+        let live = view.node_count();
+        let shrunk = GreedyMis.execute_view(&view, &units(live), None, seed, &mut session);
+        prop_assert_ne!(session.cached_init_epoch(), cached, "retain() must refresh the slab");
+        prop_assert_eq!(session.cached_init_epoch(), Some(view.epoch()));
+
+        // Byte-identical to the rebuild path: materialize the view and execute on the copy.
+        let (sub, _back) = view.materialize();
+        let reference = GreedyMis.execute(&sub, &units(live), None, seed);
+        prop_assert_eq!(shrunk.outputs, reference.outputs, "outputs diverge from rebuild");
+        prop_assert_eq!(shrunk.rounds, reference.rounds, "rounds diverge from rebuild");
+        prop_assert_eq!(shrunk.messages, reference.messages, "messages diverge from rebuild");
+    }
+
+    #[test]
     fn synthetic_black_box_alternation_is_byte_identical_across_paths(
         n in 24usize..96,
         seed in 0u64..1000,

@@ -16,8 +16,13 @@
 //! * `--out`       write the JSON report here; `--csv` additionally writes per-cell CSV.
 //! * `--profile`   emit per-phase timings (attempt / pruning / instance generation) as extra
 //!   CSV columns and a printed summary; the JSON report always carries them per cell.
+//! * `--folded F`  write the sweep's phase times as folded stacks (flamegraph format) to `F`.
+//! * `--cache-dir D`  incremental result cache location (default `target/sweep-cache`); a
+//!   re-sweep executes only cells whose inputs changed. `--no-cache` disables it.
+//! * `--stream`    stream cells to the cache instead of holding them in memory (large
+//!   grids); per-cell CSV is then produced by reading the cache back. Requires the cache.
 
-use local_engine::{parse_sizes, run_grid, ProblemKind, ScenarioGrid, SweepConfig};
+use local_engine::{parse_sizes, run_grid, ProblemKind, ScenarioGrid, SweepCache, SweepConfig};
 use local_graphs::Family;
 use std::process::ExitCode;
 
@@ -31,6 +36,9 @@ struct Args {
     out: Option<String>,
     csv: Option<String>,
     profile: bool,
+    folded: Option<String>,
+    cache_dir: Option<String>,
+    stream: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +52,9 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         csv: None,
         profile: false,
+        folded: None,
+        cache_dir: Some("target/sweep-cache".to_string()),
+        stream: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -96,12 +107,21 @@ fn parse_args() -> Result<Args, String> {
             "--out" => args.out = Some(value("--out")?),
             "--csv" => args.csv = Some(value("--csv")?),
             "--profile" => args.profile = true,
+            "--folded" => args.folded = Some(value("--folded")?),
+            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--no-cache" => args.cache_dir = None,
+            "--stream" => args.stream = true,
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag: {other} (try --help)")),
         }
+    }
+    if args.stream && args.cache_dir.is_none() {
+        return Err("--stream needs the cache (drop --no-cache): streamed cells live in the \
+                    cache, not in memory"
+            .to_string());
     }
     Ok(args)
 }
@@ -112,10 +132,16 @@ sweep — parallel batched experiment engine for uniform LOCAL algorithms
 USAGE:
   sweep [--problems LIST|all] [--families LIST|all] [--sizes 200,400 | 100..10000]
         [--seeds N] [--threads N] [--base-seed S] [--out report.json] [--csv cells.csv]
-        [--profile]
+        [--profile] [--folded stacks.folded] [--cache-dir DIR | --no-cache] [--stream]
 
-  --profile  emit per-phase wall-time columns (attempt / pruning / instance generation) in
-             the CSV output and print a phase-time summary.
+  --profile    emit per-phase wall-time columns (attempt / pruning / instance generation)
+               in the CSV output and print a phase-time summary.
+  --folded F   write phase times as folded stacks (flamegraph.pl / inferno format) to F.
+  --cache-dir  incremental result cache (default target/sweep-cache): a re-sweep executes
+               only changed cells and serves the rest from disk, byte-identically.
+  --no-cache   disable the cache.
+  --stream     fold cells into summaries as they complete and keep them only in the cache
+               (flat memory for very large grids). Requires the cache.
 
 EXAMPLE:
   sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..1600 \\
@@ -146,21 +172,37 @@ fn main() -> ExitCode {
         args.threads
     );
 
-    let report = run_grid(&grid, &SweepConfig::with_threads(args.threads));
+    let cache = args.cache_dir.as_ref().map(SweepCache::new);
+    let mut cfg = SweepConfig::with_threads(args.threads);
+    cfg.cache = cache.clone();
+    cfg.stream = args.stream;
+    let report = run_grid(&grid, &cfg);
 
     println!("{}", report.render_summaries());
     if args.profile {
-        let attempt: u64 = report.cells.iter().map(|c| c.attempt_micros).sum();
-        let prune: u64 = report.cells.iter().map(|c| c.prune_micros).sum();
+        // In streaming mode the report holds no cells; read them back from the cache one at
+        // a time (they were just written) so the phase summary is printed either way.
+        let mut attempt = 0u64;
+        let mut prune = 0u64;
         // Instance generation is shared across the cells of one instance (identified within a
         // sweep by family × size × replicate); count each distinct instance exactly once.
-        let instance_gen: u64 = report
-            .cells
-            .iter()
-            .map(|c| ((&c.family, c.requested_n, c.replicate), c.instance_micros))
-            .collect::<std::collections::BTreeMap<_, _>>()
-            .values()
-            .sum();
+        let mut instances = std::collections::BTreeMap::new();
+        let mut fold = |c: &local_engine::CellResult| {
+            attempt += c.attempt_micros;
+            prune += c.prune_micros;
+            instances.insert((c.family.clone(), c.requested_n, c.replicate), c.instance_micros);
+        };
+        if args.stream {
+            for cell in grid.cells() {
+                if let Some(c) = cache.as_ref().and_then(|cache| cache.load(&cell, grid.base_seed))
+                {
+                    fold(&c);
+                }
+            }
+        } else {
+            report.cells.iter().for_each(&mut fold);
+        }
+        let instance_gen: u64 = instances.values().sum();
         println!(
             "phases: attempt {:.1} ms, pruning {:.1} ms, instance-gen {:.1} ms",
             attempt as f64 / 1000.0,
@@ -170,8 +212,9 @@ fn main() -> ExitCode {
     }
     let invalid = report.cells.iter().filter(|c| !c.valid).count();
     println!(
-        "{} cells, {} distinct instances, {:.1} ms wall, {} invalid",
+        "{} cells ({} from cache), {} distinct instances, {:.1} ms wall, {} invalid",
         report.cell_count,
+        report.cache_hits,
         report.distinct_instances,
         report.total_wall_micros as f64 / 1000.0,
         invalid
@@ -185,15 +228,77 @@ fn main() -> ExitCode {
         println!("wrote JSON report to {path}");
     }
     if let Some(path) = &args.csv {
-        if let Err(e) = std::fs::write(path, report.to_csv_with(args.profile)) {
+        let csv = if args.stream {
+            // Streamed cells live in the cache only: rebuild the rows in canonical order.
+            match streamed_csv(&grid, cache.as_ref().expect("--stream implies cache"), args.profile)
+            {
+                Ok(csv) => csv,
+                Err(message) => {
+                    eprintln!("sweep: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            report.to_csv_with(args.profile)
+        };
+        if let Err(e) = std::fs::write(path, csv) {
             eprintln!("sweep: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote per-cell CSV to {path}");
+    }
+    if let Some(path) = &args.folded {
+        let folded = if args.stream {
+            match streamed_folded(&grid, cache.as_ref().expect("--stream implies cache")) {
+                Ok(folded) => folded,
+                Err(message) => {
+                    eprintln!("sweep: {message}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            report.to_folded()
+        };
+        if let Err(e) = std::fs::write(path, folded) {
+            eprintln!("sweep: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote folded phase stacks to {path}");
     }
     if invalid > 0 {
         eprintln!("sweep: {invalid} cells failed validation");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Reads every cell of `grid` back from the cache (a streamed sweep just wrote them) and
+/// renders CSV rows in canonical order, never holding more than one cell.
+fn streamed_csv(grid: &ScenarioGrid, cache: &SweepCache, profile: bool) -> Result<String, String> {
+    let mut out = local_engine::CellResult::csv_header(profile);
+    out.push('\n');
+    for cell in grid.cells() {
+        let result = cache
+            .load(&cell, grid.base_seed)
+            .ok_or_else(|| format!("cache is missing streamed cell {}", cell.label()))?;
+        out.push_str(&result.csv_row(profile));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Folded stacks for a streamed sweep, reading cells back from the cache one at a time.
+fn streamed_folded(grid: &ScenarioGrid, cache: &SweepCache) -> Result<String, String> {
+    let mut missing = None;
+    let folded = local_engine::report::folded_stacks(grid.cells().into_iter().filter_map(|cell| {
+        let loaded = cache.load(&cell, grid.base_seed);
+        if loaded.is_none() && missing.is_none() {
+            missing = Some(cell.label());
+        }
+        loaded
+    }));
+    match missing {
+        Some(label) => Err(format!("cache is missing streamed cell {label}")),
+        None => Ok(folded),
+    }
 }

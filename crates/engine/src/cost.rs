@@ -1,0 +1,192 @@
+//! The cost model behind work-aware scheduling: predict how expensive each cell is and run
+//! the slowest cells first.
+//!
+//! The pool's workers pull jobs off a shared cursor, so the *order* of the work queue decides
+//! the makespan: launching a multi-second cell last leaves every other worker idle while it
+//! finishes alone (the classical LPT — longest processing time first — argument gives a
+//! 4/3-optimal makespan for slowest-first versus unbounded degradation for an adversarial
+//! order). Predictions come from two sources:
+//!
+//! 1. a **static shape** per problem — a power law `w · n^e` whose weight/exponent encode
+//!    how the uniform transformer's attempt cascade scales (line-graph blow-ups, alternation
+//!    depth, message simulation), with a family factor for denser-than-sparse instances;
+//! 2. **observed wall-times fed back** from earlier cells — cached results of a previous
+//!    sweep (or earlier cells of this one) calibrate each `(problem, family)` group by the
+//!    ratio of observed to predicted micros, so the second sweep of a grid orders with real
+//!    measurements rather than the prior.
+//!
+//! Predictions only ever decide *order*, never results: a wildly wrong model costs wall
+//! clock, not correctness.
+
+use crate::report::CellResult;
+use crate::scenario::{ProblemKind, Scenario};
+use local_graphs::Family;
+use std::collections::HashMap;
+
+/// Predicts per-cell work and orders work queues slowest-first.
+#[derive(Debug, Clone, Default)]
+pub struct CostModel {
+    /// Per `(problem, family)`: summed observed and predicted micros of calibration cells.
+    observed: HashMap<(String, String), (f64, f64)>,
+}
+
+/// The static power-law shape `(weight, exponent)` of one problem's cell cost.
+fn shape(problem: &ProblemKind) -> (f64, f64) {
+    match problem {
+        // Already-uniform baselines execute once, no alternation cascade.
+        ProblemKind::LubyMis => (0.4, 1.1),
+        // Synthetic black boxes charge rounds without simulating messages.
+        ProblemKind::PsMis | ProblemKind::Log4Matching => (0.5, 1.15),
+        ProblemKind::Mis | ProblemKind::ArboricityMis => (2.0, 1.3),
+        ProblemKind::Corollary1Mis => (2.5, 1.3),
+        ProblemKind::Matching => (2.5, 1.3),
+        ProblemKind::RulingSet(_) => (1.5, 1.25),
+        // Theorem 5 runs a full per-layer SLC alternation.
+        ProblemKind::LambdaColoring(_) => (4.0, 1.3),
+        // The line graph squares the edge count before Theorem 5 even starts.
+        ProblemKind::EdgeColoring => (8.0, 1.45),
+    }
+}
+
+/// Density factor of a family relative to the sparse default.
+fn family_factor(family: Family) -> f64 {
+    match family {
+        Family::DenseGnp => 4.0,
+        Family::Regular6 => 1.5,
+        Family::UnitDisk => 2.0,
+        Family::Grid | Family::Path | Family::Cycle => 0.7,
+        _ => 1.0,
+    }
+}
+
+impl CostModel {
+    /// A fresh, uncalibrated model (static shapes only).
+    pub fn new() -> Self {
+        CostModel::default()
+    }
+
+    /// The static (uncalibrated) cost estimate of one cell, in arbitrary micro-ish units.
+    pub fn base_cost(problem: &ProblemKind, family: Family, n: usize) -> f64 {
+        let (weight, exponent) = shape(problem);
+        weight * (n.max(2) as f64).powf(exponent) * family_factor(family)
+    }
+
+    /// Feeds one observed cell back into the model (typically a cache hit from a previous
+    /// sweep, or a finished cell of this one).
+    pub fn observe(&mut self, cell: &CellResult) {
+        let (Some(family), Some(problem)) =
+            (Family::from_name(&cell.family), ProblemKind::parse(&cell.problem))
+        else {
+            return;
+        };
+        let predicted = CostModel::base_cost(&problem, family, cell.requested_n);
+        // Key by the *canonical* names so observations match predictions even when the
+        // observed result spells a family by an alias.
+        let key = (problem.name(), family.name().to_string());
+        let slot = self.observed.entry(key).or_insert((0.0, 0.0));
+        slot.0 += cell.wall_micros.max(1) as f64;
+        slot.1 += predicted;
+    }
+
+    /// The model's current prediction for `cell`: the static shape, rescaled by the
+    /// observed-over-predicted ratio of its `(problem, family)` group when calibration data
+    /// exists (clamped so one outlier cannot invert the ordering wholesale).
+    pub fn predict(&self, cell: &Scenario) -> f64 {
+        let base = CostModel::base_cost(&cell.problem, cell.family, cell.n);
+        let key = (cell.problem.name(), cell.family.name().to_string());
+        match self.observed.get(&key) {
+            Some(&(observed, predicted)) if predicted > 0.0 => {
+                base * (observed / predicted).clamp(0.05, 50.0)
+            }
+            _ => base,
+        }
+    }
+
+    /// Orders `indices` (into `cells`) slowest-first under the model, with index order as
+    /// the deterministic tie-break. The returned permutation is what the scheduler feeds the
+    /// pool; results are still scattered back to canonical positions.
+    pub fn order_slowest_first(&self, cells: &[Scenario], mut indices: Vec<usize>) -> Vec<usize> {
+        indices.sort_by(|&a, &b| {
+            self.predict(&cells[b])
+                .partial_cmp(&self.predict(&cells[a]))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        indices
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(problem: ProblemKind, family: Family, n: usize) -> Scenario {
+        Scenario { problem, family, n, replicate: 0 }
+    }
+
+    #[test]
+    fn bigger_cells_cost_more() {
+        let small = CostModel::base_cost(&ProblemKind::Mis, Family::SparseGnp, 100);
+        let large = CostModel::base_cost(&ProblemKind::Mis, Family::SparseGnp, 1000);
+        assert!(large > 10.0 * small, "power law must dominate: {small} vs {large}");
+    }
+
+    #[test]
+    fn slowest_first_puts_big_expensive_cells_up_front() {
+        let cells = vec![
+            cell(ProblemKind::LubyMis, Family::SparseGnp, 64),
+            cell(ProblemKind::EdgeColoring, Family::DenseGnp, 512),
+            cell(ProblemKind::Mis, Family::SparseGnp, 256),
+        ];
+        let order = CostModel::new().order_slowest_first(&cells, vec![0, 1, 2]);
+        assert_eq!(order[0], 1, "the line-graph colouring at n=512 is the straggler");
+        assert_eq!(order[2], 0, "the small uniform baseline goes last");
+    }
+
+    #[test]
+    fn ordering_is_deterministic_under_ties() {
+        let cells = vec![
+            cell(ProblemKind::Mis, Family::SparseGnp, 128),
+            cell(ProblemKind::Mis, Family::SparseGnp, 128),
+            cell(ProblemKind::Mis, Family::SparseGnp, 128),
+        ];
+        let order = CostModel::new().order_slowest_first(&cells, vec![0, 1, 2]);
+        assert_eq!(order, vec![0, 1, 2], "ties break by canonical index");
+    }
+
+    #[test]
+    fn observations_recalibrate_predictions() {
+        let mut model = CostModel::new();
+        let scenario = cell(ProblemKind::Mis, Family::SparseGnp, 128);
+        let before = model.predict(&scenario);
+        // Observe the group running 10x slower than the static shape claims.
+        let observed = CellResult {
+            problem: "mis".into(),
+            family: "gnp-avg8".into(),
+            requested_n: 128,
+            n: 128,
+            edges: 300,
+            replicate: 0,
+            seed: 0,
+            uniform_rounds: 10,
+            uniform_messages: 10,
+            nonuniform_rounds: 10,
+            nonuniform_messages: 10,
+            overhead_ratio: 1.0,
+            subiterations: 1,
+            solved: true,
+            valid: true,
+            wall_micros: (CostModel::base_cost(&ProblemKind::Mis, Family::SparseGnp, 128) * 10.0)
+                as u64,
+            attempt_micros: 0,
+            prune_micros: 0,
+            instance_micros: 0,
+        };
+        model.observe(&observed);
+        let after = model.predict(&scenario);
+        assert!(
+            (after / before - 10.0).abs() < 0.5,
+            "calibration must track the observed ratio: {before} -> {after}"
+        );
+    }
+}

@@ -41,11 +41,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
+pub mod cost;
 pub mod pool;
 pub mod report;
 pub mod scenario;
 pub mod scheduler;
 
-pub use report::{summarize, CellResult, GroupSummary, Report};
+pub use cache::{SweepCache, CODE_VERSION};
+pub use cost::CostModel;
+pub use report::{folded_stacks, summarize, CellResult, GroupSummary, Report, SummaryAccumulator};
 pub use scenario::{parse_sizes, ProblemKind, Scenario, ScenarioGrid};
 pub use scheduler::{run_cell, run_cell_in, run_grid, Instance, SweepConfig};

@@ -1,9 +1,14 @@
-//! The aggregation/report layer: per-cell results, grouped summaries, JSON and CSV output.
+//! The aggregation/report layer: per-cell results, grouped summaries, JSON, CSV, and
+//! folded-stack (flamegraph) output — plus a streaming summarizer for sweeps too large to
+//! hold every [`CellResult`] in memory.
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// The measured outcome of one executed cell.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// `Deserialize` is what lets the incremental sweep cache (`crate::cache`) round-trip
+/// results through JSON files.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CellResult {
     /// Problem name (see `ProblemKind::name`).
     pub problem: String,
@@ -61,6 +66,50 @@ impl CellResult {
             ..self.clone()
         }
     }
+
+    /// The CSV header matching [`CellResult::csv_row`]; `profile` appends the per-phase
+    /// timing columns.
+    pub fn csv_header(profile: bool) -> String {
+        let mut out = String::from(
+            "problem,family,requested_n,n,edges,replicate,seed,uniform_rounds,\
+             uniform_messages,nonuniform_rounds,nonuniform_messages,overhead_ratio,\
+             subiterations,solved,valid,wall_micros",
+        );
+        if profile {
+            out.push_str(",attempt_micros,prune_micros,instance_micros");
+        }
+        out
+    }
+
+    /// One CSV row (no trailing newline); text fields are RFC-4180-quoted.
+    pub fn csv_row(&self, profile: bool) -> String {
+        let mut out = format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
+            csv_escape(&self.problem),
+            csv_escape(&self.family),
+            self.requested_n,
+            self.n,
+            self.edges,
+            self.replicate,
+            self.seed,
+            self.uniform_rounds,
+            self.uniform_messages,
+            self.nonuniform_rounds,
+            self.nonuniform_messages,
+            self.overhead_ratio,
+            self.subiterations,
+            self.solved,
+            self.valid,
+            self.wall_micros
+        );
+        if profile {
+            out.push_str(&format!(
+                ",{},{},{}",
+                self.attempt_micros, self.prune_micros, self.instance_micros
+            ));
+        }
+        out
+    }
 }
 
 /// The summary of one `(problem, family)` group of cells.
@@ -90,6 +139,12 @@ pub struct GroupSummary {
     pub max_overhead_ratio: f64,
     /// Total messages delivered by uniform executions in the group.
     pub total_uniform_messages: u64,
+    /// Total messages delivered by the non-uniform baselines in the group.
+    pub total_nonuniform_messages: u64,
+    /// Mean per-cell *message* overhead ratio `uniform_messages / max(nonuniform_messages, 1)`
+    /// — the message-complexity dimension of the uniform transformations, which the paper
+    /// bounds only in rounds. Synthetic black boxes that simulate no messages report 0.
+    pub mean_message_overhead_ratio: f64,
     /// Total wall time spent in the group, in microseconds.
     pub total_wall_micros: u64,
 }
@@ -113,45 +168,190 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank - 1]
 }
 
+/// Streaming group statistics: everything a [`GroupSummary`] needs, kept per group while
+/// cells are folded in one at a time and the full results are dropped (or never held — the
+/// streaming scheduler writes them straight to the sweep cache).
+///
+/// Memory is `O(groups + cells)` *words* (one `u64` of rounds per cell for the exact
+/// percentiles), not `O(cells)` full `CellResult`s with their strings.
+#[derive(Debug, Default)]
+struct GroupStats {
+    cells: usize,
+    valid_cells: usize,
+    solved_cells: usize,
+    rounds: Vec<u64>,
+    overhead_sum: f64,
+    overhead_max: f64,
+    message_ratio_sum: f64,
+    uniform_messages: u64,
+    nonuniform_messages: u64,
+    wall_micros: u64,
+}
+
+/// Folds [`CellResult`]s into per-`(problem, family)` [`GroupSummary`]s incrementally, in
+/// first-appearance order of the groups. [`summarize`] is the one-shot wrapper; the
+/// streaming scheduler feeds cells as they complete (after pre-registering the groups in
+/// canonical order so completion order cannot reorder the report).
+#[derive(Debug, Default)]
+pub struct SummaryAccumulator {
+    index: std::collections::HashMap<(String, String), usize>,
+    groups: Vec<((String, String), GroupStats)>,
+    /// Compact per-cell records `(canonical position, group slot, stats)`; folded into the
+    /// groups at [`SummaryAccumulator::finish`] in position order, so the floating-point
+    /// accumulation order — and therefore the summary bytes — are identical no matter what
+    /// order cells complete in.
+    records: Vec<(usize, usize, CellStat)>,
+}
+
+/// The per-cell scalars a summary needs — a fixed few words instead of a [`CellResult`]
+/// with its strings.
+#[derive(Debug, Clone, Copy)]
+struct CellStat {
+    rounds: u64,
+    overhead_ratio: f64,
+    message_ratio: f64,
+    uniform_messages: u64,
+    nonuniform_messages: u64,
+    wall_micros: u64,
+    valid: bool,
+    solved: bool,
+}
+
+impl SummaryAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        SummaryAccumulator::default()
+    }
+
+    fn slot(&mut self, problem: &str, family: &str) -> usize {
+        let key = (problem.to_string(), family.to_string());
+        let groups = &mut self.groups;
+        *self.index.entry(key.clone()).or_insert_with(|| {
+            groups.push((key, GroupStats::default()));
+            groups.len() - 1
+        })
+    }
+
+    /// Pre-registers a group so its position in the final report is fixed regardless of the
+    /// order cells later arrive in (the scheduler registers every cell's group in canonical
+    /// order before executing anything).
+    pub fn register(&mut self, problem: &str, family: &str) {
+        let _ = self.slot(problem, family);
+    }
+
+    /// Folds one finished cell into its group, at the next sequential position.
+    pub fn fold(&mut self, cell: &CellResult) {
+        let position = self.records.len();
+        self.fold_at(position, cell);
+    }
+
+    /// Folds one finished cell with an explicit canonical position (streaming schedulers
+    /// pass the cell's grid index, so out-of-order completion cannot perturb the report).
+    pub fn fold_at(&mut self, position: usize, cell: &CellResult) {
+        let slot = self.slot(&cell.problem, &cell.family);
+        self.records.push((
+            position,
+            slot,
+            CellStat {
+                rounds: cell.uniform_rounds,
+                overhead_ratio: cell.overhead_ratio,
+                message_ratio: cell.uniform_messages as f64
+                    / cell.nonuniform_messages.max(1) as f64,
+                uniform_messages: cell.uniform_messages,
+                nonuniform_messages: cell.nonuniform_messages,
+                wall_micros: cell.wall_micros,
+                valid: cell.valid,
+                solved: cell.solved,
+            },
+        ));
+    }
+
+    /// Finishes into the per-group summaries (groups that registered but received no cells
+    /// are dropped — they summarize nothing).
+    pub fn finish(mut self) -> Vec<GroupSummary> {
+        self.records.sort_by_key(|&(position, _, _)| position);
+        for &(_, slot, stat) in &self.records {
+            let stats = &mut self.groups[slot].1;
+            stats.cells += 1;
+            stats.valid_cells += usize::from(stat.valid);
+            stats.solved_cells += usize::from(stat.solved);
+            stats.rounds.push(stat.rounds);
+            stats.overhead_sum += stat.overhead_ratio;
+            stats.overhead_max = stats.overhead_max.max(stat.overhead_ratio);
+            stats.message_ratio_sum += stat.message_ratio;
+            stats.uniform_messages += stat.uniform_messages;
+            stats.nonuniform_messages += stat.nonuniform_messages;
+            stats.wall_micros += stat.wall_micros;
+        }
+        self.groups
+            .into_iter()
+            .filter(|(_, stats)| stats.cells > 0)
+            .map(|((problem, family), mut stats)| {
+                stats.rounds.sort_unstable();
+                let count = stats.cells.max(1);
+                GroupSummary {
+                    problem,
+                    family,
+                    cells: stats.cells,
+                    valid_cells: stats.valid_cells,
+                    solved_cells: stats.solved_cells,
+                    mean_uniform_rounds: stats.rounds.iter().sum::<u64>() as f64 / count as f64,
+                    p50_uniform_rounds: percentile(&stats.rounds, 0.50),
+                    p99_uniform_rounds: percentile(&stats.rounds, 0.99),
+                    max_uniform_rounds: stats.rounds.last().copied().unwrap_or(0),
+                    mean_overhead_ratio: stats.overhead_sum / count as f64,
+                    max_overhead_ratio: stats.overhead_max,
+                    total_uniform_messages: stats.uniform_messages,
+                    total_nonuniform_messages: stats.nonuniform_messages,
+                    mean_message_overhead_ratio: stats.message_ratio_sum / count as f64,
+                    total_wall_micros: stats.wall_micros,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Aggregates phase times into folded stacks (the `frames;joined;by;semicolons count`
+/// format consumed by flamegraph tooling such as `flamegraph.pl` and inferno): one stack
+/// per `(problem, family, phase)` with the summed microseconds as the count, plus
+/// per-family `instance-gen` stacks counted once per distinct instance (instances are
+/// shared across the problems that run on them). `other` is the per-cell wall time not
+/// attributed to a profiled phase (validation, report assembly, scheduling). Consumes the
+/// cells one at a time, so streamed sweeps can feed it straight from the cache.
+pub fn folded_stacks<I: IntoIterator<Item = CellResult>>(cells: I) -> String {
+    let mut stacks: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+    let mut seen_instances: std::collections::BTreeSet<(String, usize, u64)> =
+        std::collections::BTreeSet::new();
+    for c in cells {
+        *stacks.entry(format!("sweep;{};{};attempt", c.problem, c.family)).or_default() +=
+            c.attempt_micros;
+        *stacks.entry(format!("sweep;{};{};prune", c.problem, c.family)).or_default() +=
+            c.prune_micros;
+        let other = c.wall_micros.saturating_sub(c.attempt_micros).saturating_sub(c.prune_micros);
+        *stacks.entry(format!("sweep;{};{};other", c.problem, c.family)).or_default() += other;
+        if seen_instances.insert((c.family.clone(), c.requested_n, c.replicate)) {
+            *stacks.entry(format!("sweep;instance-gen;{}", c.family)).or_default() +=
+                c.instance_micros;
+        }
+    }
+    let mut out = String::new();
+    for (stack, micros) in stacks {
+        if micros > 0 {
+            out.push_str(&format!("{stack} {micros}\n"));
+        }
+    }
+    out
+}
+
 /// Folds cells into per-`(problem, family)` summaries, in first-appearance order (which is
 /// the grid's canonical order). Single pass over the cells, so sweeps with hundreds of
 /// thousands of cells aggregate in linear time.
 pub fn summarize(cells: &[CellResult]) -> Vec<GroupSummary> {
-    let mut index: std::collections::HashMap<(String, String), usize> =
-        std::collections::HashMap::new();
-    let mut groups: Vec<((String, String), Vec<&CellResult>)> = Vec::new();
+    let mut accumulator = SummaryAccumulator::new();
     for cell in cells {
-        let key = (cell.problem.clone(), cell.family.clone());
-        let slot = *index.entry(key.clone()).or_insert_with(|| {
-            groups.push((key, Vec::new()));
-            groups.len() - 1
-        });
-        groups[slot].1.push(cell);
+        accumulator.fold(cell);
     }
-    groups
-        .into_iter()
-        .map(|((problem, family), group)| {
-            let mut rounds: Vec<u64> = group.iter().map(|c| c.uniform_rounds).collect();
-            rounds.sort_unstable();
-            let count = group.len();
-            GroupSummary {
-                problem,
-                family,
-                cells: count,
-                valid_cells: group.iter().filter(|c| c.valid).count(),
-                solved_cells: group.iter().filter(|c| c.solved).count(),
-                mean_uniform_rounds: rounds.iter().sum::<u64>() as f64 / count.max(1) as f64,
-                p50_uniform_rounds: percentile(&rounds, 0.50),
-                p99_uniform_rounds: percentile(&rounds, 0.99),
-                max_uniform_rounds: rounds.last().copied().unwrap_or(0),
-                mean_overhead_ratio: group.iter().map(|c| c.overhead_ratio).sum::<f64>()
-                    / count.max(1) as f64,
-                max_overhead_ratio: group.iter().map(|c| c.overhead_ratio).fold(0.0, f64::max),
-                total_uniform_messages: group.iter().map(|c| c.uniform_messages).sum(),
-                total_wall_micros: group.iter().map(|c| c.wall_micros).sum(),
-            }
-        })
-        .collect()
+    accumulator.finish()
 }
 
 /// The full outcome of a sweep.
@@ -165,11 +365,14 @@ pub struct Report {
     pub cell_count: usize,
     /// Number of distinct graph instances generated (shared across problems).
     pub distinct_instances: usize,
+    /// Cells served from the incremental sweep cache instead of being executed.
+    pub cache_hits: usize,
     /// End-to-end wall time of the sweep, in microseconds.
     pub total_wall_micros: u64,
     /// Per-group summaries.
     pub summaries: Vec<GroupSummary>,
-    /// Every cell, in the grid's canonical order.
+    /// Every cell, in the grid's canonical order (empty when the sweep ran in streaming
+    /// mode — the cells then live in the sweep cache only).
     pub cells: Vec<CellResult>,
 }
 
@@ -188,50 +391,24 @@ impl Report {
     /// (`attempt_micros`, `prune_micros`, `instance_micros`) emitted by the `--profile` sweep
     /// flag. Text fields are RFC-4180-quoted when they contain separators or quotes.
     pub fn to_csv_with(&self, profile: bool) -> String {
-        let mut out = String::from(
-            "problem,family,requested_n,n,edges,replicate,seed,uniform_rounds,\
-             uniform_messages,nonuniform_rounds,nonuniform_messages,overhead_ratio,\
-             subiterations,solved,valid,wall_micros",
-        );
-        if profile {
-            out.push_str(",attempt_micros,prune_micros,instance_micros");
-        }
+        let mut out = CellResult::csv_header(profile);
         out.push('\n');
         for c in &self.cells {
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{:.6},{},{},{},{}",
-                csv_escape(&c.problem),
-                csv_escape(&c.family),
-                c.requested_n,
-                c.n,
-                c.edges,
-                c.replicate,
-                c.seed,
-                c.uniform_rounds,
-                c.uniform_messages,
-                c.nonuniform_rounds,
-                c.nonuniform_messages,
-                c.overhead_ratio,
-                c.subiterations,
-                c.solved,
-                c.valid,
-                c.wall_micros
-            ));
-            if profile {
-                out.push_str(&format!(
-                    ",{},{},{}",
-                    c.attempt_micros, c.prune_micros, c.instance_micros
-                ));
-            }
+            out.push_str(&c.csv_row(profile));
             out.push('\n');
         }
         out
     }
 
+    /// Renders the sweep's phase times as folded stacks; see [`folded_stacks`].
+    pub fn to_folded(&self) -> String {
+        folded_stacks(self.cells.iter().cloned())
+    }
+
     /// Renders the summaries as an aligned text table for terminals.
     pub fn render_summaries(&self) -> String {
         let mut out = format!(
-            "{:<18} {:<18} {:>5} {:>6} {:>10} {:>8} {:>8} {:>8} {:>9} {:>10}\n",
+            "{:<18} {:<18} {:>5} {:>6} {:>10} {:>8} {:>8} {:>8} {:>9} {:>9} {:>10}\n",
             "problem",
             "family",
             "cells",
@@ -241,13 +418,14 @@ impl Report {
             "p99",
             "max",
             "ratio",
+            "msg-ratio",
             "wall-ms"
         );
-        out.push_str(&"-".repeat(112));
+        out.push_str(&"-".repeat(122));
         out.push('\n');
         for s in &self.summaries {
             out.push_str(&format!(
-                "{:<18} {:<18} {:>5} {:>6} {:>10.1} {:>8} {:>8} {:>8} {:>9.2} {:>10.1}\n",
+                "{:<18} {:<18} {:>5} {:>6} {:>10.1} {:>8} {:>8} {:>8} {:>9.2} {:>9.2} {:>10.1}\n",
                 s.problem,
                 s.family,
                 s.cells,
@@ -257,6 +435,7 @@ impl Report {
                 s.p99_uniform_rounds,
                 s.max_uniform_rounds,
                 s.mean_overhead_ratio,
+                s.mean_message_overhead_ratio,
                 s.total_wall_micros as f64 / 1000.0
             ));
         }
@@ -329,6 +508,7 @@ mod tests {
             base_seed: 0,
             cell_count: 1,
             distinct_instances: 1,
+            cache_hits: 0,
             total_wall_micros: 99,
             summaries: Vec::new(),
             cells: vec![cell("mis", "grid", 10, 2.0, true)],
@@ -347,6 +527,7 @@ mod tests {
             base_seed: 7,
             cell_count: 1,
             distinct_instances: 1,
+            cache_hits: 0,
             total_wall_micros: 5,
             summaries: summarize(&[cell("mis", "grid", 10, 2.0, true)]),
             cells: vec![cell("mis", "grid", 10, 2.0, true)],
@@ -375,6 +556,7 @@ mod tests {
             base_seed: 0,
             cell_count: 1,
             distinct_instances: 1,
+            cache_hits: 0,
             total_wall_micros: 1,
             summaries: Vec::new(),
             cells: vec![cell("ruling-set, b=2", "weird \"family\"\nname", 5, 1.0, true)],
@@ -402,6 +584,7 @@ mod tests {
             base_seed: 0,
             cell_count: 1,
             distinct_instances: 1,
+            cache_hits: 0,
             total_wall_micros: 1,
             summaries: Vec::new(),
             cells: vec![cell("mis", "grid", 10, 2.0, true)],

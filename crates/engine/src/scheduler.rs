@@ -14,8 +14,10 @@
 //! with `threads = 64` produces byte-identical results to `threads = 1` (wall-clock fields
 //! aside).
 
+use crate::cache::SweepCache;
+use crate::cost::CostModel;
 use crate::pool;
-use crate::report::{summarize, CellResult, Report};
+use crate::report::{CellResult, Report, SummaryAccumulator};
 use crate::scenario::{ProblemKind, Scenario, ScenarioGrid};
 use local_algos::checkers;
 use local_algos::edge_coloring::LineGraphEdgeColoring;
@@ -25,26 +27,49 @@ use local_runtime::{Graph, GraphAlgorithm, Session};
 use local_uniform::catalog;
 use local_uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Execution settings of one sweep.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct SweepConfig {
-    /// Worker threads (1 = fully sequential, no worker threads spawned).
+    /// Worker threads (1 = fully sequential, no worker threads spawned). 0 means "use the
+    /// machine's available parallelism".
     pub threads: usize,
-}
-
-impl Default for SweepConfig {
-    fn default() -> Self {
-        SweepConfig { threads: pool::default_threads() }
-    }
+    /// The incremental result cache: cells whose key is already present are served from
+    /// disk, freshly executed cells are written back. `None` disables caching entirely.
+    pub cache: Option<SweepCache>,
+    /// Stream results instead of accumulating them: every executed cell goes straight to
+    /// the cache and is folded into the summaries, and [`Report::cells`] stays empty — the
+    /// sweep's memory footprint no longer grows with the grid. Requires `cache`.
+    pub stream: bool,
 }
 
 impl SweepConfig {
-    /// A configuration with the given thread count.
+    /// A configuration with the given thread count (no cache, no streaming); 0 means "use
+    /// the machine's available parallelism", as documented on [`SweepConfig::threads`].
     pub fn with_threads(threads: usize) -> Self {
-        SweepConfig { threads: threads.max(1) }
+        SweepConfig { threads, cache: None, stream: false }
+    }
+
+    /// Attaches an incremental sweep cache.
+    pub fn with_cache(mut self, cache: SweepCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Enables streaming mode (cells go to the cache, not the report).
+    pub fn streaming(mut self) -> Self {
+        self.stream = true;
+        self
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            pool::default_threads()
+        } else {
+            self.threads
+        }
     }
 }
 
@@ -72,37 +97,114 @@ impl Instance {
 }
 
 /// Runs every cell of `grid` and folds the outcomes into a [`Report`].
+///
+/// The pipeline is cache- and cost-aware:
+///
+/// 1. **Cache probe.** With a [`SweepCache`] attached, every cell's key is looked up first;
+///    hits are served from disk (byte-identical to re-execution — seeds are pure functions
+///    of cell identity) and also *calibrate the cost model* with their observed wall times.
+/// 2. **Instance generation.** Only the distinct instances that a missed cell actually
+///    needs are realized, in parallel.
+/// 3. **Cost-ordered execution.** Missed cells run slowest-first under the [`CostModel`]
+///    (LPT scheduling minimizes makespan over the work-stealing pool); results are
+///    scattered back to canonical positions, so the report order — and with deterministic
+///    cells the report *content* — is independent of both thread count and cost order.
+/// 4. **Write-back / streaming.** Executed cells are stored to the cache. In streaming mode
+///    they are folded into the summaries as they complete and dropped — the report carries
+///    no per-cell vector and memory stays flat no matter how large the grid is.
 pub fn run_grid(grid: &ScenarioGrid, cfg: &SweepConfig) -> Report {
     let started = Instant::now();
+    let threads = cfg.effective_threads();
     let cells = grid.cells();
 
-    // Phase 1: generate each distinct instance once, in parallel.
-    let keys: Vec<InstanceKey> = cells
+    // Phase 1: probe the incremental cache and calibrate the cost model with the hits.
+    let mut cached: Vec<Option<CellResult>> = match &cfg.cache {
+        Some(cache) => cells.iter().map(|cell| cache.load(cell, grid.base_seed)).collect(),
+        None => vec![None; cells.len()],
+    };
+    let cache_hits = cached.iter().filter(|c| c.is_some()).count();
+    let mut model = CostModel::new();
+    for hit in cached.iter().flatten() {
+        model.observe(hit);
+    }
+
+    // Phase 2: generate each distinct instance a *missed* cell needs, once, in parallel.
+    let missed: Vec<usize> = (0..cells.len()).filter(|&i| cached[i].is_none()).collect();
+    let keys: Vec<InstanceKey> = missed
         .iter()
-        .map(|c| c.instance_key(grid.base_seed))
+        .map(|&i| cells[i].instance_key(grid.base_seed))
         .collect::<BTreeSet<_>>()
         .into_iter()
         .collect();
     let instances =
-        pool::run_indexed(keys.len(), cfg.threads, |i| Arc::new(Instance::generate(keys[i])));
-    let cache: HashMap<InstanceKey, Arc<Instance>> = keys.iter().copied().zip(instances).collect();
+        pool::run_indexed(keys.len(), threads, |i| Arc::new(Instance::generate(keys[i])));
+    let instance_cache: HashMap<InstanceKey, Arc<Instance>> =
+        keys.iter().copied().zip(instances).collect();
 
-    // Phase 2: execute cells, work-stealing over the same pool. Every worker owns one
-    // reusable execution session, so consecutive cells claimed by the same worker (often over
-    // the same cached instance) reuse its buffers instead of reallocating the runtime.
-    let results = pool::run_indexed_with(cells.len(), cfg.threads, Session::new, |session, i| {
-        let cell = &cells[i];
-        let instance = &cache[&cell.instance_key(grid.base_seed)];
-        run_cell_in(cell, instance, grid.base_seed, session)
-    });
+    // Phase 3: execute the missed cells slowest-first, work-stealing over the same pool.
+    // Every worker owns one reusable execution session, so consecutive cells claimed by the
+    // same worker (often over the same cached instance) reuse its buffers instead of
+    // reallocating the runtime.
+    let order = model.order_slowest_first(&cells, missed);
+    let run_one = |session: &mut Session, k: usize| {
+        let cell = &cells[order[k]];
+        let instance = &instance_cache[&cell.instance_key(grid.base_seed)];
+        let result = run_cell_in(cell, instance, grid.base_seed, session);
+        if let Some(cache) = &cfg.cache {
+            if let Err(e) = cache.store(cell, grid.base_seed, &result) {
+                eprintln!("sweep cache: cannot store {}: {e}", cell.label());
+            }
+        }
+        result
+    };
+
+    if cfg.stream {
+        // Streaming: pre-register every group in canonical order (completion order must not
+        // reorder the report), fold cells as they finish, and drop them.
+        let mut accumulator = SummaryAccumulator::new();
+        for cell in &cells {
+            accumulator.register(&cell.problem.name(), cell.family.name());
+        }
+        for (i, hit) in cached.iter().enumerate() {
+            if let Some(hit) = hit {
+                accumulator.fold_at(i, hit);
+            }
+        }
+        let accumulator = Mutex::new(accumulator);
+        pool::run_indexed_with(order.len(), threads, Session::new, |session, k| {
+            let result = run_one(session, k);
+            // Folded under the cell's canonical grid index, so completion order cannot
+            // perturb the summary bytes.
+            accumulator.lock().expect("summary accumulator poisoned").fold_at(order[k], &result);
+        });
+        return Report {
+            threads,
+            base_seed: grid.base_seed,
+            cell_count: cells.len(),
+            distinct_instances: keys.len(),
+            cache_hits,
+            total_wall_micros: started.elapsed().as_micros() as u64,
+            summaries: accumulator.into_inner().expect("summary accumulator poisoned").finish(),
+            cells: Vec::new(),
+        };
+    }
+
+    // Collecting mode: scatter executed cells back to their canonical positions.
+    let executed = pool::run_indexed_with(order.len(), threads, Session::new, run_one);
+    for (&i, result) in order.iter().zip(executed) {
+        cached[i] = Some(result);
+    }
+    let results: Vec<CellResult> =
+        cached.into_iter().map(|c| c.expect("every cell is cached or executed")).collect();
 
     Report {
-        threads: cfg.threads,
+        threads,
         base_seed: grid.base_seed,
         cell_count: results.len(),
         distinct_instances: keys.len(),
+        cache_hits,
         total_wall_micros: started.elapsed().as_micros() as u64,
-        summaries: summarize(&results),
+        summaries: crate::report::summarize(&results),
         cells: results,
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::graph::Graph;
 use crate::program::ProgramSpec;
-use crate::runner::{run, RunConfig};
+use crate::runner::{run, Execution, RunConfig};
 use crate::session::{run_view, Session};
 use crate::view::GraphView;
 
@@ -117,13 +117,12 @@ impl<S: ProgramSpec> GraphAlgorithm for S {
         session: &mut Session,
     ) -> AlgoRun<Self::Output> {
         let cfg = RunConfig { seed, max_rounds: budget, ..RunConfig::default() };
-        let exec = run_view(view, inputs, self, &cfg, session);
-        AlgoRun {
-            outputs: exec.outputs,
-            rounds: exec.rounds,
-            messages: exec.messages,
-            completed: exec.completed,
-        }
+        let Execution { outputs, rounds, termination, halted, messages, completed, .. } =
+            run_view(view, inputs, self, &cfg, session);
+        // The per-node vectors AlgoRun does not carry go straight back to the session pool,
+        // keeping repeated attempts on an unchanged configuration allocation-free.
+        session.recycle_flags(termination, halted);
+        AlgoRun { outputs, rounds, messages, completed }
     }
 }
 

@@ -20,8 +20,14 @@ use rand_chacha::ChaCha8Rng;
 /// assumes), the node's problem input, and a private random stream. Uniform algorithms must
 /// not receive any global parameter here; non-uniform algorithms receive their guesses through
 /// their spec's constructor, mirroring the paper's "the code of `A` uses a value `p̃`".
+///
+/// All reference fields borrow from the runtime's per-session init slab (one flat arena of
+/// neighbor identities for the whole graph, cached across attempts on an unchanged
+/// configuration — see `crate::session`), so constructing the `n` inits of an execution
+/// allocates nothing. Programs that need neighbor identities *during* rounds should prefer
+/// [`RoundCtx::neighbor_ids`] over copying the slice out of the init.
 #[derive(Debug, Clone)]
-pub struct NodeInit<I> {
+pub struct NodeInit<'a, I> {
     /// Index of the node in the executed graph (dense, `0..n`). This is a runtime handle,
     /// not knowledge available to the algorithm; programs should use [`NodeInit::id`] for
     /// symmetry breaking.
@@ -32,9 +38,9 @@ pub struct NodeInit<I> {
     pub degree: usize,
     /// Identity of the neighbor reachable through each port (`neighbor_ids[p]` is the
     /// identity of the node at the other end of port `p`).
-    pub neighbor_ids: Vec<NodeId>,
+    pub neighbor_ids: &'a [NodeId],
     /// Problem input `x(v)`.
-    pub input: I,
+    pub input: &'a I,
 }
 
 /// What a node decides to do at the end of a round.
@@ -76,8 +82,8 @@ pub trait ProgramSpec: Send + Sync {
     type Msg: Clone + Send + 'static;
     /// Output type of the node programs.
     type Output: Clone + Send + 'static;
-    /// The node automaton type.
-    type Prog: NodeProgram<Msg = Self::Msg, Output = Self::Output>;
+    /// The node automaton type (`'static` so the session can pool program buffers by type).
+    type Prog: NodeProgram<Msg = Self::Msg, Output = Self::Output> + 'static;
 
     /// Builds the automaton for one node from its initial knowledge.
     fn build(&self, init: &NodeInit<Self::Input>) -> Self::Prog;
@@ -103,8 +109,10 @@ pub struct Incoming<M> {
 pub struct RoundCtx<'a, M> {
     pub(crate) round: u64,
     pub(crate) degree: usize,
+    pub(crate) neighbor_ids: &'a [NodeId],
     pub(crate) inbox: &'a [Incoming<M>],
     pub(crate) outbox: &'a mut Vec<(usize, M)>,
+    pub(crate) broadcast: &'a mut Option<M>,
     pub(crate) rng: &'a mut ChaCha8Rng,
 }
 
@@ -119,6 +127,14 @@ impl<'a, M: Clone> RoundCtx<'a, M> {
         self.degree
     }
 
+    /// Identity of the neighbor behind each port (`neighbor_ids()[p]` sits across port `p`).
+    ///
+    /// Served from the runtime's cached init slab, so programs no longer need to copy the
+    /// identities out of [`NodeInit`] into per-node vectors at build time.
+    pub fn neighbor_ids(&self) -> &[NodeId] {
+        self.neighbor_ids
+    }
+
     /// Messages received this round, tagged with the arrival port.
     pub fn inbox(&self) -> &[Incoming<M>] {
         self.inbox
@@ -131,6 +147,10 @@ impl<'a, M: Clone> RoundCtx<'a, M> {
 
     /// Queues a message to the neighbor on `port`, delivered before that neighbor's next round.
     ///
+    /// At most one message is delivered per port per round; a later send to the same port
+    /// within the round replaces the earlier one (the LOCAL model's unrestricted message
+    /// size makes batching into one message equivalent).
+    ///
     /// # Panics
     ///
     /// Panics if `port >= degree()`.
@@ -140,10 +160,14 @@ impl<'a, M: Clone> RoundCtx<'a, M> {
     }
 
     /// Queues the same message to every neighbor.
+    ///
+    /// Handled by the runtime as a single staged value fanned out at delivery time, so a
+    /// broadcast costs one write per neighbor and no outbox traffic. A node delivers at most
+    /// one message per port per round: a later [`RoundCtx::send`] to a port overrides a
+    /// broadcast queued in the same round, and a repeated broadcast replaces the previous
+    /// one.
     pub fn broadcast(&mut self, msg: M) {
-        for port in 0..self.degree {
-            self.outbox.push((port, msg.clone()));
-        }
+        *self.broadcast = Some(msg);
     }
 
     /// The node's private, reproducible random stream (independent across nodes).
@@ -162,15 +186,26 @@ mod tests {
         let inbox: Vec<Incoming<u32>> = vec![Incoming { port: 1, msg: 42 }];
         let mut outbox = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let mut ctx =
-            RoundCtx { round: 3, degree: 3, inbox: &inbox, outbox: &mut outbox, rng: &mut rng };
+        let neighbor_ids = [7u64, 8, 9];
+        let mut bcast = None;
+        let mut ctx = RoundCtx {
+            round: 3,
+            degree: 3,
+            neighbor_ids: &neighbor_ids,
+            inbox: &inbox,
+            outbox: &mut outbox,
+            broadcast: &mut bcast,
+            rng: &mut rng,
+        };
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.degree(), 3);
+        assert_eq!(ctx.neighbor_ids(), &[7, 8, 9]);
         assert_eq!(ctx.received_on(1), Some(&42));
         assert_eq!(ctx.received_on(0), None);
         ctx.send(2, 7);
         ctx.broadcast(9);
-        assert_eq!(outbox, vec![(2, 7), (0, 9), (1, 9), (2, 9)]);
+        assert_eq!(outbox, vec![(2, 7)]);
+        assert_eq!(bcast, Some(9));
     }
 
     #[test]
@@ -179,8 +214,16 @@ mod tests {
         let inbox: Vec<Incoming<u32>> = vec![];
         let mut outbox = Vec::new();
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let mut ctx =
-            RoundCtx { round: 0, degree: 1, inbox: &inbox, outbox: &mut outbox, rng: &mut rng };
+        let mut bcast = None;
+        let mut ctx = RoundCtx {
+            round: 0,
+            degree: 1,
+            neighbor_ids: &[4],
+            inbox: &inbox,
+            outbox: &mut outbox,
+            broadcast: &mut bcast,
+            rng: &mut rng,
+        };
         ctx.send(1, 0);
     }
 }

@@ -312,7 +312,7 @@ mod tests {
             type Output = u64;
             type Prog = Double;
             fn build(&self, init: &NodeInit<u64>) -> Double {
-                Double { value: init.input }
+                Double { value: *init.input }
             }
             fn default_output(&self, _init: &NodeInit<u64>) -> u64 {
                 0

@@ -34,34 +34,43 @@ use std::collections::HashMap;
 pub trait Topology {
     /// Number of (live) nodes.
     fn node_count(&self) -> usize;
-    /// Size of the slot space (message buffers are sized to this).
-    fn slot_count(&self) -> usize;
     /// The slot of node `v` (identity for graphs, base index for views).
     fn slot(&self, v: usize) -> usize;
+    /// The node index of the node in slot `s` (inverse of [`Topology::slot`]).
+    fn slot_node(&self, s: usize) -> usize;
     /// Identity of node `v`.
     fn id(&self, v: usize) -> NodeId;
+    /// Identity of the node in slot `s`.
+    fn slot_id(&self, s: usize) -> NodeId;
     /// Degree of the node in slot `s`.
     fn slot_degree(&self, s: usize) -> usize;
     /// The slot of the `port`-th neighbor of the node in slot `s`.
     fn slot_neighbor(&self, s: usize, port: usize) -> usize;
     /// The port at which slot `s` appears in the neighbor list of its `port`-th neighbor.
     fn slot_reverse_port(&self, s: usize, port: usize) -> usize;
-    /// Identities of the neighbors of node `v`, in port order.
-    fn neighbor_ids(&self, v: usize) -> Vec<NodeId>;
+    /// A token identifying the topology's *content*, if it has one: equal tokens guarantee a
+    /// structurally identical topology (same nodes, identities, ports). The session keys its
+    /// frozen [`NodeInit`] slab on this, so repeated runs over an unchanged [`GraphView`]
+    /// (whose epoch this is) skip the per-node init construction entirely. `None` means
+    /// "uncacheable — rebuild the slab every run" (plain graphs carry no epoch).
+    fn content_epoch(&self) -> Option<u64>;
 }
 
 impl Topology for Graph {
     fn node_count(&self) -> usize {
         Graph::node_count(self)
     }
-    fn slot_count(&self) -> usize {
-        Graph::node_count(self)
-    }
     fn slot(&self, v: usize) -> usize {
         v
     }
+    fn slot_node(&self, s: usize) -> usize {
+        s
+    }
     fn id(&self, v: usize) -> NodeId {
         Graph::id(self, v)
+    }
+    fn slot_id(&self, s: usize) -> NodeId {
+        Graph::id(self, s)
     }
     fn slot_degree(&self, s: usize) -> usize {
         Graph::degree(self, s)
@@ -72,8 +81,8 @@ impl Topology for Graph {
     fn slot_reverse_port(&self, s: usize, port: usize) -> usize {
         Graph::reverse_port(self, s, port)
     }
-    fn neighbor_ids(&self, v: usize) -> Vec<NodeId> {
-        self.neighbors(v).iter().map(|&w| Graph::id(self, w)).collect()
+    fn content_epoch(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -81,14 +90,17 @@ impl Topology for GraphView<'_> {
     fn node_count(&self) -> usize {
         GraphView::node_count(self)
     }
-    fn slot_count(&self) -> usize {
-        GraphView::slot_count(self)
-    }
     fn slot(&self, v: usize) -> usize {
         self.base_index(v)
     }
+    fn slot_node(&self, s: usize) -> usize {
+        self.live_index_of(s)
+    }
     fn id(&self, v: usize) -> NodeId {
         GraphView::id(self, v)
+    }
+    fn slot_id(&self, s: usize) -> NodeId {
+        self.base().id(s)
     }
     fn slot_degree(&self, s: usize) -> usize {
         GraphView::slot_degree(self, s)
@@ -99,48 +111,147 @@ impl Topology for GraphView<'_> {
     fn slot_reverse_port(&self, s: usize, port: usize) -> usize {
         GraphView::slot_reverse_port(self, s, port)
     }
-    fn neighbor_ids(&self, v: usize) -> Vec<NodeId> {
-        let s = self.base_index(v);
-        self.slot_neighbors(s).iter().map(|&w| self.base().id(w)).collect()
+    fn content_epoch(&self) -> Option<u64> {
+        Some(self.epoch())
     }
 }
 
-/// Double-buffered inboxes for one message type, pooled across runs by [`Session`].
-struct InboxBuffers<M> {
-    cur: Vec<Vec<Incoming<M>>>,
-    next: Vec<Vec<Incoming<M>>>,
+/// Frozen per-node init data of one topology content: identities, degrees, one flat arena
+/// of neighbor identities, and the precomputed message-routing table
+/// (`offsets[v]..offsets[v + 1]` is node `v`'s port-ordered *dense arc* segment). Built once
+/// per `(session, content epoch)`; repeated attempts on an unchanged [`GraphView`] hand out
+/// `NodeInit`s that *borrow* these slabs instead of allocating one `neighbor_ids` vector per
+/// node per attempt, and the round loop routes every message through `arrival_arc` without
+/// touching the topology at all.
+#[derive(Debug, Default)]
+struct InitSlab {
+    /// The content epoch the slab was built from; `None` marks an epoch-less build that is
+    /// never reused (see [`Topology::content_epoch`]).
+    key: Option<u64>,
+    ids: Vec<NodeId>,
+    degrees: Vec<usize>,
+    /// Dense arc offsets: node `v`'s ports occupy arcs `offsets[v]..offsets[v + 1]`.
+    offsets: Vec<usize>,
+    neighbor_ids: Vec<NodeId>,
+    /// Per arc `offsets[v] + p`: the arc cell a message sent by `v` on port `p` lands in
+    /// (the receiver's segment base plus the arrival port) — message routing becomes one
+    /// contiguous read and one indexed write.
+    arrival_arc: Vec<usize>,
 }
 
-impl<M> InboxBuffers<M> {
+impl InitSlab {
+    /// Refills the slab from `topo`, reusing the buffers' capacity.
+    fn rebuild<T: Topology>(&mut self, topo: &T) {
+        self.key = topo.content_epoch();
+        self.ids.clear();
+        self.degrees.clear();
+        self.offsets.clear();
+        self.neighbor_ids.clear();
+        self.offsets.push(0);
+        for v in 0..topo.node_count() {
+            let s = topo.slot(v);
+            let degree = topo.slot_degree(s);
+            self.ids.push(topo.id(v));
+            self.degrees.push(degree);
+            for port in 0..degree {
+                self.neighbor_ids.push(topo.slot_id(topo.slot_neighbor(s, port)));
+            }
+            self.offsets.push(self.neighbor_ids.len());
+        }
+        // Second pass (offsets are complete now): freeze the routing table.
+        self.arrival_arc.clear();
+        for v in 0..topo.node_count() {
+            let s = topo.slot(v);
+            for port in 0..self.degrees[v] {
+                let w = topo.slot_node(topo.slot_neighbor(s, port));
+                self.arrival_arc.push(self.offsets[w] + topo.slot_reverse_port(s, port));
+            }
+        }
+    }
+
+    /// Total number of (live) arcs — the message arenas' length.
+    fn arc_count(&self) -> usize {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Port-ordered neighbor identities of node `v`.
+    fn neighbors(&self, v: usize) -> &[NodeId] {
+        &self.neighbor_ids[self.offsets[v]..self.offsets[v + 1]]
+    }
+}
+
+/// The flat, tick-stamped message arena for one message type, pooled across runs by
+/// [`Session`].
+///
+/// One cell per *arc* of the (base) graph: a message sent to slot `w`'s port `p` in round
+/// `r` is a single indexed write of `(tick(r), msg)` into cell `arc_base(w) + p` of the
+/// round's write arena; the receiver reads its contiguous cell segment in round `r + 1` and
+/// accepts exactly the cells stamped `tick(r)`. Two arenas alternate by round parity so a
+/// same-round send can never overwrite a message the receiver has not read yet (each arc
+/// has one sender, so a cell is rewritten at the earliest two rounds after it was written —
+/// strictly after its read round). Ticks grow monotonically across rounds *and runs* (with
+/// a gap between runs), so stale cells never match and nothing is ever cleared or swapped —
+/// the per-message cost drops to one indexed write, and the per-round bookkeeping of the
+/// previous inbox design (touched lists, buffer swaps, clears) disappears entirely.
+struct MsgBuffers<M> {
+    /// `(stamp, message)` per arc, one arena per round parity; `stamp == 0` marks a
+    /// never-written cell (ticks start at 1).
+    cells: [Vec<(u64, Option<M>)>; 2],
+    /// The inbox staging buffer served to the running node (port-ascending).
+    inbox: Vec<Incoming<M>>,
+    /// The outbox staging buffer handed to the running node.
+    outbox: Vec<(usize, M)>,
+}
+
+impl<M> MsgBuffers<M> {
     fn new() -> Self {
-        InboxBuffers { cur: Vec::new(), next: Vec::new() }
+        MsgBuffers { cells: [Vec::new(), Vec::new()], inbox: Vec::new(), outbox: Vec::new() }
     }
 
-    /// Resizes to `n` slots and clears any stale content (capacities are kept warm).
-    fn reset(&mut self, n: usize) {
-        self.cur.iter_mut().for_each(Vec::clear);
-        self.next.iter_mut().for_each(Vec::clear);
-        self.cur.resize_with(n, Vec::new);
-        self.next.resize_with(n, Vec::new);
+    /// Grows the arenas to `arcs` cells (never shrinks — capacities stay warm) and clears the
+    /// staging buffers. Stale cells need no reset: their stamps can never match a fresh tick.
+    fn reset(&mut self, arcs: usize) {
+        for arena in &mut self.cells {
+            if arena.len() < arcs {
+                arena.resize_with(arcs, || (0, None));
+            }
+        }
+        self.inbox.clear();
+        self.outbox.clear();
     }
 }
 
 /// Reusable per-node execution state: RNG streams, halt/termination bookkeeping, the active
-/// worklist, and a pool of typed inbox buffers.
+/// worklist, typed message/program/output buffer pools, and the epoch-keyed [`NodeInit`]
+/// slab.
 ///
 /// A session is cheap to create but pays off when reused: every buffer is reset in place
 /// between runs, so consecutive attempts of an alternation (or consecutive cells of a sweep
-/// shard) allocate almost nothing.
+/// shard) allocate almost nothing. On an *unchanged* [`GraphView`] (same content epoch) a
+/// run through [`run_view`] is fully allocation-free at the runtime level, provided the
+/// caller hands finished [`Execution`]s back through [`Session::recycle_execution`] (the
+/// alternating drivers of `local-uniform` do).
 #[derive(Default)]
 pub struct Session {
     rngs: Vec<ChaCha8Rng>,
     halted: Vec<bool>,
     termination: Vec<u64>,
     active: Vec<usize>,
-    has_next: Vec<bool>,
-    touched_prev: Vec<usize>,
-    touched_now: Vec<usize>,
-    inbox_pool: HashMap<TypeId, Box<dyn Any>>,
+    /// Monotone round-tick source shared by every run of this session; the message arenas'
+    /// stamps are drawn from it, which is what lets stale cells persist unswept.
+    next_tick: u64,
+    /// Message arena + staging buffers per message type (boxed once, reused forever).
+    msg_pool: HashMap<TypeId, Box<dyn Any>>,
+    /// Spare `Vec<S::Prog>` stacks per program type.
+    program_pool: HashMap<TypeId, Box<dyn Any>>,
+    /// Spare `Vec<S::Output>` stacks per output type, refilled by the recycle methods.
+    output_pool: HashMap<TypeId, Box<dyn Any>>,
+    /// Spare buffers for the per-run termination / halted result vectors.
+    spare_termination: Option<Vec<u64>>,
+    spare_halted: Option<Vec<bool>>,
+    /// The frozen init slab (ids, degrees, flat neighbor-identity arena), keyed by the
+    /// topology's content epoch.
+    slab: InitSlab,
     /// Materialized-subgraph cache for composite algorithms without a view-native path,
     /// keyed by the view's content epoch (equal epoch ⇒ structurally identical view).
     materialized: Option<(u64, Graph)>,
@@ -164,18 +275,82 @@ impl Session {
         &self.materialized.as_ref().expect("cache filled above").1
     }
 
-    fn take_inboxes<M: 'static>(&mut self, n: usize) -> Box<InboxBuffers<M>> {
+    /// The content epoch the cached init slab was built from, if any — a diagnostics hook
+    /// for tests asserting that [`GraphView::retain`] invalidates the cache.
+    pub fn cached_init_epoch(&self) -> Option<u64> {
+        self.slab.key
+    }
+
+    /// Returns a finished execution's buffers (outputs, termination, halted) to the
+    /// session's pools so the next run of the same output type allocates nothing.
+    ///
+    /// Purely an optimization — executions that are kept alive (or dropped) instead are
+    /// merely re-allocated on the next run.
+    pub fn recycle_execution<O: Send + 'static>(&mut self, exec: Execution<O>) {
+        let Execution { outputs, termination, halted, .. } = exec;
+        self.recycle_outputs(outputs);
+        self.recycle_flags(termination, halted);
+    }
+
+    /// Returns an output vector (e.g. [`crate::algorithm::AlgoRun::outputs`]) to the
+    /// session's per-type pool; see [`Session::recycle_execution`].
+    pub fn recycle_outputs<O: Send + 'static>(&mut self, mut outputs: Vec<O>) {
+        outputs.clear();
+        let stack = self
+            .output_pool
+            .entry(TypeId::of::<Vec<O>>())
+            .or_insert_with(|| Box::new(Vec::<Vec<O>>::new()));
+        if let Some(stack) = stack.downcast_mut::<Vec<Vec<O>>>() {
+            stack.push(outputs);
+        }
+    }
+
+    /// Returns a run's termination/halted vectors to the spare slots; see
+    /// [`Session::recycle_execution`].
+    pub fn recycle_flags(&mut self, termination: Vec<u64>, halted: Vec<bool>) {
+        self.spare_termination = Some(termination);
+        self.spare_halted = Some(halted);
+    }
+
+    fn take_output_buf<O: Send + 'static>(&mut self) -> Vec<O> {
+        self.output_pool
+            .get_mut(&TypeId::of::<Vec<O>>())
+            .and_then(|b| b.downcast_mut::<Vec<Vec<O>>>())
+            .and_then(Vec::pop)
+            .unwrap_or_default()
+    }
+
+    fn take_program_buf<P: 'static>(&mut self) -> Vec<P> {
+        self.program_pool
+            .get_mut(&TypeId::of::<Vec<P>>())
+            .and_then(|b| b.downcast_mut::<Vec<Vec<P>>>())
+            .and_then(Vec::pop)
+            .unwrap_or_default()
+    }
+
+    fn put_program_buf<P: 'static>(&mut self, mut buf: Vec<P>) {
+        buf.clear();
+        let stack = self
+            .program_pool
+            .entry(TypeId::of::<Vec<P>>())
+            .or_insert_with(|| Box::new(Vec::<Vec<P>>::new()));
+        if let Some(stack) = stack.downcast_mut::<Vec<Vec<P>>>() {
+            stack.push(buf);
+        }
+    }
+
+    fn take_msgs<M: 'static>(&mut self, n: usize) -> Box<MsgBuffers<M>> {
         let mut buffers = self
-            .inbox_pool
+            .msg_pool
             .remove(&TypeId::of::<M>())
-            .and_then(|b| b.downcast::<InboxBuffers<M>>().ok())
-            .unwrap_or_else(|| Box::new(InboxBuffers::new()));
+            .and_then(|b| b.downcast::<MsgBuffers<M>>().ok())
+            .unwrap_or_else(|| Box::new(MsgBuffers::new()));
         buffers.reset(n);
         buffers
     }
 
-    fn put_inboxes<M: 'static>(&mut self, buffers: Box<InboxBuffers<M>>) {
-        self.inbox_pool.insert(TypeId::of::<M>(), buffers);
+    fn put_msgs<M: 'static>(&mut self, buffers: Box<MsgBuffers<M>>) {
+        self.msg_pool.insert(TypeId::of::<M>(), buffers);
     }
 }
 
@@ -207,73 +382,105 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
     session: &mut Session,
 ) -> Execution<S::Output> {
     let n = topo.node_count();
-    let slots = topo.slot_count();
     assert_eq!(inputs.len(), n, "one input per node is required");
 
-    let inits: Vec<NodeInit<S::Input>> = (0..n)
-        .map(|v| NodeInit {
+    // Freeze (or reuse) the init slab: on an unchanged view the epoch matches and nothing is
+    // rebuilt; otherwise the slab's buffers are refilled in place.
+    let mut slab = std::mem::take(&mut session.slab);
+    if slab.key.is_none() || slab.key != topo.content_epoch() {
+        slab.rebuild(topo);
+    }
+
+    // Pooled per-type buffers. Outputs are prefilled with the spec's forced default (the
+    // paper's arbitrary output for cut-off nodes) and overwritten when a node halts by
+    // itself — same values as deciding after the run, without the `Option` layer.
+    let mut programs: Vec<S::Prog> = session.take_program_buf();
+    let mut outputs: Vec<S::Output> = session.take_output_buf();
+    for (v, input) in inputs.iter().enumerate() {
+        let init = NodeInit {
             index: v,
-            id: topo.id(v),
-            degree: topo.slot_degree(topo.slot(v)),
-            neighbor_ids: topo.neighbor_ids(v),
-            input: inputs[v].clone(),
-        })
-        .collect();
-    let mut programs: Vec<S::Prog> = inits.iter().map(|init| spec.build(init)).collect();
+            id: slab.ids[v],
+            degree: slab.degrees[v],
+            neighbor_ids: slab.neighbors(v),
+            input,
+        };
+        outputs.push(spec.default_output(&init));
+        programs.push(spec.build(&init));
+    }
 
     session.rngs.clear();
-    session.rngs.extend((0..n).map(|v| node_rng(cfg.seed, topo.id(v))));
+    session.rngs.extend(slab.ids.iter().map(|&id| node_rng(cfg.seed, id)));
     session.halted.clear();
     session.halted.resize(n, false);
     session.termination.clear();
     session.termination.resize(n, 0);
     session.active.clear();
     session.active.extend(0..n);
-    session.has_next.clear();
-    session.has_next.resize(slots, false);
-    session.touched_prev.clear();
-    session.touched_now.clear();
-    let mut inboxes = session.take_inboxes::<S::Msg>(slots);
+    // Tick base of this run, with a gap of one so round 0 (which accepts `tick_base - 1`)
+    // can never match a stamp written by the previous run.
+    let tick_base = session.next_tick.wrapping_add(1);
+    let mut msgs = session.take_msgs::<S::Msg>(slab.arc_count());
+    let mut outbox: Vec<(usize, S::Msg)> = std::mem::take(&mut msgs.outbox);
+    let mut inbox: Vec<Incoming<S::Msg>> = std::mem::take(&mut msgs.inbox);
+    let mut bcast: Option<S::Msg>;
 
-    let mut outputs: Vec<Option<S::Output>> = vec![None; n];
     let mut messages: u64 = 0;
     let mut trace = cfg.record_trace.then(ExecutionTrace::default);
 
     let limit = cfg.max_rounds.unwrap_or(cfg.hard_cap).min(cfg.hard_cap);
     let mut rounds_executed = 0u64;
     let mut active_count = n;
-    let mut outbox: Vec<(usize, S::Msg)> = Vec::new();
 
     let mut round: u64 = 0;
     while active_count > 0 && round < limit {
+        let send_tick = tick_base + round;
+        let read_tick = send_tick - 1;
         let mut delivered_this_round = 0u64;
         let mut any_halt = false;
         for idx in 0..session.active.len() {
             let v = session.active[idx];
-            let s = topo.slot(v);
+            // Stage the inbox: the node's contiguous dense-arc segment, port-ascending,
+            // keeping exactly the cells stamped by the previous round.
+            inbox.clear();
+            let base = slab.offsets[v];
+            let degree = slab.degrees[v];
+            let read_arena = &msgs.cells[(read_tick % 2) as usize];
+            for (port, (stamp, msg)) in read_arena[base..base + degree].iter().enumerate() {
+                if *stamp == read_tick {
+                    if let Some(msg) = msg {
+                        inbox.push(Incoming { port, msg: msg.clone() });
+                    }
+                }
+            }
             outbox.clear();
+            bcast = None;
             let action = {
                 let mut ctx = RoundCtx {
                     round,
-                    degree: topo.slot_degree(s),
-                    inbox: &inboxes.cur[s],
+                    degree,
+                    neighbor_ids: slab.neighbors(v),
+                    inbox: &inbox,
                     outbox: &mut outbox,
+                    broadcast: &mut bcast,
                     rng: &mut session.rngs[v],
                 };
                 programs[v].round(&mut ctx)
             };
-            for (port, msg) in outbox.drain(..) {
-                let w = topo.slot_neighbor(s, port);
-                let arrival_port = topo.slot_reverse_port(s, port);
-                if !session.has_next[w] {
-                    session.has_next[w] = true;
-                    session.touched_now.push(w);
+            // Deliver: `arrival_arc` holds the receiving cell of each port, so a message is
+            // one contiguous read plus one indexed write — no topology access.
+            let send_arena = &mut msgs.cells[(send_tick % 2) as usize];
+            if let Some(msg) = bcast.take() {
+                for &arc in &slab.arrival_arc[base..base + degree] {
+                    send_arena[arc] = (send_tick, Some(msg.clone()));
                 }
-                inboxes.next[w].push(Incoming { port: arrival_port, msg });
+                delivered_this_round += degree as u64;
+            }
+            for (port, msg) in outbox.drain(..) {
+                send_arena[slab.arrival_arc[base + port]] = (send_tick, Some(msg));
                 delivered_this_round += 1;
             }
             if let Action::Halt(out) = action {
-                outputs[v] = Some(out);
+                outputs[v] = out;
                 // Halting during round r means the node used r communication rounds.
                 session.termination[v] = round;
                 session.halted[v] = true;
@@ -282,16 +489,6 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
             }
         }
         messages += delivered_this_round;
-        // Only inboxes that held or received messages are touched (not all n).
-        for &v in &session.touched_prev {
-            inboxes.cur[v].clear();
-        }
-        for &w in &session.touched_now {
-            std::mem::swap(&mut inboxes.cur[w], &mut inboxes.next[w]);
-            session.has_next[w] = false;
-        }
-        std::mem::swap(&mut session.touched_prev, &mut session.touched_now);
-        session.touched_now.clear();
         if any_halt {
             let halted = &session.halted;
             session.active.retain(|&v| !halted[v]);
@@ -306,30 +503,31 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
             });
         }
     }
-    programs.clear();
+    session.put_program_buf(programs);
 
     let completed = active_count == 0;
-    // Force outputs of nodes that never halted and charge them the full execution length.
+    // Nodes that never halted keep their prefilled default output and are charged the full
+    // execution length.
     let cut_off_at = rounds_executed;
-    let outputs: Vec<S::Output> = outputs
-        .into_iter()
-        .enumerate()
-        .map(|(v, o)| o.unwrap_or_else(|| spec.default_output(&inits[v])))
-        .collect();
-    let termination: Vec<u64> = session
-        .termination
-        .iter()
-        .zip(session.halted.iter())
-        .map(|(&t, &h)| if h { t } else { cut_off_at })
-        .collect();
-    let halted = session.halted.clone();
+    let mut termination = session.spare_termination.take().unwrap_or_default();
+    termination.clear();
+    termination.extend(session.termination.iter().zip(session.halted.iter()).map(|(&t, &h)| {
+        if h {
+            t
+        } else {
+            cut_off_at
+        }
+    }));
+    let mut halted = session.spare_halted.take().unwrap_or_default();
+    halted.clear();
+    halted.extend_from_slice(&session.halted);
     let rounds = termination.iter().copied().max().unwrap_or(0);
 
-    for &v in &session.touched_prev {
-        inboxes.cur[v].clear();
-    }
-    session.touched_prev.clear();
-    session.put_inboxes(inboxes);
+    session.next_tick = tick_base + rounds_executed;
+    msgs.outbox = outbox;
+    msgs.inbox = inbox;
+    session.put_msgs(msgs);
+    session.slab = slab;
 
     Execution { outputs, rounds, termination, halted, messages, completed, trace }
 }

@@ -225,9 +225,9 @@ impl<'g> GraphView<'g> {
         self.rev[self.offsets[s] + port] as usize
     }
 
-    /// Size of the base (slot) index space.
-    pub(crate) fn slot_count(&self) -> usize {
-        self.base.node_count()
+    /// Live index of base node `s` (only meaningful for alive nodes).
+    pub(crate) fn live_index_of(&self, s: usize) -> usize {
+        self.live_index[s]
     }
 
     /// `true` if live nodes `u` and `v` are adjacent in the view.

@@ -116,7 +116,8 @@ proptest! {
         let keep: Vec<bool> = result.pruned.iter().map(|&p| !p).collect();
         let (sub, back) = g.induced_subgraph(&keep);
         let sub_solution = localkit::algos::synthetic::central_greedy_matching(&sub);
-        let mut combined = MatchingPruning.normalize(&localkit::runtime::GraphView::full(&g), &tentative);
+        let mut combined = tentative.clone();
+        MatchingPruning.normalize(&localkit::runtime::GraphView::full(&g), &mut combined);
         for (i, &orig) in back.iter().enumerate() {
             combined[orig] = sub_solution[i];
         }
