@@ -1,0 +1,64 @@
+//! The message-complexity preset: sweep `mean_message_overhead_ratio` across families ×
+//! sizes and emit the study's CSV — the ROADMAP's message-complexity item. The paper bounds
+//! the uniform transformations in *rounds* only; this measures what they cost in
+//! *messages*, and how that cost scales with `n`.
+//!
+//! Usage: `cargo run -p local-bench --bin overhead [-- --sizes 64..512 --seeds 4 \
+//!         --out overhead.csv]`
+
+use local_engine::{parse_sizes, ProblemKind};
+use local_graphs::Family;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Defaults: every message-simulating transformer of the catalog (the synthetic black
+    // boxes charge rounds without messages and would only report zeros), on families that
+    // span sparse, structured, dense-ish, and geometric instances.
+    let problems = [
+        ProblemKind::Mis,
+        ProblemKind::Matching,
+        ProblemKind::RulingSet(2),
+        ProblemKind::LambdaColoring(1),
+    ];
+    let families = [Family::SparseGnp, Family::Grid, Family::Regular6, Family::UnitDisk];
+    let mut sizes = vec![64usize, 128, 256];
+    let mut seeds = 3u64;
+    let mut out: Option<String> = None;
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        let parsed = match flag.as_str() {
+            "--sizes" => value("--sizes").and_then(|v| parse_sizes(&v).map(|s| sizes = s)),
+            "--seeds" => value("--seeds").and_then(|v| {
+                v.parse().map(|s| seeds = s).map_err(|e| format!("bad --seeds: {e}"))
+            }),
+            "--out" => value("--out").map(|v| out = Some(v)),
+            other => Err(format!("unknown flag: {other} (overhead takes --sizes --seeds --out)")),
+        };
+        if let Err(message) = parsed {
+            eprintln!("overhead: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "overhead: {} problems × {} families × {} sizes × {seeds} seeds",
+        problems.len(),
+        families.len(),
+        sizes.len()
+    );
+    let points = local_bench::message_overhead_series(&problems, &families, &sizes, seeds, 7);
+    let csv = local_bench::overhead_csv(&points);
+    match &out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &csv) {
+                eprintln!("overhead: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {} rows to {path}", points.len());
+        }
+        None => print!("{csv}"),
+    }
+    ExitCode::SUCCESS
+}

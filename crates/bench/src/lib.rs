@@ -201,6 +201,104 @@ pub fn scaling_series(sizes: &[usize], family: Family, seed: u64) -> Vec<Scaling
         .collect()
 }
 
+/// One point of the message-complexity study: a `(problem, family, n)` group's message
+/// overhead, the dimension of the uniform transformations the paper bounds only in rounds.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadPoint {
+    /// Problem name.
+    pub problem: String,
+    /// Family name.
+    pub family: String,
+    /// Requested instance size.
+    pub n: usize,
+    /// Cells (replicates) aggregated into this point.
+    pub cells: usize,
+    /// Mean per-cell `uniform_messages / max(nonuniform_messages, 1)`.
+    pub mean_message_overhead_ratio: f64,
+    /// Mean per-cell round overhead (the paper's constant-factor claim), for comparison.
+    pub mean_round_overhead_ratio: f64,
+    /// Total messages delivered by the uniform executions of the group.
+    pub total_uniform_messages: u64,
+    /// Total messages delivered by the non-uniform baselines of the group.
+    pub total_nonuniform_messages: u64,
+}
+
+/// The message-complexity sweep behind the `overhead` preset: runs the full
+/// (problem × family × size × seed) grid through the engine and aggregates message
+/// overheads per `(problem, family, n)` — finer than the engine's own `(problem, family)`
+/// summaries, because the study's question is how the overhead *scales with n*.
+pub fn message_overhead_series(
+    problems: &[ProblemKind],
+    families: &[Family],
+    sizes: &[usize],
+    seeds: u64,
+    base_seed: u64,
+) -> Vec<OverheadPoint> {
+    let grid = ScenarioGrid::new()
+        .problems(problems.to_vec())
+        .families(families.to_vec())
+        .sizes(sizes.to_vec())
+        .replicates(seeds)
+        .base_seed(base_seed);
+    let report = local_engine::run_grid(&grid, &SweepConfig::default());
+
+    // Group in canonical (grid) order: cells arrive problem-major, family, size, replicate,
+    // so consecutive cells of one point are adjacent.
+    let mut points: Vec<OverheadPoint> = Vec::new();
+    for cell in &report.cells {
+        let matches = points.last().is_some_and(|p: &OverheadPoint| {
+            p.problem == cell.problem && p.family == cell.family && p.n == cell.requested_n
+        });
+        if !matches {
+            points.push(OverheadPoint {
+                problem: cell.problem.clone(),
+                family: cell.family.clone(),
+                n: cell.requested_n,
+                cells: 0,
+                mean_message_overhead_ratio: 0.0,
+                mean_round_overhead_ratio: 0.0,
+                total_uniform_messages: 0,
+                total_nonuniform_messages: 0,
+            });
+        }
+        let point = points.last_mut().expect("just pushed");
+        point.cells += 1;
+        point.mean_message_overhead_ratio +=
+            cell.uniform_messages as f64 / cell.nonuniform_messages.max(1) as f64;
+        point.mean_round_overhead_ratio += cell.overhead_ratio;
+        point.total_uniform_messages += cell.uniform_messages;
+        point.total_nonuniform_messages += cell.nonuniform_messages;
+    }
+    for point in &mut points {
+        let count = point.cells.max(1) as f64;
+        point.mean_message_overhead_ratio /= count;
+        point.mean_round_overhead_ratio /= count;
+    }
+    points
+}
+
+/// Renders overhead points as the study's CSV (one row per `(problem, family, n)`).
+pub fn overhead_csv(points: &[OverheadPoint]) -> String {
+    let mut out = String::from(
+        "problem,family,n,cells,mean_message_overhead_ratio,mean_round_overhead_ratio,\
+         total_uniform_messages,total_nonuniform_messages\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{:.6},{:.6},{},{}\n",
+            p.problem,
+            p.family,
+            p.n,
+            p.cells,
+            p.mean_message_overhead_ratio,
+            p.mean_round_overhead_ratio,
+            p.total_uniform_messages,
+            p.total_nonuniform_messages
+        ));
+    }
+    out
+}
+
 /// The Figure 1 reproduction: the alternating-algorithm trace (per sub-iteration guesses,
 /// budget and pruned-node counts) of the uniform MIS on one instance.
 pub fn alternation_trace(n: usize, seed: u64) -> Vec<local_uniform::SubIterationTrace> {
@@ -324,6 +422,30 @@ mod tests {
         let (mean, bound) = las_vegas_mean_rounds(64, 2, 3);
         assert!(mean > 0.0);
         assert!(mean <= 8.0 * bound + 64.0, "mean {mean} vs bound {bound}");
+    }
+
+    #[test]
+    fn overhead_series_groups_per_size_with_positive_message_ratios() {
+        let points = message_overhead_series(
+            &[ProblemKind::Mis, ProblemKind::Matching],
+            &[Family::SparseGnp, Family::Grid],
+            &[36, 48],
+            2,
+            1,
+        );
+        // 2 problems × 2 families × 2 sizes, one point each (replicates fold in).
+        assert_eq!(points.len(), 8);
+        assert!(points.iter().all(|p| p.cells == 2));
+        // The transformed algorithms simulate real messages: the overhead dimension exists.
+        assert!(points.iter().all(|p| p.total_uniform_messages > 0));
+        assert!(points.iter().all(|p| p.mean_message_overhead_ratio > 0.0));
+        // Canonical order: problem-major, then family, then size.
+        assert_eq!(points[0].problem, "mis");
+        assert_eq!(points[0].n, 36);
+        assert_eq!(points[1].n, 48);
+        let csv = overhead_csv(&points);
+        assert_eq!(csv.lines().count(), 9, "header + 8 rows");
+        assert!(csv.starts_with("problem,family,n,cells,mean_message_overhead_ratio"));
     }
 
     #[test]

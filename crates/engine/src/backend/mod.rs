@@ -1,0 +1,226 @@
+//! The execution-backend abstraction: *how* cells become [`CellResult`]s.
+//!
+//! The scheduler ([`crate::scheduler`]) owns everything around execution — cache probing,
+//! cost-model ordering, streaming aggregation, canonical report order — and hands the
+//! actual running of cells to an [`ExecBackend`] as one [`CellShard`]. Two backends ship:
+//!
+//! * [`InProcessBackend`] — the work-stealing thread pool ([`crate::pool`]) that has always
+//!   powered `run_grid`, now behind the trait;
+//! * [`ProcessBackend`] — spawns `sweep --worker` subprocesses, ships each a serialized
+//!   sub-shard over stdin, and merges their newline-delimited result streams, falling back
+//!   to in-process execution when a worker dies or emits garbage.
+//!
+//! The determinism contract survives the abstraction because every cell's seed is a pure
+//! function of its identity and results are emitted with their shard index: any backend, at
+//! any parallelism, produces byte-identical results (wall-clock fields aside).
+
+mod in_process;
+mod process;
+
+pub use in_process::InProcessBackend;
+pub use process::{worker_serve, ProcessBackend};
+
+use crate::cost::CostModel;
+use crate::report::CellResult;
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize, Value};
+
+/// A batch of cells dispatched to a backend as one unit of work, in execution (LPT) order.
+///
+/// The shard is the wire unit of the multi-process protocol: the parent serializes it as one
+/// JSON document over a worker's stdin; the worker refuses shards whose `code_version` does
+/// not match its own (a stale binary would silently produce non-reproducible results).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellShard {
+    /// The grid's base seed; every instance/cell seed derives from it.
+    pub base_seed: u64,
+    /// The [`crate::cache::CODE_VERSION`] of the dispatching engine.
+    pub code_version: String,
+    /// The cells to execute, already cost-ordered by the scheduler.
+    pub cells: Vec<Scenario>,
+}
+
+impl CellShard {
+    /// A shard of `cells` under this engine's own code version.
+    pub fn new(base_seed: u64, cells: Vec<Scenario>) -> Self {
+        CellShard { base_seed, code_version: crate::cache::CODE_VERSION.to_string(), cells }
+    }
+
+    /// Splits the shard into `count` stripes by round-robining *graph instances* (in
+    /// first-appearance order, which is the shard's cost order): every cell follows its
+    /// [`local_graphs::InstanceKey`], so cells sharing an instance land on the same worker
+    /// and no instance is ever generated twice across the fleet — the cross-process
+    /// analogue of the in-process backend's shared instance cache. Cost order is preserved
+    /// within each stripe (every stripe still runs its slowest cells first), and each
+    /// stripe records its cells' indices in the parent shard so results merge back to
+    /// canonical positions.
+    pub fn stripe(&self, count: usize) -> Vec<(CellShard, Vec<usize>)> {
+        let count = count.max(1).min(self.cells.len().max(1));
+        let mut stripes: Vec<(CellShard, Vec<usize>)> = (0..count)
+            .map(|_| {
+                (
+                    CellShard {
+                        base_seed: self.base_seed,
+                        code_version: self.code_version.clone(),
+                        cells: Vec::new(),
+                    },
+                    Vec::new(),
+                )
+            })
+            .collect();
+        let mut assignment: std::collections::HashMap<local_graphs::InstanceKey, usize> =
+            std::collections::HashMap::new();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let next = assignment.len() % count;
+            let slot = *assignment.entry(cell.instance_key(self.base_seed)).or_insert(next);
+            let (stripe, indices) = &mut stripes[slot];
+            stripe.cells.push(*cell);
+            indices.push(i);
+        }
+        stripes
+    }
+}
+
+impl Serialize for CellShard {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("base_seed".into(), Value::U64(self.base_seed)),
+            ("code_version".into(), Value::Str(self.code_version.clone())),
+            ("cells".into(), self.cells.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for CellShard {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let field =
+            |key: &str| value.get(key).ok_or_else(|| format!("shard is missing field {key:?}"));
+        Ok(CellShard {
+            base_seed: u64::from_value(field("base_seed")?)?,
+            code_version: String::from_value(field("code_version")?)?,
+            cells: Vec::from_value(field("cells")?)?,
+        })
+    }
+}
+
+/// A sink for finished cells: `emit(shard_index, result)`. Backends call it from worker
+/// threads as cells complete (it must be `Sync`); the scheduler maps shard indices back to
+/// canonical grid positions, so completion order never affects the report.
+pub type EmitFn<'a> = dyn Fn(usize, CellResult) + Sync + 'a;
+
+/// Owns "how cells become [`CellResult`]s".
+///
+/// Implementations must uphold the engine's determinism contract: every emitted result is a
+/// pure function of the cell's identity and the shard's base seed (wall-clock fields aside),
+/// and every cell of the shard is emitted exactly once — by whatever means, including
+/// falling back to a slower path when a faster one fails.
+pub trait ExecBackend: Sync {
+    /// A short name for logs and reports (`in-process`, `process`).
+    fn name(&self) -> &'static str;
+
+    /// The backend's degree of parallelism (worker threads or worker processes), recorded in
+    /// the report.
+    fn parallelism(&self) -> usize;
+
+    /// Executes every cell of `shard`, emitting each result exactly once with its shard
+    /// index. May emit from multiple threads concurrently.
+    fn run_shard(&self, shard: &CellShard, emit: &EmitFn);
+
+    /// The calibration observed while running shards: per-`(problem, family)` observation
+    /// sums suitable for [`CostModel::merge`]. Distributed backends merge what their workers
+    /// shipped home; the default observes nothing (the scheduler can always calibrate from
+    /// the emitted results themselves).
+    fn calibration(&self) -> CostModel {
+        CostModel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ProblemKind;
+    use local_graphs::Family;
+
+    fn shard_of(n_cells: usize) -> CellShard {
+        let cells = (0..n_cells)
+            .map(|i| Scenario {
+                problem: ProblemKind::Mis,
+                family: Family::SparseGnp,
+                n: 32 + i,
+                replicate: 0,
+            })
+            .collect();
+        CellShard::new(7, cells)
+    }
+
+    #[test]
+    fn striping_round_robins_and_remembers_parent_indices() {
+        // Every cell here has a distinct size, hence a distinct instance key, so
+        // instance-grouped striping degenerates to plain round-robin.
+        let shard = shard_of(5);
+        let stripes = shard.stripe(2);
+        assert_eq!(stripes.len(), 2);
+        assert_eq!(stripes[0].1, vec![0, 2, 4]);
+        assert_eq!(stripes[1].1, vec![1, 3]);
+        for (stripe, indices) in &stripes {
+            assert_eq!(stripe.base_seed, shard.base_seed);
+            assert_eq!(stripe.code_version, shard.code_version);
+            for (cell, &parent) in stripe.cells.iter().zip(indices) {
+                assert_eq!(cell, &shard.cells[parent]);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_sharing_an_instance_land_on_the_same_stripe() {
+        // Two problems per (family, n, replicate): each instance is realized by exactly
+        // one worker, never regenerated across the fleet.
+        let mut cells = Vec::new();
+        for n in [32usize, 48, 64] {
+            for problem in [ProblemKind::Mis, ProblemKind::LubyMis] {
+                cells.push(Scenario { problem, family: Family::SparseGnp, n, replicate: 0 });
+            }
+        }
+        let shard = CellShard::new(7, cells);
+        let stripes = shard.stripe(2);
+        let mut instance_to_stripe = std::collections::HashMap::new();
+        for (s, (stripe, _)) in stripes.iter().enumerate() {
+            for cell in &stripe.cells {
+                let prior = instance_to_stripe.insert(cell.instance_key(shard.base_seed), s);
+                assert!(
+                    prior.is_none() || prior == Some(s),
+                    "instance split across stripes: {}",
+                    cell.label()
+                );
+            }
+        }
+        // The three instances still spread over both workers.
+        assert!(stripes.iter().all(|(stripe, _)| !stripe.cells.is_empty()));
+    }
+
+    #[test]
+    fn striping_never_exceeds_the_cell_count() {
+        let stripes = shard_of(2).stripe(8);
+        assert_eq!(stripes.len(), 2, "empty stripes would spawn idle workers");
+        let empty = shard_of(0).stripe(4);
+        assert_eq!(empty.len(), 1);
+        assert!(empty[0].0.cells.is_empty());
+    }
+
+    #[test]
+    fn shard_serialization_round_trips() {
+        let shard = shard_of(3);
+        let text = serde_json::to_string(&shard).unwrap();
+        let back = CellShard::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, shard);
+    }
+
+    #[test]
+    fn foreign_code_versions_are_preserved_not_rewritten() {
+        let mut shard = shard_of(1);
+        shard.code_version = "some-other-build".into();
+        let text = serde_json::to_string(&shard).unwrap();
+        let back = CellShard::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back.code_version, "some-other-build");
+    }
+}

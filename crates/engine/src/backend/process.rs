@@ -1,0 +1,498 @@
+//! The multi-process backend and its serialized cell-shard protocol.
+//!
+//! # Wire protocol
+//!
+//! The parent splits the scheduler's shard into instance-grouped stripes (one per worker;
+//! graph instances round-robined in LPT order, so cells sharing an instance co-locate and
+//! no instance is generated twice across the fleet) and, per worker, spawns
+//! `sweep --worker --threads T`:
+//!
+//! * **stdin** — one JSON document: the worker's [`CellShard`] (base seed, code-version
+//!   tag, and `Scenario` coordinates). The worker reads it whole before executing
+//!   anything, then refuses it unless the code version matches its own build.
+//! * **stdout** — newline-delimited JSON, one `{"index": i, "cell": {…}}` line per finished
+//!   cell (in completion order — the index maps back to the stripe), terminated by a
+//!   sentinel `{"done": n, "observations": […]}` line carrying the worker's cost-model
+//!   observation sums.
+//! * **stderr** — inherited; worker diagnostics surface directly.
+//!
+//! # Failure semantics
+//!
+//! Every result line is verified against the cell it claims to be (problem, family, size,
+//! replicate, *and* the derived execution seed) before it is accepted. A worker that exits
+//! nonzero, truncates its stream, repeats an index, or emits anything unparseable is
+//! abandoned on the spot: its already-verified cells stand, and the parent re-executes the
+//! rest with an [`InProcessBackend`] — so a killed or garbage-spewing worker degrades wall
+//! clock, never the report.
+
+use super::{CellShard, EmitFn, ExecBackend, InProcessBackend};
+use crate::cost::CostModel;
+use crate::pool;
+use crate::report::CellResult;
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::sync::Mutex;
+
+/// Executes shards by fanning stripes out to `sweep --worker` subprocesses.
+#[derive(Debug)]
+pub struct ProcessBackend {
+    workers: usize,
+    worker_threads: usize,
+    command: Vec<String>,
+    observed: Mutex<CostModel>,
+}
+
+impl ProcessBackend {
+    /// A backend that spawns `workers` subprocesses (`0` = available parallelism), each
+    /// re-invoking the current executable in `--worker` mode with one thread. The current
+    /// executable is the right command when the caller *is* the `sweep` binary; library
+    /// embedders and tests point elsewhere with [`ProcessBackend::with_command`].
+    pub fn new(workers: usize) -> Self {
+        let command =
+            std::env::current_exe().map(|exe| vec![exe.display().to_string()]).unwrap_or_default();
+        ProcessBackend::with_command(workers, command)
+    }
+
+    /// Like [`ProcessBackend::new`] with an explicit worker command line (program + leading
+    /// arguments; `--worker --threads T` is appended at spawn time).
+    pub fn with_command(workers: usize, command: impl Into<Vec<String>>) -> Self {
+        ProcessBackend {
+            workers: pool::resolve_worker_count(workers),
+            worker_threads: 1,
+            command: command.into(),
+            observed: Mutex::new(CostModel::new()),
+        }
+    }
+
+    /// Sets how many threads each worker process runs its stripe with (`0` = the worker
+    /// machine's available parallelism; default 1 — process-level parallelism usually wants
+    /// single-threaded workers).
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
+        self
+    }
+
+    /// Dispatches one stripe to one worker subprocess. Returns the indices (into the
+    /// stripe) of the cells that still need a result, plus a description of what went wrong
+    /// when the stream could not be fully trusted.
+    fn run_stripe(
+        &self,
+        stripe: &CellShard,
+        parent_indices: &[usize],
+        emit: &EmitFn,
+    ) -> Result<(), (Vec<usize>, String)> {
+        let all = || (0..stripe.cells.len()).collect::<Vec<usize>>();
+        if self.command.is_empty() {
+            return Err((all(), "no worker command (current_exe unavailable)".into()));
+        }
+        let mut child = match Command::new(&self.command[0])
+            .args(&self.command[1..])
+            .arg("--worker")
+            .args(["--threads", &self.worker_threads.to_string()])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+        {
+            Ok(child) => child,
+            Err(e) => return Err((all(), format!("cannot spawn worker: {e}"))),
+        };
+
+        // Ship the stripe. The worker reads all of stdin before producing anything, so
+        // writing the whole document and closing the pipe cannot deadlock. A worker that
+        // exits early (bad binary) breaks the pipe — treated like any other stream failure.
+        let shipped = serde_json::to_string(stripe).expect("shard serializes");
+        let write_failed = match child.stdin.take() {
+            Some(mut stdin) => stdin.write_all(shipped.as_bytes()).is_err(),
+            None => true,
+        };
+
+        let mut emitted = vec![false; stripe.cells.len()];
+        // Per-line calibration shadow: observed alongside acceptance so that verified cells
+        // still calibrate the model when the worker later fails and its sentinel (the
+        // normal carrier of observation sums) never arrives or cannot be trusted.
+        let mut line_observed = CostModel::new();
+        let mut failure =
+            if write_failed { Some("worker closed stdin early".into()) } else { None };
+        let mut sentinel: Option<Value> = None;
+        if failure.is_none() {
+            let stdout = child.stdout.take().expect("stdout was piped");
+            let mut lines = BufReader::new(stdout).lines();
+            loop {
+                let line = match lines.next() {
+                    Some(Ok(line)) => line,
+                    Some(Err(e)) => {
+                        failure = Some(format!("stream read error: {e}"));
+                        break;
+                    }
+                    None => {
+                        failure = Some("stream truncated before the sentinel".into());
+                        break;
+                    }
+                };
+                let value = match serde_json::from_str(&line) {
+                    Ok(value) => value,
+                    Err(e) => {
+                        failure = Some(format!("garbage on stdout: {e}"));
+                        break;
+                    }
+                };
+                if value.get("done").is_some() {
+                    sentinel = Some(value);
+                    break;
+                }
+                match accept_result(stripe, &value, &emitted) {
+                    Ok((index, result)) => {
+                        emitted[index] = true;
+                        line_observed.observe(&result);
+                        emit(parent_indices[index], result);
+                    }
+                    Err(reason) => {
+                        failure = Some(reason);
+                        break;
+                    }
+                }
+            }
+        }
+
+        if failure.is_some() {
+            // Stop trusting the worker entirely: kill it so a blocked writer cannot stall
+            // the wait below, then re-run whatever is missing.
+            let _ = child.kill();
+        }
+        let status = child.wait();
+        if failure.is_none() {
+            // What the sentinel *claims* is irrelevant; completeness is judged by what was
+            // actually verified and emitted, so an under-emitting worker with a confident
+            // sentinel still triggers the re-run of its missing cells.
+            match &sentinel {
+                Some(_) if !emitted.iter().all(|&e| e) => {
+                    failure = Some("sentinel arrived before every cell was emitted".into())
+                }
+                Some(value)
+                    if value.get("done").and_then(Value::as_u64)
+                        != Some(stripe.cells.len() as u64) =>
+                {
+                    failure = Some("sentinel count disagrees with the stripe".into())
+                }
+                Some(_) => {}
+                None => failure = Some("stream ended without a sentinel".into()),
+            }
+        }
+        if failure.is_none() {
+            match status {
+                Ok(status) if status.success() => {}
+                Ok(status) => failure = Some(format!("worker exited with {status}")),
+                Err(e) => failure = Some(format!("cannot wait for worker: {e}")),
+            }
+        }
+
+        match failure {
+            None => {
+                // Fully trusted stream: merge the worker's observation sums home.
+                if let Some(observations) = sentinel
+                    .as_ref()
+                    .and_then(|v| v.get("observations"))
+                    .map(observations_from_value)
+                {
+                    let mut observed = self.observed.lock().expect("cost observations poisoned");
+                    for (problem, family, obs, pred) in observations.unwrap_or_default() {
+                        observed.observe_group(&problem, &family, obs, pred);
+                    }
+                }
+                Ok(())
+            }
+            Some(reason) => {
+                // The sentinel's sums are gone with the worker, but the verified cells
+                // stand in the report — so their line-observed calibration stands too (the
+                // fallback separately observes whatever it re-runs).
+                self.observed.lock().expect("cost observations poisoned").merge(&line_observed);
+                let missing: Vec<usize> =
+                    (0..stripe.cells.len()).filter(|&i| !emitted[i]).collect();
+                Err((missing, reason))
+            }
+        }
+    }
+}
+
+impl ExecBackend for ProcessBackend {
+    fn name(&self) -> &'static str {
+        "process"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.workers
+    }
+
+    fn run_shard(&self, shard: &CellShard, emit: &EmitFn) {
+        if shard.cells.is_empty() {
+            return;
+        }
+        let stripes = shard.stripe(self.workers);
+        std::thread::scope(|scope| {
+            for (stripe, parent_indices) in &stripes {
+                scope.spawn(move || {
+                    if let Err((missing, reason)) = self.run_stripe(stripe, parent_indices, emit) {
+                        eprintln!(
+                            "sweep process backend: worker failed ({reason}); re-running {} \
+                             cells in-process",
+                            missing.len()
+                        );
+                        let rescue = CellShard {
+                            base_seed: stripe.base_seed,
+                            code_version: stripe.code_version.clone(),
+                            cells: missing.iter().map(|&i| stripe.cells[i]).collect(),
+                        };
+                        let fallback = InProcessBackend::new(self.worker_threads);
+                        fallback.run_shard(&rescue, &|k, result| {
+                            emit(parent_indices[missing[k]], result);
+                        });
+                        self.observed
+                            .lock()
+                            .expect("cost observations poisoned")
+                            .merge(&fallback.calibration());
+                    }
+                });
+            }
+        });
+    }
+
+    fn calibration(&self) -> CostModel {
+        let mut out = CostModel::new();
+        out.merge(&self.observed.lock().expect("cost observations poisoned"));
+        out
+    }
+}
+
+/// Validates one worker result line against the stripe: the claimed index must be fresh and
+/// in range, and the result must describe exactly the cell at that index — including the
+/// derived execution seed, so a worker computing with a different base seed (or a corrupted
+/// line that still parses) can never smuggle a wrong result into the report.
+fn accept_result(
+    stripe: &CellShard,
+    value: &Value,
+    emitted: &[bool],
+) -> Result<(usize, CellResult), String> {
+    let index = value
+        .get("index")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "result line without an index".to_string())?;
+    let index = usize::try_from(index).map_err(|_| format!("index {index} overflows"))?;
+    if index >= stripe.cells.len() {
+        return Err(format!("index {index} out of range for a {}-cell stripe", stripe.cells.len()));
+    }
+    if emitted[index] {
+        return Err(format!("index {index} emitted twice"));
+    }
+    let result = value
+        .get("cell")
+        .ok_or_else(|| "result line without a cell".to_string())
+        .and_then(CellResult::from_value)?;
+    let expected = &stripe.cells[index];
+    if result.problem != expected.problem.name()
+        || result.family != expected.family.name()
+        || result.requested_n != expected.n
+        || result.replicate != expected.replicate
+        || result.seed != expected.cell_seed(stripe.base_seed)
+    {
+        return Err(format!(
+            "result at index {index} does not match cell {} (claimed {}/{}/n{}/r{} seed {})",
+            expected.label(),
+            result.problem,
+            result.family,
+            result.requested_n,
+            result.replicate,
+            result.seed
+        ));
+    }
+    Ok((index, result))
+}
+
+/// Serves one worker invocation: parse the shard on `input`, execute it with an
+/// [`InProcessBackend`], and stream result lines plus the observation-carrying sentinel to
+/// `out`. This *is* `sweep --worker`; it lives here so both sides of the protocol share one
+/// module. Errors (bad shard, version skew) are returned for the binary to print and turn
+/// into a nonzero exit, which the parent detects as a shard failure.
+pub fn worker_serve(
+    input: &str,
+    threads: usize,
+    out: &mut (impl Write + Send),
+) -> Result<(), String> {
+    let shard = CellShard::from_value(
+        &serde_json::from_str(input).map_err(|e| format!("unreadable shard: {e}"))?,
+    )
+    .map_err(|e| format!("malformed shard: {e}"))?;
+    if shard.code_version != crate::cache::CODE_VERSION {
+        return Err(format!(
+            "code-version skew: shard was built by {:?}, this worker is {:?}",
+            shard.code_version,
+            crate::cache::CODE_VERSION
+        ));
+    }
+    let backend = InProcessBackend::new(threads);
+    let sink = Mutex::new(&mut *out);
+    let mut write_error = None;
+    {
+        let write_error = Mutex::new(&mut write_error);
+        backend.run_shard(&shard, &|index, result| {
+            let line = Raw(Value::Map(vec![
+                ("index".into(), Value::U64(index as u64)),
+                ("cell".into(), result.to_value()),
+            ]));
+            let text = serde_json::to_string(&line).expect("result line serializes");
+            let mut sink = sink.lock().expect("worker stdout poisoned");
+            if let Err(e) = writeln!(sink, "{text}") {
+                write_error.lock().expect("error slot poisoned").get_or_insert(e.to_string());
+            }
+        });
+    }
+    if let Some(e) = write_error {
+        return Err(format!("cannot write results: {e}"));
+    }
+    let sentinel = Raw(Value::Map(vec![
+        ("done".into(), Value::U64(shard.cells.len() as u64)),
+        ("observations".into(), observations_to_value(&backend.calibration().observations())),
+    ]));
+    let text = serde_json::to_string(&sentinel).expect("sentinel serializes");
+    let mut sink = sink.lock().expect("worker stdout poisoned");
+    writeln!(sink, "{text}").map_err(|e| format!("cannot write sentinel: {e}"))?;
+    sink.flush().map_err(|e| format!("cannot flush results: {e}"))
+}
+
+/// Renders calibration observation sums for the sentinel line.
+fn observations_to_value(observations: &[(String, String, f64, f64)]) -> Value {
+    Value::Seq(
+        observations
+            .iter()
+            .map(|(problem, family, observed, predicted)| {
+                Value::Seq(vec![
+                    Value::Str(problem.clone()),
+                    Value::Str(family.clone()),
+                    Value::F64(*observed),
+                    Value::F64(*predicted),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses the sentinel's observation sums; shape errors discard the calibration only (the
+/// results themselves were verified line by line).
+fn observations_from_value(value: &Value) -> Result<Vec<(String, String, f64, f64)>, String> {
+    value
+        .as_seq()
+        .ok_or_else(|| "observations are not a sequence".to_string())?
+        .iter()
+        .map(|entry| match entry.as_seq() {
+            Some([problem, family, observed, predicted]) => Ok((
+                String::from_value(problem)?,
+                String::from_value(family)?,
+                f64::from_value(observed)?,
+                f64::from_value(predicted)?,
+            )),
+            _ => Err("observation entry is not a 4-tuple".to_string()),
+        })
+        .collect()
+}
+
+/// Adapter rendering a raw [`Value`] through the serde stub (which serializes `Serialize`
+/// types, not `Value`s directly).
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ProblemKind, Scenario};
+    use local_graphs::Family;
+
+    fn small_shard() -> CellShard {
+        CellShard::new(
+            3,
+            vec![
+                Scenario {
+                    problem: ProblemKind::LubyMis,
+                    family: Family::SparseGnp,
+                    n: 32,
+                    replicate: 0,
+                },
+                Scenario {
+                    problem: ProblemKind::LubyMis,
+                    family: Family::SparseGnp,
+                    n: 32,
+                    replicate: 1,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn worker_serve_round_trips_through_the_stream_format() {
+        let shard = small_shard();
+        let mut out = Vec::new();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), shard.cells.len() + 1, "cells + sentinel");
+
+        let mut emitted = vec![false; shard.cells.len()];
+        for line in &lines[..shard.cells.len()] {
+            let value = serde_json::from_str(line).unwrap();
+            let (index, result) = accept_result(&shard, &value, &emitted).unwrap();
+            emitted[index] = true;
+            assert_eq!(result.seed, shard.cells[index].cell_seed(shard.base_seed));
+        }
+        let sentinel = serde_json::from_str(lines.last().unwrap()).unwrap();
+        assert_eq!(sentinel.get("done").and_then(Value::as_u64), Some(2));
+        let observations = observations_from_value(sentinel.get("observations").unwrap()).unwrap();
+        assert!(observations
+            .iter()
+            .any(|(p, f, _, _)| p == "luby-mis" && f == Family::SparseGnp.name()));
+    }
+
+    #[test]
+    fn worker_serve_rejects_code_version_skew() {
+        let mut shard = small_shard();
+        shard.code_version = "some-stale-build".into();
+        let mut out = Vec::new();
+        let err = worker_serve(&serde_json::to_string(&shard).unwrap(), 1, &mut out).unwrap_err();
+        assert!(err.contains("code-version skew"), "{err}");
+        assert!(out.is_empty(), "a refused shard must produce no results");
+    }
+
+    #[test]
+    fn accept_result_rejects_foreign_and_duplicate_cells() {
+        let shard = small_shard();
+        let mut out = Vec::new();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let first = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+
+        let fresh = vec![false; shard.cells.len()];
+        let (index, _) = accept_result(&shard, &first, &fresh).unwrap();
+        let mut seen = fresh.clone();
+        seen[index] = true;
+        assert!(accept_result(&shard, &first, &seen).unwrap_err().contains("twice"));
+
+        // The same line against a shard with a different base seed: the derived execution
+        // seed no longer matches, so the result is refused.
+        let mut reseeded = shard.clone();
+        reseeded.base_seed = 4;
+        assert!(accept_result(&reseeded, &first, &fresh).unwrap_err().contains("does not match"));
+    }
+
+    #[test]
+    fn observation_wire_format_round_trips() {
+        let observations = vec![
+            ("mis".to_string(), "grid".to_string(), 1234.5, 678.0),
+            ("coloring".to_string(), "path".to_string(), 9.0, 4.5),
+        ];
+        let value = observations_to_value(&observations);
+        assert_eq!(observations_from_value(&value).unwrap(), observations);
+    }
+}

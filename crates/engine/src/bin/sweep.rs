@@ -1,8 +1,9 @@
-//! The sweep CLI: run a scenario grid in parallel and write a structured report.
+//! The sweep CLI: run a scenario grid over a pluggable execution backend and write a
+//! structured report.
 //!
 //! ```text
 //! sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..10000 \
-//!       --seeds 32 --threads 8 --out results.json [--csv results.csv] [--base-seed 0]
+//!       --seeds 32 --backend process --workers 8 --out results.json [--csv results.csv]
 //! ```
 //!
 //! * `--problems`  comma list of catalog problems (`mis`, `ps-mis`, `arboricity-mis`,
@@ -12,8 +13,16 @@
 //!   `sparse-gnp`, `tree`), or `all`.
 //! * `--sizes`     comma list (`200,400`) or doubling ladder (`100..10000`).
 //! * `--seeds`     replicates per cell (default 2).
-//! * `--threads`   worker threads (default: available parallelism; must be ≥ 1).
+//! * `--backend`   execution backend: `in-process` (default; the work-stealing thread pool)
+//!   or `process` (spawn `sweep --worker` subprocesses over the serialized shard protocol).
+//! * `--threads`   worker threads (0 = available parallelism). Under `--backend process`
+//!   this is each worker process's thread count (default 1).
+//! * `--workers`   worker processes for `--backend process` (0 = available parallelism).
 //! * `--out`       write the JSON report here; `--csv` additionally writes per-cell CSV.
+//! * `--dry-run`   print the cost model's predicted per-cell micros and the LPT execution
+//!   order (calibrated from the cache when one is attached) without running anything.
+//! * `--deterministic`  zero every wall-clock field in the outputs, so reports produced by
+//!   different backends or parallelism levels compare byte-for-byte.
 //! * `--profile`   emit per-phase timings (attempt / pruning / instance generation) as extra
 //!   CSV columns and a printed summary; the JSON report always carries them per cell.
 //! * `--folded F`  write the sweep's phase times as folded stacks (flamegraph format) to `F`.
@@ -21,24 +30,48 @@
 //!   re-sweep executes only cells whose inputs changed. `--no-cache` disables it.
 //! * `--stream`    stream cells to the cache instead of holding them in memory (large
 //!   grids); per-cell CSV is then produced by reading the cache back. Requires the cache.
+//!
+//! There is also a hidden `--worker` mode — the receiving end of the process backend's
+//! shard protocol (shard JSON on stdin, newline-delimited results + sentinel on stdout);
+//! see `local_engine::backend` for the framing.
 
-use local_engine::{parse_sizes, run_grid, ProblemKind, ScenarioGrid, SweepCache, SweepConfig};
+use local_engine::backend::{worker_serve, InProcessBackend, ProcessBackend};
+use local_engine::{parse_sizes, CostModel, ProblemKind, ScenarioGrid, Sweep, SweepCache};
 use local_graphs::Family;
+use std::io::Read;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq)]
+enum BackendKind {
+    InProcess,
+    Process,
+}
 
 struct Args {
     problems: Vec<ProblemKind>,
     families: Vec<Family>,
     sizes: Vec<usize>,
     seeds: u64,
-    threads: usize,
+    backend: BackendKind,
+    threads: Option<usize>,
+    workers: usize,
     base_seed: u64,
     out: Option<String>,
     csv: Option<String>,
+    dry_run: bool,
+    deterministic: bool,
     profile: bool,
     folded: Option<String>,
     cache_dir: Option<String>,
     stream: bool,
+}
+
+/// Parses a worker/thread count. The semantics live in
+/// [`local_engine::pool::resolve_worker_count`] — `0` means "use the machine's available
+/// parallelism" — so the flags, `SweepConfig`, and both backends cannot drift apart; here
+/// we only reject text that is not a count at all.
+fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
+    text.parse().map_err(|e| format!("bad {flag}: {e} (0 means available parallelism)"))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,10 +80,14 @@ fn parse_args() -> Result<Args, String> {
         families: vec![Family::SparseGnp],
         sizes: vec![64, 128],
         seeds: 2,
-        threads: local_engine::pool::default_threads(),
+        backend: BackendKind::InProcess,
+        threads: None,
+        workers: 0,
         base_seed: 0,
         out: None,
         csv: None,
+        dry_run: false,
+        deterministic: false,
         profile: false,
         folded: None,
         cache_dir: Some("target/sweep-cache".to_string()),
@@ -90,22 +127,27 @@ fn parse_args() -> Result<Args, String> {
             "--seeds" => {
                 args.seeds = value("--seeds")?.parse().map_err(|e| format!("bad --seeds: {e}"))?
             }
-            "--threads" => {
-                args.threads =
-                    value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?;
-                if args.threads == 0 {
-                    return Err(
-                        "--threads must be at least 1 (a sweep cannot run with zero workers)"
-                            .to_string(),
-                    );
-                }
+            "--backend" => {
+                args.backend = match value("--backend")?.as_str() {
+                    "in-process" => BackendKind::InProcess,
+                    "process" => BackendKind::Process,
+                    other => {
+                        return Err(format!(
+                            "unknown backend: {other:?} (expected in-process or process)"
+                        ))
+                    }
+                };
             }
+            "--threads" => args.threads = Some(parse_count("--threads", &value("--threads")?)?),
+            "--workers" => args.workers = parse_count("--workers", &value("--workers")?)?,
             "--base-seed" => {
                 args.base_seed =
                     value("--base-seed")?.parse().map_err(|e| format!("bad --base-seed: {e}"))?
             }
             "--out" => args.out = Some(value("--out")?),
             "--csv" => args.csv = Some(value("--csv")?),
+            "--dry-run" => args.dry_run = true,
+            "--deterministic" => args.deterministic = true,
             "--profile" => args.profile = true,
             "--folded" => args.folded = Some(value("--folded")?),
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
@@ -131,9 +173,21 @@ sweep — parallel batched experiment engine for uniform LOCAL algorithms
 
 USAGE:
   sweep [--problems LIST|all] [--families LIST|all] [--sizes 200,400 | 100..10000]
-        [--seeds N] [--threads N] [--base-seed S] [--out report.json] [--csv cells.csv]
+        [--seeds N] [--backend in-process|process] [--threads N] [--workers N]
+        [--base-seed S] [--out report.json] [--csv cells.csv] [--dry-run] [--deterministic]
         [--profile] [--folded stacks.folded] [--cache-dir DIR | --no-cache] [--stream]
 
+  --backend    in-process (default): the work-stealing thread pool. process: fan the sweep
+               out to worker subprocesses over the serialized shard protocol; a failed
+               worker's cells are re-run in-process, never lost.
+  --threads    worker threads; 0 = available parallelism. Under --backend process, each
+               worker process's thread count (default 1).
+  --workers    worker processes for --backend process; 0 = available parallelism.
+  --dry-run    print the cost model's predicted per-cell micros and the LPT execution order
+               (calibrated from cached observations when available) without running cells.
+  --deterministic
+               zero every wall-clock field in reports/CSV, so outputs from different
+               backends and parallelism levels compare byte-for-byte.
   --profile    emit per-phase wall-time columns (attempt / pruning / instance generation)
                in the CSV output and print a phase-time summary.
   --folded F   write phase times as folded stacks (flamegraph.pl / inferno format) to F.
@@ -145,9 +199,75 @@ USAGE:
 
 EXAMPLE:
   sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..1600 \\
-        --seeds 32 --threads 8 --out results.json";
+        --seeds 32 --backend process --workers 8 --out results.json";
+
+/// The hidden `--worker` mode: serve one shard over the stdin/stdout protocol and exit.
+/// Any error lands on stderr with a nonzero exit, which the parent treats as a shard
+/// failure and absorbs in-process.
+fn worker_main(threads: usize) -> ExitCode {
+    let mut input = String::new();
+    if let Err(e) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("sweep --worker: cannot read shard from stdin: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut stdout = std::io::stdout();
+    match worker_serve(&input, threads, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sweep --worker: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--dry-run`: predict, order, print — execute nothing. The printed plan mirrors a real
+/// sweep exactly: cached cells are served from disk (and calibrate the model), so only the
+/// *missed* cells appear in the LPT execution order.
+fn dry_run(grid: &ScenarioGrid, cache: Option<&SweepCache>) -> ExitCode {
+    let cells = grid.cells();
+    let mut model = CostModel::new();
+    let mut missed = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        match cache.and_then(|cache| cache.load(cell, grid.base_seed)) {
+            Some(hit) => model.observe(&hit),
+            None => missed.push(i),
+        }
+    }
+    let cached = cells.len() - missed.len();
+    let order = model.order_slowest_first(&cells, missed);
+    println!(
+        "dry-run: {} cells, {} served from cache (they calibrate the cost model), {} to \
+         execute in LPT (slowest-first) order:",
+        cells.len(),
+        cached,
+        order.len()
+    );
+    println!("{:>5} {:>16}  cell", "rank", "predicted-us");
+    let mut total = 0.0;
+    for (rank, &i) in order.iter().enumerate() {
+        let predicted = model.predict(&cells[i]);
+        total += predicted;
+        println!("{:>5} {:>16.0}  {}", rank + 1, predicted, cells[i].label());
+    }
+    println!("total predicted work: {total:.0} us-equivalents (nothing was executed)");
+    ExitCode::SUCCESS
+}
 
 fn main() -> ExitCode {
+    // The worker mode is not a regular flag: it must not drag the full sweep arg surface
+    // into the protocol, so it is dispatched before normal parsing. The only argument it
+    // honours is `--threads N`.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--worker") {
+        let threads = raw
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1);
+        return worker_main(threads);
+    }
+
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
@@ -162,21 +282,47 @@ fn main() -> ExitCode {
         .sizes(args.sizes)
         .replicates(args.seeds)
         .base_seed(args.base_seed);
+    let cache = args.cache_dir.as_ref().map(SweepCache::new);
+
+    if args.dry_run {
+        return dry_run(&grid, cache.as_ref());
+    }
+
+    let backend_label = match args.backend {
+        BackendKind::InProcess => format!(
+            "{} threads in-process",
+            local_engine::pool::resolve_worker_count(args.threads.unwrap_or(0))
+        ),
+        BackendKind::Process => format!(
+            "{} worker processes × {} threads",
+            local_engine::pool::resolve_worker_count(args.workers),
+            local_engine::pool::resolve_worker_count(args.threads.unwrap_or(1))
+        ),
+    };
     eprintln!(
-        "sweep: {} cells ({} problems × {} families × {} sizes × {} seeds), {} threads",
+        "sweep: {} cells ({} problems × {} families × {} sizes × {} seeds), {}",
         grid.cell_count(),
         grid.problems.len(),
         grid.families.len(),
         grid.sizes.len(),
         grid.replicates,
-        args.threads
+        backend_label
     );
 
-    let cache = args.cache_dir.as_ref().map(SweepCache::new);
-    let mut cfg = SweepConfig::with_threads(args.threads);
-    cfg.cache = cache.clone();
-    cfg.stream = args.stream;
-    let report = run_grid(&grid, &cfg);
+    let mut sweep = Sweep::over(&grid);
+    sweep = match args.backend {
+        BackendKind::InProcess => sweep.backend(InProcessBackend::new(args.threads.unwrap_or(0))),
+        BackendKind::Process => sweep
+            .backend(ProcessBackend::new(args.workers).worker_threads(args.threads.unwrap_or(1))),
+    };
+    if let Some(cache) = cache.clone() {
+        sweep = sweep.cache(cache);
+    }
+    if args.stream {
+        sweep = sweep.streaming();
+    }
+    let report = sweep.run();
+    let report = if args.deterministic { report.deterministic_view() } else { report };
 
     println!("{}", report.render_summaries());
     if args.profile {
@@ -230,8 +376,12 @@ fn main() -> ExitCode {
     if let Some(path) = &args.csv {
         let csv = if args.stream {
             // Streamed cells live in the cache only: rebuild the rows in canonical order.
-            match streamed_csv(&grid, cache.as_ref().expect("--stream implies cache"), args.profile)
-            {
+            match streamed_csv(
+                &grid,
+                cache.as_ref().expect("--stream implies cache"),
+                args.profile,
+                args.deterministic,
+            ) {
                 Ok(csv) => csv,
                 Err(message) => {
                     eprintln!("sweep: {message}");
@@ -274,13 +424,21 @@ fn main() -> ExitCode {
 
 /// Reads every cell of `grid` back from the cache (a streamed sweep just wrote them) and
 /// renders CSV rows in canonical order, never holding more than one cell.
-fn streamed_csv(grid: &ScenarioGrid, cache: &SweepCache, profile: bool) -> Result<String, String> {
+fn streamed_csv(
+    grid: &ScenarioGrid,
+    cache: &SweepCache,
+    profile: bool,
+    deterministic: bool,
+) -> Result<String, String> {
     let mut out = local_engine::CellResult::csv_header(profile);
     out.push('\n');
     for cell in grid.cells() {
-        let result = cache
+        let mut result = cache
             .load(&cell, grid.base_seed)
             .ok_or_else(|| format!("cache is missing streamed cell {}", cell.label()))?;
+        if deterministic {
+            result = result.deterministic_view();
+        }
         out.push_str(&result.csv_row(profile));
         out.push('\n');
     }

@@ -28,6 +28,11 @@ use std::path::{Path, PathBuf};
 
 /// The cache-retiring code-version tag: the crate version plus a revision counter bumped
 /// whenever an algorithm/report change makes old results non-reproducible.
+///
+/// The same tag travels in every [`crate::backend::CellShard`] of the multi-process
+/// protocol — a `sweep --worker` built from different code refuses the shard outright, for
+/// the same reason a version bump retires this cache: results across a version boundary
+/// are not comparable.
 pub const CODE_VERSION: &str = concat!("local-engine-", env!("CARGO_PKG_VERSION"), "+r1");
 
 /// A directory-backed store of [`CellResult`]s keyed by cell identity and code version.

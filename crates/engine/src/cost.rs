@@ -82,10 +82,46 @@ impl CostModel {
         let predicted = CostModel::base_cost(&problem, family, cell.requested_n);
         // Key by the *canonical* names so observations match predictions even when the
         // observed result spells a family by an alias.
-        let key = (problem.name(), family.name().to_string());
-        let slot = self.observed.entry(key).or_insert((0.0, 0.0));
-        slot.0 += cell.wall_micros.max(1) as f64;
+        self.observe_group(
+            &problem.name(),
+            family.name(),
+            cell.wall_micros.max(1) as f64,
+            predicted,
+        );
+    }
+
+    /// Feeds one pre-summed calibration group back into the model. This is the merge
+    /// primitive of distributed calibration: a worker process sums its own observations per
+    /// `(problem, family)` and ships the sums home, where [`CostModel::merge`] folds them in
+    /// as if every cell had been observed locally.
+    pub fn observe_group(&mut self, problem: &str, family: &str, observed: f64, predicted: f64) {
+        let slot =
+            self.observed.entry((problem.to_string(), family.to_string())).or_insert((0.0, 0.0));
+        slot.0 += observed;
         slot.1 += predicted;
+    }
+
+    /// Merges another model's calibration into this one. Observation sums are additive, so
+    /// merging per-worker models is exactly equivalent to observing every worker's cells in
+    /// one model — the property that lets a multi-process sweep calibrate centrally from
+    /// per-worker observations.
+    pub fn merge(&mut self, other: &CostModel) {
+        for ((problem, family), &(observed, predicted)) in &other.observed {
+            self.observe_group(problem, family, observed, predicted);
+        }
+    }
+
+    /// A deterministic snapshot of the calibration state: per `(problem, family)`, the
+    /// summed observed and predicted micros, sorted by key (this is what a worker ships
+    /// home over the shard protocol).
+    pub fn observations(&self) -> Vec<(String, String, f64, f64)> {
+        let mut out: Vec<_> = self
+            .observed
+            .iter()
+            .map(|((p, f), &(observed, predicted))| (p.clone(), f.clone(), observed, predicted))
+            .collect();
+        out.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        out
     }
 
     /// The model's current prediction for `cell`: the static shape, rescaled by the
@@ -188,5 +224,65 @@ mod tests {
             (after / before - 10.0).abs() < 0.5,
             "calibration must track the observed ratio: {before} -> {after}"
         );
+    }
+
+    #[test]
+    fn merging_worker_models_equals_observing_locally() {
+        // Two "workers" each observe one group; the merged model must predict exactly like
+        // a single model that observed both groups itself.
+        let mis = cell(ProblemKind::Mis, Family::SparseGnp, 128);
+        let matching = cell(ProblemKind::Matching, Family::Grid, 96);
+        let sample = |scenario: &Scenario, factor: f64| CellResult {
+            problem: scenario.problem.name(),
+            family: scenario.family.name().to_string(),
+            requested_n: scenario.n,
+            n: scenario.n,
+            edges: 0,
+            replicate: 0,
+            seed: 0,
+            uniform_rounds: 1,
+            uniform_messages: 0,
+            nonuniform_rounds: 1,
+            nonuniform_messages: 0,
+            overhead_ratio: 1.0,
+            subiterations: 0,
+            solved: true,
+            valid: true,
+            wall_micros: (CostModel::base_cost(&scenario.problem, scenario.family, scenario.n)
+                * factor) as u64,
+            attempt_micros: 0,
+            prune_micros: 0,
+            instance_micros: 0,
+        };
+
+        let mut worker_a = CostModel::new();
+        worker_a.observe(&sample(&mis, 3.0));
+        let mut worker_b = CostModel::new();
+        worker_b.observe(&sample(&matching, 0.5));
+
+        let mut merged = CostModel::new();
+        merged.merge(&worker_a);
+        merged.merge(&worker_b);
+
+        let mut local = CostModel::new();
+        local.observe(&sample(&mis, 3.0));
+        local.observe(&sample(&matching, 0.5));
+
+        assert_eq!(merged.predict(&mis), local.predict(&mis));
+        assert_eq!(merged.predict(&matching), local.predict(&matching));
+        assert_eq!(merged.observations(), local.observations());
+    }
+
+    #[test]
+    fn observation_snapshots_round_trip_through_observe_group() {
+        let mut model = CostModel::new();
+        model.observe_group("mis", "grid", 1000.0, 500.0);
+        model.observe_group("mis", "grid", 200.0, 100.0);
+        let mut rebuilt = CostModel::new();
+        for (problem, family, observed, predicted) in model.observations() {
+            rebuilt.observe_group(&problem, &family, observed, predicted);
+        }
+        assert_eq!(model.observations(), vec![("mis".into(), "grid".into(), 1200.0, 600.0)]);
+        assert_eq!(rebuilt.observations(), model.observations());
     }
 }

@@ -8,18 +8,22 @@
 //!
 //! * [`scenario`] — the experiment model: [`ProblemKind`] (the catalog rows), [`Scenario`]
 //!   (one cell), and the [`ScenarioGrid`] cross-product builder.
-//! * [`scheduler`] — sharded execution: a work-stealing pool ([`pool`]) runs instance
-//!   generation and cell execution in parallel, with per-cell deterministic seeding (built
-//!   on [`local_runtime::mix_seed`]) and an instance cache keyed by
-//!   [`local_graphs::InstanceKey`] so the same graph is generated once and shared across
-//!   every algorithm that runs on it. A sweep with `threads = N` is byte-identical to
-//!   `threads = 1` (wall-clock fields aside).
+//! * [`scheduler`] — the [`Sweep`] builder: cache probe, cost-model LPT ordering, streaming
+//!   aggregation, and canonical report order, around an abstract execution backend. Per-cell
+//!   seeding is deterministic (built on [`local_runtime::mix_seed`]), so a sweep is
+//!   byte-identical across thread counts, worker processes, and backends (wall-clock fields
+//!   aside).
+//! * [`backend`] — *how cells become results*: the [`ExecBackend`] trait, the
+//!   [`InProcessBackend`] work-stealing pool ([`pool`]) with its instance cache keyed by
+//!   [`local_graphs::InstanceKey`], and the [`ProcessBackend`] that fans serialized
+//!   [`CellShard`]s out to `sweep --worker` subprocesses and merges their result streams
+//!   (re-running in-process whatever a failed worker leaves behind).
 //! * [`report`] — aggregation: per-cell [`CellResult`]s folded into per-group
 //!   [`GroupSummary`]s (mean/p50/p99 rounds, uniform-over-non-uniform overhead ratios),
 //!   serialized to JSON or CSV.
 //! * `sweep` (in `src/bin`) — the CLI driver:
 //!   `sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..10000
-//!   --seeds 32 --threads 8 --out results.json`.
+//!   --seeds 32 --backend process --workers 8 --out results.json`.
 //!
 //! ## Example
 //!
@@ -41,6 +45,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod cost;
 pub mod pool;
@@ -48,8 +53,9 @@ pub mod report;
 pub mod scenario;
 pub mod scheduler;
 
+pub use backend::{CellShard, ExecBackend, InProcessBackend, ProcessBackend};
 pub use cache::{SweepCache, CODE_VERSION};
 pub use cost::CostModel;
 pub use report::{folded_stacks, summarize, CellResult, GroupSummary, Report, SummaryAccumulator};
 pub use scenario::{parse_sizes, ProblemKind, Scenario, ScenarioGrid};
-pub use scheduler::{run_cell, run_cell_in, run_grid, Instance, SweepConfig};
+pub use scheduler::{run_cell, run_cell_in, run_grid, Instance, Sweep, SweepConfig};

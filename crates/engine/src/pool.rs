@@ -69,6 +69,19 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
+/// The one authority on requested worker counts, shared by `SweepConfig::threads`, the
+/// process backend's worker count, and the CLI's `--threads`/`--workers` flags: `0` means
+/// "use the machine's available parallelism", anything else is taken literally. Callers
+/// never interpret a raw count themselves, so the 0-is-auto convention cannot drift between
+/// the scheduler, the backends, and the flags that feed them.
+pub fn resolve_worker_count(requested: usize) -> usize {
+    if requested == 0 {
+        default_threads()
+    } else {
+        requested
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +131,12 @@ mod tests {
         let seq = run_indexed_with(40, 1, || (), |(), i| i * 3);
         let par = run_indexed_with(40, 8, || (), |(), i| i * 3);
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn zero_workers_means_available_parallelism() {
+        assert_eq!(resolve_worker_count(0), default_threads());
+        assert_eq!(resolve_worker_count(1), 1);
+        assert_eq!(resolve_worker_count(7), 7);
     }
 }

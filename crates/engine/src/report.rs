@@ -357,7 +357,8 @@ pub fn summarize(cells: &[CellResult]) -> Vec<GroupSummary> {
 /// The full outcome of a sweep.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
-    /// Worker threads the sweep ran with.
+    /// The backend's degree of parallelism (worker threads in-process, worker processes
+    /// under the process backend).
     pub threads: usize,
     /// The grid's base seed.
     pub base_seed: u64,
@@ -377,6 +378,27 @@ pub struct Report {
 }
 
 impl Report {
+    /// A copy with every execution-environment field zeroed — wall clocks in cells
+    /// ([`CellResult::deterministic_view`]), summaries, and the sweep total, plus the
+    /// backend's parallelism — so reports from different backends, machines, or
+    /// parallelism levels compare byte-for-byte (the `sweep --deterministic` flag).
+    pub fn deterministic_view(&self) -> Report {
+        Report {
+            threads: 0,
+            base_seed: self.base_seed,
+            cell_count: self.cell_count,
+            distinct_instances: self.distinct_instances,
+            cache_hits: self.cache_hits,
+            total_wall_micros: 0,
+            summaries: self
+                .summaries
+                .iter()
+                .map(|s| GroupSummary { total_wall_micros: 0, ..s.clone() })
+                .collect(),
+            cells: self.cells.iter().map(CellResult::deterministic_view).collect(),
+        }
+    }
+
     /// Serializes the report as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("report serializes")
@@ -535,6 +557,28 @@ mod tests {
         let value = serde_json::from_str(&report.to_json()).expect("valid JSON");
         assert_eq!(value.get("threads").and_then(|v| v.as_u64()), Some(2));
         assert_eq!(value.get("cells").and_then(|v| v.as_seq()).map(|s| s.len()), Some(1));
+    }
+
+    #[test]
+    fn report_deterministic_view_zeroes_every_wall_clock_field() {
+        let report = Report {
+            threads: 2,
+            base_seed: 0,
+            cell_count: 1,
+            distinct_instances: 1,
+            cache_hits: 0,
+            total_wall_micros: 99,
+            summaries: summarize(&[cell("mis", "grid", 10, 2.0, true)]),
+            cells: vec![cell("mis", "grid", 10, 2.0, true)],
+        };
+        let view = report.deterministic_view();
+        assert_eq!(view.threads, 0, "parallelism is an environment fact, not a result");
+        assert_eq!(view.total_wall_micros, 0);
+        assert!(view.summaries.iter().all(|s| s.total_wall_micros == 0));
+        assert!(view.cells.iter().all(|c| c.wall_micros == 0 && c.attempt_micros == 0));
+        // Deterministic fields survive untouched.
+        assert_eq!(view.cells[0].uniform_rounds, 10);
+        assert_eq!(view.summaries[0].cells, 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use local_graphs::{Family, InstanceKey};
 use local_runtime::mix_seed;
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 
 /// Salt separating graph-generation seeds from execution seeds.
 const GRAPH_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
@@ -121,6 +121,13 @@ impl Serialize for ProblemKind {
     }
 }
 
+impl Deserialize for ProblemKind {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let name = value.as_str().ok_or_else(|| format!("expected problem name, got {value:?}"))?;
+        ProblemKind::parse(name).ok_or_else(|| format!("unknown problem: {name:?}"))
+    }
+}
+
 /// One experiment cell: `(problem, family, n, replicate)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Scenario {
@@ -152,6 +159,38 @@ impl Scenario {
     /// A short human-readable label.
     pub fn label(&self) -> String {
         format!("{}/{}/n{}/r{}", self.problem.name(), self.family.name(), self.n, self.replicate)
+    }
+}
+
+// The wire representation of a cell (the shard protocol and any future cache index) spells
+// the problem and family by their stable names, so the wire is readable and survives enum
+// reordering. Hand-written because the vendored serde derive cannot express data-carrying
+// enums like `ProblemKind::RulingSet(u64)`.
+impl Serialize for Scenario {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("problem".into(), self.problem.to_value()),
+            ("family".into(), Value::Str(self.family.name().to_string())),
+            ("n".into(), Value::U64(self.n as u64)),
+            ("replicate".into(), Value::U64(self.replicate)),
+        ])
+    }
+}
+
+impl Deserialize for Scenario {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let field =
+            |key: &str| value.get(key).ok_or_else(|| format!("scenario is missing field {key:?}"));
+        let family = field("family")?;
+        let family_name =
+            family.as_str().ok_or_else(|| format!("expected family name, got {family:?}"))?;
+        Ok(Scenario {
+            problem: ProblemKind::from_value(field("problem")?)?,
+            family: Family::from_name(family_name)
+                .ok_or_else(|| format!("unknown family: {family_name:?}"))?,
+            n: usize::from_value(field("n")?)?,
+            replicate: u64::from_value(field("replicate")?)?,
+        })
     }
 }
 

@@ -1,22 +1,22 @@
-//! The sharded scheduler: turns a [`ScenarioGrid`] into a [`Report`], in parallel.
+//! The scheduler: turns a [`ScenarioGrid`] into a [`Report`] by driving an abstract
+//! execution backend.
 //!
-//! Execution happens in two parallel phases over the engine's work-stealing pool
-//! ([`crate::pool`]):
-//!
-//! 1. **Instance generation.** The distinct [`InstanceKey`]s of the grid are realized once
-//!    each and shared (an `Arc` per instance) across every algorithm that runs on them — a
-//!    grid of 10 problems × 1 family × 1 size × 32 seeds generates 32 graphs, not 320.
-//! 2. **Cell execution.** Every cell runs the transformed uniform algorithm *and* the
-//!    non-uniform baseline at correct guesses, validates both, and produces a [`CellResult`].
+//! The [`Sweep`] builder owns everything *around* execution — the cache probe, cost-model
+//! calibration and LPT ordering, streaming aggregation, canonical report order — and hands
+//! the actual running of cells to an [`ExecBackend`] as one cost-ordered [`CellShard`]:
+//! [`InProcessBackend`] shards it over this process's work-stealing pool
+//! ([`crate::pool`]), [`crate::backend::ProcessBackend`] fans stripes out to `sweep
+//! --worker` subprocesses. Because those concerns compose *outside* the backend, the cache,
+//! streaming mode, and cost ordering work identically no matter what executes the cells.
 //!
 //! Determinism: a cell's seed is a pure function of its identity ([`Scenario::cell_seed`],
-//! built on [`local_runtime::mix_seed`]) and results are collected by cell index, so a sweep
-//! with `threads = 64` produces byte-identical results to `threads = 1` (wall-clock fields
-//! aside).
+//! built on [`local_runtime::mix_seed`]) and backends emit results keyed by shard index, so
+//! a sweep with `threads = 64` — or two worker processes — produces byte-identical results
+//! to `threads = 1` (wall-clock fields aside).
 
+use crate::backend::{CellShard, ExecBackend, InProcessBackend};
 use crate::cache::SweepCache;
 use crate::cost::CostModel;
-use crate::pool;
 use crate::report::{CellResult, Report, SummaryAccumulator};
 use crate::scenario::{ProblemKind, Scenario, ScenarioGrid};
 use local_algos::checkers;
@@ -27,7 +27,7 @@ use local_runtime::{Graph, GraphAlgorithm, Session};
 use local_uniform::catalog;
 use local_uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
 use std::collections::{BTreeSet, HashMap};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Execution settings of one sweep.
@@ -63,14 +63,6 @@ impl SweepConfig {
         self.stream = true;
         self
     }
-
-    fn effective_threads(&self) -> usize {
-        if self.threads == 0 {
-            pool::default_threads()
-        } else {
-            self.threads
-        }
-    }
 }
 
 /// A generated graph instance, shared across the cells that run on it.
@@ -96,117 +88,213 @@ impl Instance {
     }
 }
 
-/// Runs every cell of `grid` and folds the outcomes into a [`Report`].
+/// A configured sweep: the grid, the execution backend, and everything that composes
+/// around it (cache, streaming, cost ordering).
 ///
-/// The pipeline is cache- and cost-aware:
+/// This is the engine's primary entry point; [`run_grid`] is a thin wrapper over it. The
+/// builder separates *what to run* (the grid) from *how cells execute* (the backend) from
+/// *what happens around execution* (cache probe, LPT ordering, streaming aggregation), so
+/// every combination composes:
 ///
-/// 1. **Cache probe.** With a [`SweepCache`] attached, every cell's key is looked up first;
-///    hits are served from disk (byte-identical to re-execution — seeds are pure functions
-///    of cell identity) and also *calibrate the cost model* with their observed wall times.
-/// 2. **Instance generation.** Only the distinct instances that a missed cell actually
-///    needs are realized, in parallel.
-/// 3. **Cost-ordered execution.** Missed cells run slowest-first under the [`CostModel`]
-///    (LPT scheduling minimizes makespan over the work-stealing pool); results are
-///    scattered back to canonical positions, so the report order — and with deterministic
-///    cells the report *content* — is independent of both thread count and cost order.
-/// 4. **Write-back / streaming.** Executed cells are stored to the cache. In streaming mode
-///    they are folded into the summaries as they complete and dropped — the report carries
-///    no per-cell vector and memory stays flat no matter how large the grid is.
-pub fn run_grid(grid: &ScenarioGrid, cfg: &SweepConfig) -> Report {
-    let started = Instant::now();
-    let threads = cfg.effective_threads();
-    let cells = grid.cells();
+/// ```
+/// use local_engine::{backend::InProcessBackend, ProblemKind, ScenarioGrid, Sweep};
+/// use local_graphs::Family;
+///
+/// let grid = ScenarioGrid::new()
+///     .problems([ProblemKind::Mis])
+///     .families([Family::SparseGnp])
+///     .sizes([48usize])
+///     .replicates(2);
+/// let report = Sweep::over(&grid).backend(InProcessBackend::new(2)).run();
+/// assert_eq!(report.cell_count, 2);
+/// ```
+pub struct Sweep<'a> {
+    grid: &'a ScenarioGrid,
+    backend: Box<dyn ExecBackend + 'a>,
+    cache: Option<SweepCache>,
+    stream: bool,
+}
 
-    // Phase 1: probe the incremental cache and calibrate the cost model with the hits.
-    let mut cached: Vec<Option<CellResult>> = match &cfg.cache {
-        Some(cache) => cells.iter().map(|cell| cache.load(cell, grid.base_seed)).collect(),
-        None => vec![None; cells.len()],
-    };
-    let cache_hits = cached.iter().filter(|c| c.is_some()).count();
-    let mut model = CostModel::new();
-    for hit in cached.iter().flatten() {
-        model.observe(hit);
+impl<'a> Sweep<'a> {
+    /// A sweep over `grid` with the default backend (in-process, available parallelism),
+    /// no cache, and no streaming.
+    pub fn over(grid: &'a ScenarioGrid) -> Self {
+        Sweep { grid, backend: Box::new(InProcessBackend::new(0)), cache: None, stream: false }
     }
 
-    // Phase 2: generate each distinct instance a *missed* cell needs, once, in parallel.
-    let missed: Vec<usize> = (0..cells.len()).filter(|&i| cached[i].is_none()).collect();
-    let keys: Vec<InstanceKey> = missed
-        .iter()
-        .map(|&i| cells[i].instance_key(grid.base_seed))
-        .collect::<BTreeSet<_>>()
-        .into_iter()
-        .collect();
-    let instances =
-        pool::run_indexed(keys.len(), threads, |i| Arc::new(Instance::generate(keys[i])));
-    let instance_cache: HashMap<InstanceKey, Arc<Instance>> =
-        keys.iter().copied().zip(instances).collect();
+    /// Sets the execution backend.
+    pub fn backend(mut self, backend: impl ExecBackend + 'a) -> Self {
+        self.backend = Box::new(backend);
+        self
+    }
 
-    // Phase 3: execute the missed cells slowest-first, work-stealing over the same pool.
-    // Every worker owns one reusable execution session, so consecutive cells claimed by the
-    // same worker (often over the same cached instance) reuse its buffers instead of
-    // reallocating the runtime.
-    let order = model.order_slowest_first(&cells, missed);
-    let run_one = |session: &mut Session, k: usize| {
-        let cell = &cells[order[k]];
-        let instance = &instance_cache[&cell.instance_key(grid.base_seed)];
-        let result = run_cell_in(cell, instance, grid.base_seed, session);
-        if let Some(cache) = &cfg.cache {
-            if let Err(e) = cache.store(cell, grid.base_seed, &result) {
-                eprintln!("sweep cache: cannot store {}: {e}", cell.label());
-            }
-        }
-        result
-    };
+    /// Attaches an incremental result cache: hits are served from disk (and calibrate the
+    /// cost model), fresh results are written back — no matter which backend executed them.
+    pub fn cache(mut self, cache: SweepCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
 
-    if cfg.stream {
-        // Streaming: pre-register every group in canonical order (completion order must not
-        // reorder the report), fold cells as they finish, and drop them.
-        let mut accumulator = SummaryAccumulator::new();
-        for cell in &cells {
-            accumulator.register(&cell.problem.name(), cell.family.name());
+    /// Enables streaming mode: executed cells go straight to the cache and fold into the
+    /// summaries at their canonical position; [`Report::cells`] stays empty and memory
+    /// stays flat no matter how large the grid is. Requires a cache.
+    pub fn streaming(mut self) -> Self {
+        self.stream = true;
+        self
+    }
+
+    /// Applies a [`SweepConfig`]: an [`InProcessBackend`] with its thread count, plus its
+    /// cache and streaming settings.
+    pub fn config(mut self, cfg: &SweepConfig) -> Self {
+        self.backend = Box::new(InProcessBackend::new(cfg.threads));
+        self.cache = cfg.cache.clone();
+        self.stream = cfg.stream;
+        self
+    }
+
+    /// Runs the sweep. See [`Sweep::run_calibrated`] for the full pipeline description.
+    pub fn run(self) -> Report {
+        self.run_calibrated().0
+    }
+
+    /// Runs the sweep and also returns the merged, fully calibrated [`CostModel`].
+    ///
+    /// The pipeline is cache- and cost-aware, and backend-agnostic:
+    ///
+    /// 1. **Cache probe.** With a cache attached, every cell's key is looked up first; hits
+    ///    are served from disk (byte-identical to re-execution — seeds are pure functions
+    ///    of cell identity) and *calibrate the cost model* with their observed wall times.
+    /// 2. **Cost-ordered sharding.** Missed cells are ordered slowest-first under the
+    ///    [`CostModel`] (LPT scheduling minimizes makespan for any pulling executor) and
+    ///    packaged into one [`CellShard`] for the backend.
+    /// 3. **Backend execution.** The backend emits each result with its shard index; the
+    ///    sweep scatters them to canonical positions (collecting mode) or folds them into
+    ///    pre-registered summaries (streaming mode), so neither completion order nor the
+    ///    choice of backend can perturb the report. Freshly executed cells are written back
+    ///    to the cache as they arrive.
+    /// 4. **Calibration merge.** Observations flow home from every worker — thread or
+    ///    subprocess — and are merged into the model, which a caller can carry into its
+    ///    next sweep (and which the cache persists implicitly via stored wall times).
+    pub fn run_calibrated(self) -> (Report, CostModel) {
+        // Streaming stores cells nowhere but the cache; without one they would be silently
+        // lost, so refuse loudly up front (the CLI rejects the combination at parse time).
+        assert!(
+            !self.stream || self.cache.is_some(),
+            "streaming mode requires a cache: streamed cells live in the cache, not in memory"
+        );
+        let started = Instant::now();
+        let grid = self.grid;
+        let cells = grid.cells();
+
+        // Phase 1: probe the incremental cache and calibrate the cost model with the hits.
+        let mut cached: Vec<Option<CellResult>> = match &self.cache {
+            Some(cache) => cells.iter().map(|cell| cache.load(cell, grid.base_seed)).collect(),
+            None => vec![None; cells.len()],
+        };
+        let cache_hits = cached.iter().filter(|c| c.is_some()).count();
+        let mut model = CostModel::new();
+        for hit in cached.iter().flatten() {
+            model.observe(hit);
         }
-        for (i, hit) in cached.iter().enumerate() {
-            if let Some(hit) = hit {
-                accumulator.fold_at(i, hit);
+
+        // Phase 2: order the missed cells slowest-first and package them as one shard.
+        // `distinct_instances` counts the keys the backend will have to realize; keys are
+        // pure functions of cell identity, so no instance is generated here.
+        let missed: Vec<usize> = (0..cells.len()).filter(|&i| cached[i].is_none()).collect();
+        let distinct_instances = missed
+            .iter()
+            .map(|&i| cells[i].instance_key(grid.base_seed))
+            .collect::<BTreeSet<InstanceKey>>()
+            .len();
+        let order = model.order_slowest_first(&cells, missed);
+        let shard = CellShard::new(grid.base_seed, order.iter().map(|&i| cells[i]).collect());
+
+        // Phase 3: hand the shard to the backend; write fresh results to the cache and
+        // land them at their canonical position as they are emitted.
+        let store = |k: usize, result: &CellResult| {
+            if let Some(cache) = &self.cache {
+                let cell = &cells[order[k]];
+                if let Err(e) = cache.store(cell, grid.base_seed, result) {
+                    eprintln!("sweep cache: cannot store {}: {e}", cell.label());
+                }
             }
+        };
+
+        if self.stream {
+            // Streaming: pre-register every group in canonical order (completion order must
+            // not reorder the report), fold cells as they finish, and drop them.
+            let mut accumulator = SummaryAccumulator::new();
+            for cell in &cells {
+                accumulator.register(&cell.problem.name(), cell.family.name());
+            }
+            for (i, hit) in cached.iter().enumerate() {
+                if let Some(hit) = hit {
+                    accumulator.fold_at(i, hit);
+                }
+            }
+            let folded = std::sync::atomic::AtomicUsize::new(0);
+            let accumulator = Mutex::new(accumulator);
+            self.backend.run_shard(&shard, &|k, result| {
+                store(k, &result);
+                // Folded under the cell's canonical grid index, so completion order cannot
+                // perturb the summary bytes.
+                accumulator
+                    .lock()
+                    .expect("summary accumulator poisoned")
+                    .fold_at(order[k], &result);
+                folded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            });
+            let folded = folded.into_inner();
+            assert_eq!(folded, order.len(), "backend did not emit every cell of the shard");
+            model.merge(&self.backend.calibration());
+            let report = Report {
+                threads: self.backend.parallelism(),
+                base_seed: grid.base_seed,
+                cell_count: cells.len(),
+                distinct_instances,
+                cache_hits,
+                total_wall_micros: started.elapsed().as_micros() as u64,
+                summaries: accumulator.into_inner().expect("summary accumulator poisoned").finish(),
+                cells: Vec::new(),
+            };
+            return (report, model);
         }
-        let accumulator = Mutex::new(accumulator);
-        pool::run_indexed_with(order.len(), threads, Session::new, |session, k| {
-            let result = run_one(session, k);
-            // Folded under the cell's canonical grid index, so completion order cannot
-            // perturb the summary bytes.
-            accumulator.lock().expect("summary accumulator poisoned").fold_at(order[k], &result);
+
+        // Collecting mode: scatter emitted cells back to their canonical positions.
+        let slots: Vec<Mutex<Option<CellResult>>> =
+            order.iter().map(|_| Mutex::new(None)).collect();
+        self.backend.run_shard(&shard, &|k, result| {
+            store(k, &result);
+            *slots[k].lock().expect("result slot poisoned") = Some(result);
         });
-        return Report {
-            threads,
+        model.merge(&self.backend.calibration());
+        for (&i, slot) in order.iter().zip(slots) {
+            cached[i] = slot.into_inner().expect("result slot poisoned");
+        }
+        let results: Vec<CellResult> = cached
+            .into_iter()
+            .map(|c| c.expect("backend did not emit every cell of the shard"))
+            .collect();
+
+        let report = Report {
+            threads: self.backend.parallelism(),
             base_seed: grid.base_seed,
-            cell_count: cells.len(),
-            distinct_instances: keys.len(),
+            cell_count: results.len(),
+            distinct_instances,
             cache_hits,
             total_wall_micros: started.elapsed().as_micros() as u64,
-            summaries: accumulator.into_inner().expect("summary accumulator poisoned").finish(),
-            cells: Vec::new(),
+            summaries: crate::report::summarize(&results),
+            cells: results,
         };
+        (report, model)
     }
+}
 
-    // Collecting mode: scatter executed cells back to their canonical positions.
-    let executed = pool::run_indexed_with(order.len(), threads, Session::new, run_one);
-    for (&i, result) in order.iter().zip(executed) {
-        cached[i] = Some(result);
-    }
-    let results: Vec<CellResult> =
-        cached.into_iter().map(|c| c.expect("every cell is cached or executed")).collect();
-
-    Report {
-        threads,
-        base_seed: grid.base_seed,
-        cell_count: results.len(),
-        distinct_instances: keys.len(),
-        cache_hits,
-        total_wall_micros: started.elapsed().as_micros() as u64,
-        summaries: crate::report::summarize(&results),
-        cells: results,
-    }
+/// Runs every cell of `grid` in-process and folds the outcomes into a [`Report`] — a thin
+/// wrapper over [`Sweep`] kept as the stable entry point; see [`Sweep::run_calibrated`]
+/// for the pipeline.
+pub fn run_grid(grid: &ScenarioGrid, cfg: &SweepConfig) -> Report {
+    Sweep::over(grid).config(cfg).run()
 }
 
 /// What one cell execution measured, before packaging into a [`CellResult`].

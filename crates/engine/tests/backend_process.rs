@@ -1,0 +1,197 @@
+//! The process backend's headline guarantees, exercised against the real `sweep --worker`
+//! binary (Cargo builds it for integration tests and exposes the path as
+//! `CARGO_BIN_EXE_sweep`):
+//!
+//! * a 2-worker process sweep is byte-identical to a single-threaded in-process sweep;
+//! * worker failures of every flavour (dead on arrival, killed, garbage stdout, truncated
+//!   stream) degrade to in-process re-execution with a byte-identical report;
+//! * the cache, streaming mode, and cost calibration all compose with the process backend.
+
+use local_engine::backend::ProcessBackend;
+use local_engine::{
+    run_grid, CellResult, ProblemKind, Report, ScenarioGrid, Sweep, SweepCache, SweepConfig,
+};
+use local_graphs::Family;
+use std::path::PathBuf;
+
+fn worker_bin() -> String {
+    env!("CARGO_BIN_EXE_sweep").to_string()
+}
+
+fn demo_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .problems([ProblemKind::Mis, ProblemKind::LubyMis, ProblemKind::RulingSet(2)])
+        .families([Family::SparseGnp, Family::Grid])
+        .sizes([36usize, 48])
+        .replicates(2)
+        .base_seed(9)
+}
+
+fn assert_reports_identical(reference: &Report, candidate: &Report, label: &str) {
+    assert_eq!(reference.cell_count, candidate.cell_count, "{label}: cell counts differ");
+    assert_eq!(
+        reference.cells.len(),
+        candidate.cells.len(),
+        "{label}: collected cell vectors differ in length"
+    );
+    for (a, b) in reference.cells.iter().zip(&candidate.cells) {
+        assert_eq!(a.deterministic_view(), b.deterministic_view(), "{label}: cell diverged");
+    }
+    let strip = |report: &Report| {
+        report
+            .summaries
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                s.total_wall_micros = 0;
+                s
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(strip(reference), strip(candidate), "{label}: summaries diverged");
+    assert_eq!(
+        reference.deterministic_view().to_csv(),
+        candidate.deterministic_view().to_csv(),
+        "{label}: CSV bytes diverged"
+    );
+}
+
+#[test]
+fn two_worker_processes_match_one_in_process_thread_byte_for_byte() {
+    let grid = demo_grid();
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    let candidate =
+        Sweep::over(&grid).backend(ProcessBackend::with_command(2, vec![worker_bin()])).run();
+    assert_eq!(candidate.threads, 2, "the report records the worker-process count");
+    assert_reports_identical(&reference, &candidate, "process backend");
+}
+
+#[test]
+fn dead_on_arrival_workers_fall_back_in_process() {
+    let grid = demo_grid();
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    // `/bin/false` exits immediately without reading the shard or writing a byte.
+    let candidate = Sweep::over(&grid)
+        .backend(ProcessBackend::with_command(2, vec!["/bin/false".to_string()]))
+        .run();
+    assert_reports_identical(&reference, &candidate, "dead worker");
+}
+
+#[test]
+fn killed_workers_fall_back_in_process() {
+    let grid = demo_grid();
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    let killer = vec!["/bin/sh".to_string(), "-c".to_string(), "kill -9 $$".to_string()];
+    let candidate = Sweep::over(&grid).backend(ProcessBackend::with_command(2, killer)).run();
+    assert_reports_identical(&reference, &candidate, "killed worker");
+}
+
+#[test]
+fn garbage_on_stdout_falls_back_in_process() {
+    let grid = demo_grid();
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    // Consumes the shard politely, then speaks nonsense and exits 0: the cleanest liar.
+    let script = "cat > /dev/null; echo 'definitely { not json'; exit 0".to_string();
+    let liar = vec!["/bin/sh".to_string(), "-c".to_string(), script];
+    let candidate = Sweep::over(&grid).backend(ProcessBackend::with_command(2, liar)).run();
+    assert_reports_identical(&reference, &candidate, "garbage worker");
+}
+
+#[test]
+fn truncated_streams_keep_verified_cells_and_rerun_the_rest() {
+    let grid = demo_grid();
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    // A real worker whose stream is cut after two lines: the two verified cells stand,
+    // everything after the cut is re-executed in-process.
+    let script = format!("'{}' --worker --threads 1 2>/dev/null | head -n 2", worker_bin());
+    let truncated = vec!["/bin/sh".to_string(), "-c".to_string(), script];
+    let candidate = Sweep::over(&grid).backend(ProcessBackend::with_command(2, truncated)).run();
+    assert_reports_identical(&reference, &candidate, "truncated worker");
+}
+
+#[test]
+fn under_emitting_workers_with_a_confident_sentinel_still_trigger_reruns() {
+    let grid = demo_grid();
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    // A real worker whose second result line is dropped: the sentinel still claims the full
+    // count and the process exits 0, but completeness is judged by what was verified, so
+    // the missing cell is re-executed rather than silently lost.
+    let script = format!("'{}' --worker --threads 1 2>/dev/null | sed '2d'", worker_bin());
+    let dropper = vec!["/bin/sh".to_string(), "-c".to_string(), script];
+    let candidate = Sweep::over(&grid).backend(ProcessBackend::with_command(2, dropper)).run();
+    assert_reports_identical(&reference, &candidate, "under-emitting worker");
+}
+
+#[test]
+fn calibration_merges_per_worker_observations() {
+    let grid = demo_grid();
+    let (_, local_model) =
+        Sweep::over(&grid).config(&SweepConfig::with_threads(1)).run_calibrated();
+    let (_, merged_model) = Sweep::over(&grid)
+        .backend(ProcessBackend::with_command(2, vec![worker_bin()]))
+        .run_calibrated();
+    let groups = |model: &local_engine::CostModel| {
+        model
+            .observations()
+            .into_iter()
+            .map(|(problem, family, _, _)| (problem, family))
+            .collect::<Vec<_>>()
+    };
+    // Wall times differ across processes, but the merged calibration must cover exactly the
+    // groups a local sweep observes — proof the workers' observation sums made it home.
+    assert_eq!(groups(&merged_model), groups(&local_model));
+    assert!(!merged_model.observations().is_empty());
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("backend-process-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cache_composes_with_the_process_backend() {
+    let dir = temp_dir("cache");
+    let grid = demo_grid();
+    let backend = || ProcessBackend::with_command(2, vec![worker_bin()]);
+    let first = Sweep::over(&grid).backend(backend()).cache(SweepCache::new(&dir)).run();
+    assert_eq!(first.cache_hits, 0, "a cold cache must not hit");
+
+    // The re-sweep serves every worker-produced result from disk, byte-identically —
+    // whether it re-runs in-process or over processes again.
+    let resweep = run_grid(&grid, &SweepConfig::with_threads(2).with_cache(SweepCache::new(&dir)));
+    assert_eq!(resweep.cache_hits, resweep.cell_count, "a re-sweep must be 100% cache hits");
+    assert_eq!(first.to_csv_with(true), resweep.to_csv_with(true));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn streaming_composes_with_the_process_backend() {
+    let dir = temp_dir("stream");
+    let grid = demo_grid();
+    let collected = run_grid(&grid, &SweepConfig::with_threads(1));
+    let streamed = Sweep::over(&grid)
+        .backend(ProcessBackend::with_command(2, vec![worker_bin()]))
+        .cache(SweepCache::new(&dir))
+        .streaming()
+        .run();
+    assert!(streamed.cells.is_empty(), "streaming mode must not hold cells in memory");
+    assert_eq!(streamed.cell_count, collected.cell_count);
+    for (s, c) in streamed.summaries.iter().zip(&collected.summaries) {
+        let mut s = s.clone();
+        s.total_wall_micros = c.total_wall_micros;
+        assert_eq!(&s, c, "streamed summary diverges for {}/{}", c.problem, c.family);
+    }
+    // Every worker-produced cell is recoverable from the cache at its canonical position.
+    let cache = SweepCache::new(&dir);
+    let reloaded: Vec<CellResult> = grid
+        .cells()
+        .into_iter()
+        .map(|cell| cache.load(&cell, grid.base_seed).expect("streamed cell must be cached"))
+        .collect();
+    for (a, b) in collected.cells.iter().zip(&reloaded) {
+        assert_eq!(a.deterministic_view(), b.deterministic_view());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

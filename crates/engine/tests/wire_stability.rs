@@ -1,0 +1,152 @@
+//! Wire stability of the shard protocol (and the cache files built on the same serde):
+//! serialize → deserialize → serialize is byte-identical for `Scenario`, `CellResult`, and
+//! `CellShard`, so a result can cross a process boundary (or sit in the cache) and come
+//! back exactly as it left.
+
+use local_engine::{CellResult, CellShard, ProblemKind, Scenario};
+use local_graphs::Family;
+use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// serialize → deserialize → serialize, asserting the two wire strings are byte-identical
+/// and the reconstructed value equals the original.
+fn assert_stable<T>(value: &T)
+where
+    T: Serialize + Deserialize + PartialEq + std::fmt::Debug,
+{
+    let first = serde_json::to_string(value).expect("serializes");
+    let reparsed = serde_json::from_str(&first).expect("own output parses");
+    let back = T::from_value(&reparsed).expect("own output deserializes");
+    assert_eq!(&back, value, "value changed across the wire");
+    let second = serde_json::to_string(&back).expect("reserializes");
+    assert_eq!(first, second, "wire bytes changed across a round trip");
+}
+
+#[test]
+fn scenario_round_trips_for_every_problem_kind() {
+    let mut problems = ProblemKind::ALL.to_vec();
+    // Parameterised kinds beyond the defaults: the wire must carry the parameter.
+    problems.push(ProblemKind::RulingSet(5));
+    problems.push(ProblemKind::LambdaColoring(4));
+    for problem in problems {
+        for family in Family::ALL {
+            assert_stable(&Scenario { problem, family, n: 97, replicate: 3 });
+        }
+    }
+}
+
+#[test]
+fn cell_result_round_trips_with_every_field_populated() {
+    assert_stable(&CellResult {
+        problem: "ruling-set-b3".into(),
+        family: "unit-disk".into(),
+        requested_n: 100,
+        n: 96,
+        edges: 512,
+        replicate: 7,
+        seed: u64::MAX,
+        uniform_rounds: 1234,
+        uniform_messages: 99999,
+        nonuniform_rounds: 617,
+        nonuniform_messages: 88888,
+        overhead_ratio: 2.000_648_3,
+        subiterations: 9,
+        solved: true,
+        valid: false,
+        wall_micros: 424_242,
+        attempt_micros: 400_000,
+        prune_micros: 20_000,
+        instance_micros: 4_242,
+    });
+}
+
+#[test]
+fn shard_round_trips_with_mixed_cells() {
+    let shard = CellShard::new(
+        0xDEAD_BEEF,
+        vec![
+            Scenario { problem: ProblemKind::Mis, family: Family::SparseGnp, n: 64, replicate: 0 },
+            Scenario {
+                problem: ProblemKind::LambdaColoring(3),
+                family: Family::UnitDisk,
+                n: 128,
+                replicate: 2,
+            },
+            Scenario {
+                problem: ProblemKind::RulingSet(2),
+                family: Family::Forest3,
+                n: 32,
+                replicate: 9,
+            },
+        ],
+    );
+    assert_stable(&shard);
+}
+
+fn arbitrary_scenario() -> impl Strategy<Value = Scenario> {
+    // One index past ALL exercises each parameterised kind with a non-default parameter.
+    (0usize..ProblemKind::ALL.len() + 2, 0usize..Family::ALL.len(), 1usize..100_000, 0u64..64)
+        .prop_map(|(p, f, n, replicate)| {
+            let problem = match p.checked_sub(ProblemKind::ALL.len()) {
+                None => ProblemKind::ALL[p],
+                Some(0) => ProblemKind::RulingSet(3 + replicate),
+                Some(_) => ProblemKind::LambdaColoring(2 + replicate),
+            };
+            Scenario { problem, family: Family::ALL[f], n, replicate }
+        })
+}
+
+fn arbitrary_result() -> impl Strategy<Value = CellResult> {
+    (
+        (0usize..ProblemKind::ALL.len(), 0usize..Family::ALL.len(), 1usize..100_000, 0u64..64),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<bool>(), any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((p, f, n, replicate), (seed, ur, um, nr, nm), (solved, valid, w, a, pr, i))| {
+                CellResult {
+                    problem: ProblemKind::ALL[p].name(),
+                    family: Family::ALL[f].name().to_string(),
+                    requested_n: n,
+                    n,
+                    edges: n / 2,
+                    replicate,
+                    seed,
+                    uniform_rounds: ur,
+                    uniform_messages: um,
+                    nonuniform_rounds: nr,
+                    nonuniform_messages: nm,
+                    // A quotient of arbitrary u64s covers integral, fractional, huge, and tiny
+                    // floats — the shapes the JSON number formatter has to reproduce exactly.
+                    overhead_ratio: ur as f64 / nr.max(1) as f64,
+                    subiterations: um % 97,
+                    solved,
+                    valid,
+                    wall_micros: w,
+                    attempt_micros: a,
+                    prune_micros: pr,
+                    instance_micros: i,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn scenario_wire_is_byte_stable(scenario in arbitrary_scenario()) {
+        assert_stable(&scenario);
+    }
+
+    #[test]
+    fn cell_result_wire_is_byte_stable(result in arbitrary_result()) {
+        assert_stable(&result);
+    }
+
+    #[test]
+    fn shard_wire_is_byte_stable(cells in proptest::collection::vec(arbitrary_scenario(), 0..12),
+                                 base_seed in any::<u64>()) {
+        assert_stable(&CellShard::new(base_seed, cells));
+    }
+}
