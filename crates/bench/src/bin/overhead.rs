@@ -1,26 +1,32 @@
 //! The message-complexity preset: sweep `mean_message_overhead_ratio` across families ×
 //! sizes and emit the study's CSV — the ROADMAP's message-complexity item. The paper bounds
 //! the uniform transformations in *rounds* only; this measures what they cost in
-//! *messages*, and how that cost scales with `n`.
+//! *messages*, and how that cost scales with `n` and with the instance's density (the
+//! parameterized `gnp-d<d>` degree ladder makes density a first-class axis).
 //!
-//! Usage: `cargo run -p local-bench --bin overhead [-- --sizes 64..512 --seeds 4 \
-//!         --out overhead.csv]`
+//! Usage: `cargo run --release -p local-bench --bin overhead [-- --sizes 64..512 --seeds 4 \
+//!         --problems mis,matching --families gnp-d2,gnp-d8,gnp-d16 --out overhead.csv]`
 
-use local_engine::{parse_sizes, ProblemKind};
-use local_graphs::Family;
+use local_engine::{parse_sizes, parse_workload, workload, WorkloadSpec};
+use local_graphs::{parse_family, Family, FamilySpec};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     // Defaults: every message-simulating transformer of the catalog (the synthetic black
     // boxes charge rounds without messages and would only report zeros), on families that
     // span sparse, structured, dense-ish, and geometric instances.
-    let problems = [
-        ProblemKind::Mis,
-        ProblemKind::Matching,
-        ProblemKind::RulingSet(2),
-        ProblemKind::LambdaColoring(1),
+    let mut problems: Vec<WorkloadSpec> = vec![
+        workload("mis"),
+        workload("matching"),
+        workload("ruling-set-b2"),
+        workload("coloring"),
     ];
-    let families = [Family::SparseGnp, Family::Grid, Family::Regular6, Family::UnitDisk];
+    let mut families: Vec<FamilySpec> = vec![
+        Family::SparseGnp.into(),
+        Family::Grid.into(),
+        Family::Regular6.into(),
+        Family::UnitDisk.into(),
+    ];
     let mut sizes = vec![64usize, 128, 256];
     let mut seeds = 3u64;
     let mut out: Option<String> = None;
@@ -33,8 +39,28 @@ fn main() -> ExitCode {
             "--seeds" => value("--seeds").and_then(|v| {
                 v.parse().map(|s| seeds = s).map_err(|e| format!("bad --seeds: {e}"))
             }),
+            "--problems" => value("--problems").and_then(|v| {
+                v.split(',')
+                    .map(|p| {
+                        parse_workload(p.trim())
+                            .ok_or_else(|| format!("unknown problem: {p:?} (see sweep --list)"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|p| problems = p)
+            }),
+            "--families" => value("--families").and_then(|v| {
+                v.split(',')
+                    .map(|f| {
+                        parse_family(f.trim())
+                            .ok_or_else(|| format!("unknown family: {f:?} (see sweep --list)"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+                    .map(|f| families = f)
+            }),
             "--out" => value("--out").map(|v| out = Some(v)),
-            other => Err(format!("unknown flag: {other} (overhead takes --sizes --seeds --out)")),
+            other => Err(format!(
+                "unknown flag: {other} (overhead takes --sizes --seeds --problems --families --out)"
+            )),
         };
         if let Err(message) = parsed {
             eprintln!("overhead: {message}");

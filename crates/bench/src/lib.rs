@@ -19,8 +19,10 @@
 //! The Criterion benches under `benches/` wrap these same harness entry points so that
 //! `cargo bench` exercises every table and figure.
 
-use local_engine::{pool, CellResult, Instance, ProblemKind, Scenario, ScenarioGrid, SweepConfig};
-use local_graphs::{Family, GraphParams};
+use local_engine::{
+    pool, workload, CellResult, Instance, Scenario, ScenarioGrid, SweepConfig, WorkloadSpec,
+};
+use local_graphs::{Family, FamilySpec, GraphParams};
 use local_uniform::catalog;
 use serde::Serialize;
 
@@ -64,64 +66,78 @@ fn units(n: usize) -> Vec<()> {
     vec![(); n]
 }
 
+/// The λ(Δ+1)-colouring workload at a given λ (λ = 1 is the canonical `coloring`).
+fn lambda_coloring(lambda: u64) -> WorkloadSpec {
+    if lambda == 1 {
+        workload("coloring")
+    } else {
+        workload(&format!("lambda{lambda}-coloring"))
+    }
+}
+
 /// Runs one engine cell: the preset shared by every Table 1 row.
-fn run_single(problem: ProblemKind, family: Family, n: usize, seed: u64) -> CellResult {
-    let cell = Scenario { problem, family, n, replicate: 0 };
+fn run_single(
+    problem: WorkloadSpec,
+    family: impl Into<FamilySpec>,
+    n: usize,
+    seed: u64,
+) -> CellResult {
+    let cell = Scenario { problem, family: family.into(), n, replicate: 0 };
     let instance = Instance::generate(cell.instance_key(seed));
     local_engine::run_cell(&cell, &instance, seed)
 }
 
 /// Row 1: deterministic MIS (and (Δ+1)-colouring) with parameters `{Δ, m}`.
 pub fn row_mis_delta(n: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::Mis, Family::SparseGnp, n, seed);
+    let cell = run_single(workload("mis"), Family::SparseGnp, n, seed);
     Table1Row::from_cell("1 det. MIS O(Δ²+log* m)", &cell)
 }
 
 /// Row 2: deterministic MIS with the `2^{O(√log n)}` (synthetic) bound, parameter `{n}`.
 pub fn row_mis_sqrt_log(n: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::PsMis, Family::DenseGnp, n, seed);
+    let cell = run_single(workload("ps-mis"), Family::DenseGnp, n, seed);
     Table1Row::from_cell("2 det. MIS 2^O(√log n) [synthetic]", &cell)
 }
 
 /// Rows 3–4: deterministic MIS on bounded-arboricity graphs, parameters `{a, n, m}`.
 pub fn row_mis_arboricity(n: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::ArboricityMis, Family::Forest3, n, seed);
+    let cell = run_single(workload("arboricity-mis"), Family::Forest3, n, seed);
     Table1Row::from_cell("3-4 det. MIS arboricity", &cell)
 }
 
 /// Row 5: λ(Δ+1)-colouring via Theorem 5.
 pub fn row_lambda_coloring(n: usize, lambda: u64, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::LambdaColoring(lambda), Family::SparseGnp, n, seed);
+    let cell = run_single(lambda_coloring(lambda), Family::SparseGnp, n, seed);
     Table1Row::from_cell(&format!("5 det. {lambda}(Δ+1)-coloring"), &cell)
 }
 
 /// Rows 6–7: O(Δ)-edge-colouring via the line graph + Theorem 5.
 pub fn row_edge_coloring(n: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::EdgeColoring, Family::Regular6, n, seed);
+    let cell = run_single(workload("edge-coloring"), Family::Regular6, n, seed);
     Table1Row::from_cell("6-7 det. O(Δ)-edge-coloring", &cell)
 }
 
 /// Row 8: deterministic maximal matching.
 pub fn row_matching(n: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::Matching, Family::Grid, n, seed);
+    let cell = run_single(workload("matching"), Family::Grid, n, seed);
     Table1Row::from_cell("8 det. maximal matching", &cell)
 }
 
 /// Row 8 (exact time shape): the synthetic `O(log⁴ n)` matching black box.
 pub fn row_matching_log4(n: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::Log4Matching, Family::SparseGnp, n, seed);
+    let cell = run_single(workload("log4-matching"), Family::SparseGnp, n, seed);
     Table1Row::from_cell("8 det. MM O(log⁴ n) [synthetic]", &cell)
 }
 
 /// Row 9: randomized (2, 2(c+1))-ruling set (weak Monte-Carlo → Las Vegas).
 pub fn row_ruling_set(n: usize, beta: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::RulingSet(beta as u64), Family::UnitDisk, n, seed);
+    let cell = run_single(workload(&format!("ruling-set-b{beta}")), Family::UnitDisk, n, seed);
     Table1Row::from_cell(&format!("9 rand. (2,{beta})-ruling set"), &cell)
 }
 
 /// Row 10: Luby's uniform randomized MIS (the already-uniform baseline of the last row).
 pub fn row_uniform_luby(n: usize, seed: u64) -> Table1Row {
-    let cell = run_single(ProblemKind::LubyMis, Family::SparseGnp, n, seed);
+    let cell = run_single(workload("luby-mis"), Family::SparseGnp, n, seed);
     Table1Row::from_cell("10 rand. MIS (uniform baseline)", &cell)
 }
 
@@ -184,7 +200,7 @@ pub struct ScalingPoint {
 /// non-uniform algorithms on the same family — a one-problem engine grid over the sizes.
 pub fn scaling_series(sizes: &[usize], family: Family, seed: u64) -> Vec<ScalingPoint> {
     let grid = ScenarioGrid::new()
-        .problems([ProblemKind::Mis])
+        .problems([workload("mis")])
         .families([family])
         .sizes(sizes.to_vec())
         .replicates(1)
@@ -228,8 +244,8 @@ pub struct OverheadPoint {
 /// overheads per `(problem, family, n)` — finer than the engine's own `(problem, family)`
 /// summaries, because the study's question is how the overhead *scales with n*.
 pub fn message_overhead_series(
-    problems: &[ProblemKind],
-    families: &[Family],
+    problems: &[WorkloadSpec],
+    families: &[FamilySpec],
     sizes: &[usize],
     seeds: u64,
     base_seed: u64,
@@ -427,8 +443,8 @@ mod tests {
     #[test]
     fn overhead_series_groups_per_size_with_positive_message_ratios() {
         let points = message_overhead_series(
-            &[ProblemKind::Mis, ProblemKind::Matching],
-            &[Family::SparseGnp, Family::Grid],
+            &[workload("mis"), workload("matching")],
+            &[Family::SparseGnp.into(), Family::Grid.into()],
             &[36, 48],
             2,
             1,
@@ -452,7 +468,7 @@ mod tests {
     fn rows_are_presets_over_engine_cells() {
         // A row and the engine cell it wraps must agree exactly.
         let row = row_matching(64, 9);
-        let cell = run_single(ProblemKind::Matching, Family::Grid, 64, 9);
+        let cell = run_single(workload("matching"), Family::Grid, 64, 9);
         assert_eq!(row.uniform_rounds, cell.uniform_rounds);
         assert_eq!(row.nonuniform_rounds, cell.nonuniform_rounds);
         assert_eq!(row.valid, cell.valid);

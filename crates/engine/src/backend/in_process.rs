@@ -50,10 +50,11 @@ impl ExecBackend for InProcessBackend {
             .collect::<BTreeSet<_>>()
             .into_iter()
             .collect();
-        let instances =
-            pool::run_indexed(keys.len(), self.threads, |i| Arc::new(Instance::generate(keys[i])));
+        let instances = pool::run_indexed(keys.len(), self.threads, |i| {
+            Arc::new(Instance::generate(keys[i].clone()))
+        });
         let instance_cache: HashMap<InstanceKey, Arc<Instance>> =
-            keys.iter().copied().zip(instances).collect();
+            keys.iter().cloned().zip(instances).collect();
 
         // Phase 2: execute the cells in shard order (the scheduler already cost-ordered
         // them), one reusable session per worker, emitting as cells complete.
@@ -76,15 +77,31 @@ impl ExecBackend for InProcessBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::workload;
     use crate::report::CellResult;
-    use crate::scenario::{ProblemKind, Scenario};
+    use crate::scenario::Scenario;
     use local_graphs::Family;
 
     fn shard() -> CellShard {
         let cells = vec![
-            Scenario { problem: ProblemKind::Mis, family: Family::SparseGnp, n: 40, replicate: 0 },
-            Scenario { problem: ProblemKind::Mis, family: Family::SparseGnp, n: 40, replicate: 1 },
-            Scenario { problem: ProblemKind::LubyMis, family: Family::Grid, n: 36, replicate: 0 },
+            Scenario {
+                problem: workload("mis"),
+                family: Family::SparseGnp.into(),
+                n: 40,
+                replicate: 0,
+            },
+            Scenario {
+                problem: workload("mis"),
+                family: Family::SparseGnp.into(),
+                n: 40,
+                replicate: 1,
+            },
+            Scenario {
+                problem: workload("luby-mis"),
+                family: Family::Grid.into(),
+                n: 36,
+                replicate: 0,
+            },
         ];
         CellShard::new(5, cells)
     }

@@ -74,7 +74,7 @@ impl CellShard {
             let next = assignment.len() % count;
             let slot = *assignment.entry(cell.instance_key(self.base_seed)).or_insert(next);
             let (stripe, indices) = &mut stripes[slot];
-            stripe.cells.push(*cell);
+            stripe.cells.push(cell.clone());
             indices.push(i);
         }
         stripes
@@ -138,14 +138,14 @@ pub trait ExecBackend: Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::ProblemKind;
+    use crate::registry::workload;
     use local_graphs::Family;
 
     fn shard_of(n_cells: usize) -> CellShard {
         let cells = (0..n_cells)
             .map(|i| Scenario {
-                problem: ProblemKind::Mis,
-                family: Family::SparseGnp,
+                problem: workload("mis"),
+                family: Family::SparseGnp.into(),
                 n: 32 + i,
                 replicate: 0,
             })
@@ -177,8 +177,8 @@ mod tests {
         // one worker, never regenerated across the fleet.
         let mut cells = Vec::new();
         for n in [32usize, 48, 64] {
-            for problem in [ProblemKind::Mis, ProblemKind::LubyMis] {
-                cells.push(Scenario { problem, family: Family::SparseGnp, n, replicate: 0 });
+            for problem in [workload("mis"), workload("luby-mis")] {
+                cells.push(Scenario { problem, family: Family::SparseGnp.into(), n, replicate: 0 });
             }
         }
         let shard = CellShard::new(7, cells);
@@ -213,6 +213,24 @@ mod tests {
         let text = serde_json::to_string(&shard).unwrap();
         let back = CellShard::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, shard);
+    }
+
+    #[test]
+    fn shards_carry_parameterized_specs_across_the_wire() {
+        let shard = CellShard::new(
+            11,
+            vec![Scenario {
+                problem: workload("ruling-set-b4"),
+                family: local_graphs::family("gnp-d16"),
+                n: 64,
+                replicate: 1,
+            }],
+        );
+        let text = serde_json::to_string(&shard).unwrap();
+        let back = CellShard::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, shard);
+        assert_eq!(back.cells[0].problem.name(), "ruling-set-b4");
+        assert_eq!(back.cells[0].family.name(), "gnp-d16");
     }
 
     #[test]

@@ -241,7 +241,7 @@ impl ExecBackend for ProcessBackend {
                         let rescue = CellShard {
                             base_seed: stripe.base_seed,
                             code_version: stripe.code_version.clone(),
-                            cells: missing.iter().map(|&i| stripe.cells[i]).collect(),
+                            cells: missing.iter().map(|&i| stripe.cells[i].clone()).collect(),
                         };
                         let fallback = InProcessBackend::new(self.worker_threads);
                         fallback.run_shard(&rescue, &|k, result| {
@@ -408,7 +408,8 @@ impl Serialize for Raw {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::{ProblemKind, Scenario};
+    use crate::registry::workload;
+    use crate::scenario::Scenario;
     use local_graphs::Family;
 
     fn small_shard() -> CellShard {
@@ -416,14 +417,14 @@ mod tests {
             3,
             vec![
                 Scenario {
-                    problem: ProblemKind::LubyMis,
-                    family: Family::SparseGnp,
+                    problem: workload("luby-mis"),
+                    family: Family::SparseGnp.into(),
                     n: 32,
                     replicate: 0,
                 },
                 Scenario {
-                    problem: ProblemKind::LubyMis,
-                    family: Family::SparseGnp,
+                    problem: workload("luby-mis"),
+                    family: Family::SparseGnp.into(),
                     n: 32,
                     replicate: 1,
                 },

@@ -6,11 +6,14 @@
 //!       --seeds 32 --backend process --workers 8 --out results.json [--csv results.csv]
 //! ```
 //!
-//! * `--problems`  comma list of catalog problems (`mis`, `ps-mis`, `arboricity-mis`,
-//!   `cor1-mis`, `luby-mis`, `matching`, `log4-matching`, `ruling-set[-bB]`, `coloring`,
-//!   `lambdaL-coloring`, `edge-coloring`), or `all`.
-//! * `--families`  comma list of graph families (canonical names or aliases like
-//!   `sparse-gnp`, `tree`), or `all`.
+//! * `--problems`  comma list of registered workloads (`mis`, `matching`,
+//!   `ruling-set[-bB]`, `lambdaL-coloring`, …), or `all`. `sweep --list` prints the full
+//!   registry.
+//! * `--families`  comma list of graph families — canonical names, aliases like
+//!   `sparse-gnp`/`tree`, or *parameterized* generators (`gnp-d16`, `regular-8`,
+//!   `forest-5`, `pa-2`, `unit-disk-r75`) — or `all` (the builtin catalog).
+//! * `--list`      print every registered workload and family (name, parameters, one-line
+//!   description) straight from the registry, then exit.
 //! * `--sizes`     comma list (`200,400`) or doubling ladder (`100..10000`).
 //! * `--seeds`     replicates per cell (default 2).
 //! * `--backend`   execution backend: `in-process` (default; the work-stealing thread pool)
@@ -36,8 +39,11 @@
 //! see `local_engine::backend` for the framing.
 
 use local_engine::backend::{worker_serve, InProcessBackend, ProcessBackend};
-use local_engine::{parse_sizes, CostModel, ProblemKind, ScenarioGrid, Sweep, SweepCache};
-use local_graphs::Family;
+use local_engine::{
+    default_workloads, parse_sizes, parse_workload, render_listing, CostModel, ScenarioGrid, Sweep,
+    SweepCache, WorkloadSpec,
+};
+use local_graphs::{builtin_families, parse_family, FamilySpec};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -48,8 +54,8 @@ enum BackendKind {
 }
 
 struct Args {
-    problems: Vec<ProblemKind>,
-    families: Vec<Family>,
+    problems: Vec<WorkloadSpec>,
+    families: Vec<FamilySpec>,
     sizes: Vec<usize>,
     seeds: u64,
     backend: BackendKind,
@@ -76,8 +82,8 @@ fn parse_count(flag: &str, text: &str) -> Result<usize, String> {
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        problems: vec![ProblemKind::Mis],
-        families: vec![Family::SparseGnp],
+        problems: vec![local_engine::workload("mis")],
+        families: vec![local_graphs::Family::SparseGnp.into()],
         sizes: vec![64, 128],
         seeds: 2,
         backend: BackendKind::InProcess,
@@ -100,12 +106,12 @@ fn parse_args() -> Result<Args, String> {
             "--problems" => {
                 let v = value("--problems")?;
                 args.problems = if v == "all" {
-                    ProblemKind::ALL.to_vec()
+                    default_workloads()
                 } else {
                     v.split(',')
                         .map(|p| {
-                            ProblemKind::parse(p.trim())
-                                .ok_or_else(|| format!("unknown problem: {p:?}"))
+                            parse_workload(p.trim())
+                                .ok_or_else(|| format!("unknown problem: {p:?} (see sweep --list)"))
                         })
                         .collect::<Result<_, _>>()?
                 };
@@ -113,12 +119,12 @@ fn parse_args() -> Result<Args, String> {
             "--families" => {
                 let v = value("--families")?;
                 args.families = if v == "all" {
-                    Family::ALL.to_vec()
+                    builtin_families()
                 } else {
                     v.split(',')
                         .map(|f| {
-                            Family::from_name(f.trim())
-                                .ok_or_else(|| format!("unknown family: {f:?}"))
+                            parse_family(f.trim())
+                                .ok_or_else(|| format!("unknown family: {f:?} (see sweep --list)"))
                         })
                         .collect::<Result<_, _>>()?
                 };
@@ -146,6 +152,10 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out" => args.out = Some(value("--out")?),
             "--csv" => args.csv = Some(value("--csv")?),
+            "--list" => {
+                print!("{}", render_listing());
+                std::process::exit(0);
+            }
             "--dry-run" => args.dry_run = true,
             "--deterministic" => args.deterministic = true,
             "--profile" => args.profile = true,
@@ -174,8 +184,12 @@ sweep — parallel batched experiment engine for uniform LOCAL algorithms
 USAGE:
   sweep [--problems LIST|all] [--families LIST|all] [--sizes 200,400 | 100..10000]
         [--seeds N] [--backend in-process|process] [--threads N] [--workers N]
-        [--base-seed S] [--out report.json] [--csv cells.csv] [--dry-run] [--deterministic]
-        [--profile] [--folded stacks.folded] [--cache-dir DIR | --no-cache] [--stream]
+        [--base-seed S] [--out report.json] [--csv cells.csv] [--list] [--dry-run]
+        [--deterministic] [--profile] [--folded stacks.folded]
+        [--cache-dir DIR | --no-cache] [--stream]
+
+  --list       print every registered workload and family (with parameterized patterns
+               like gnp-d<d> and ruling-set-b<beta>) straight from the registry, then exit.
 
   --backend    in-process (default): the work-stealing thread pool. process: fan the sweep
                out to worker subprocesses over the serialized shard protocol; a failed

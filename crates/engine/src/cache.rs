@@ -142,11 +142,11 @@ impl Serialize for Wrapped {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::ProblemKind;
+    use crate::registry::workload;
     use local_graphs::Family;
 
     fn sample_cell() -> Scenario {
-        Scenario { problem: ProblemKind::Mis, family: Family::SparseGnp, n: 48, replicate: 0 }
+        Scenario { problem: workload("mis"), family: Family::SparseGnp.into(), n: 48, replicate: 0 }
     }
 
     fn sample_result() -> CellResult {
@@ -196,8 +196,8 @@ mod tests {
     fn keys_separate_cells_seeds_and_versions() {
         let cache = SweepCache::new("unused");
         let a = sample_cell();
-        let b = Scenario { replicate: 1, ..a };
-        let c = Scenario { problem: ProblemKind::LubyMis, ..a };
+        let b = Scenario { replicate: 1, ..a.clone() };
+        let c = Scenario { problem: workload("luby-mis"), ..a.clone() };
         assert_ne!(cache.key(&a, 1), cache.key(&b, 1), "replicates must not collide");
         assert_ne!(cache.key(&a, 1), cache.key(&c, 1), "problems must not collide");
         assert_ne!(cache.key(&a, 1), cache.key(&a, 2), "base seeds must not collide");
@@ -226,7 +226,7 @@ mod tests {
         let dir = temp_dir("collision");
         let cache = SweepCache::new(&dir);
         let a = sample_cell();
-        let b = Scenario { replicate: 1, ..a };
+        let b = Scenario { replicate: 1, ..a.clone() };
         cache.store(&a, 1, &sample_result()).unwrap();
         std::fs::copy(cache.path(cache.key(&a, 1)), cache.path(cache.key(&b, 1))).unwrap();
         assert!(cache.load(&b, 1).is_none(), "foreign label must miss");

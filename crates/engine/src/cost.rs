@@ -18,9 +18,11 @@
 //! Predictions only ever decide *order*, never results: a wildly wrong model costs wall
 //! clock, not correctness.
 
+use crate::registry::parse_workload;
 use crate::report::CellResult;
-use crate::scenario::{ProblemKind, Scenario};
-use local_graphs::Family;
+use crate::scenario::Scenario;
+use crate::workloads::WorkloadSpec;
+use local_graphs::{parse_family, FamilySpec};
 use std::collections::HashMap;
 
 /// Predicts per-cell work and orders work queues slowest-first.
@@ -30,60 +32,35 @@ pub struct CostModel {
     observed: HashMap<(String, String), (f64, f64)>,
 }
 
-/// The static power-law shape `(weight, exponent)` of one problem's cell cost.
-fn shape(problem: &ProblemKind) -> (f64, f64) {
-    match problem {
-        // Already-uniform baselines execute once, no alternation cascade.
-        ProblemKind::LubyMis => (0.4, 1.1),
-        // Synthetic black boxes charge rounds without simulating messages.
-        ProblemKind::PsMis | ProblemKind::Log4Matching => (0.5, 1.15),
-        ProblemKind::Mis | ProblemKind::ArboricityMis => (2.0, 1.3),
-        ProblemKind::Corollary1Mis => (2.5, 1.3),
-        ProblemKind::Matching => (2.5, 1.3),
-        ProblemKind::RulingSet(_) => (1.5, 1.25),
-        // Theorem 5 runs a full per-layer SLC alternation.
-        ProblemKind::LambdaColoring(_) => (4.0, 1.3),
-        // The line graph squares the edge count before Theorem 5 even starts.
-        ProblemKind::EdgeColoring => (8.0, 1.45),
-    }
-}
-
-/// Density factor of a family relative to the sparse default.
-fn family_factor(family: Family) -> f64 {
-    match family {
-        Family::DenseGnp => 4.0,
-        Family::Regular6 => 1.5,
-        Family::UnitDisk => 2.0,
-        Family::Grid | Family::Path | Family::Cycle => 0.7,
-        _ => 1.0,
-    }
-}
-
 impl CostModel {
     /// A fresh, uncalibrated model (static shapes only).
     pub fn new() -> Self {
         CostModel::default()
     }
 
-    /// The static (uncalibrated) cost estimate of one cell, in arbitrary micro-ish units.
-    pub fn base_cost(problem: &ProblemKind, family: Family, n: usize) -> f64 {
-        let (weight, exponent) = shape(problem);
-        weight * (n.max(2) as f64).powf(exponent) * family_factor(family)
+    /// The static (uncalibrated) cost estimate of one cell, in arbitrary micro-ish units:
+    /// the workload's power-law shape ([`crate::workloads::Workload::cost_shape`]) scaled
+    /// by the family's density factor ([`local_graphs::GraphFamily::cost_factor`]) — both
+    /// owned by the specs themselves, so a newly registered workload or family brings its
+    /// own prior with it.
+    pub fn base_cost(problem: &WorkloadSpec, family: &FamilySpec, n: usize) -> f64 {
+        let (weight, exponent) = problem.cost_shape();
+        weight * (n.max(2) as f64).powf(exponent) * family.cost_factor()
     }
 
     /// Feeds one observed cell back into the model (typically a cache hit from a previous
     /// sweep, or a finished cell of this one).
     pub fn observe(&mut self, cell: &CellResult) {
         let (Some(family), Some(problem)) =
-            (Family::from_name(&cell.family), ProblemKind::parse(&cell.problem))
+            (parse_family(&cell.family), parse_workload(&cell.problem))
         else {
             return;
         };
-        let predicted = CostModel::base_cost(&problem, family, cell.requested_n);
+        let predicted = CostModel::base_cost(&problem, &family, cell.requested_n);
         // Key by the *canonical* names so observations match predictions even when the
         // observed result spells a family by an alias.
         self.observe_group(
-            &problem.name(),
+            problem.name(),
             family.name(),
             cell.wall_micros.max(1) as f64,
             predicted,
@@ -128,8 +105,8 @@ impl CostModel {
     /// observed-over-predicted ratio of its `(problem, family)` group when calibration data
     /// exists (clamped so one outlier cannot invert the ordering wholesale).
     pub fn predict(&self, cell: &Scenario) -> f64 {
-        let base = CostModel::base_cost(&cell.problem, cell.family, cell.n);
-        let key = (cell.problem.name(), cell.family.name().to_string());
+        let base = CostModel::base_cost(&cell.problem, &cell.family, cell.n);
+        let key = (cell.problem.name().to_string(), cell.family.name().to_string());
         match self.observed.get(&key) {
             Some(&(observed, predicted)) if predicted > 0.0 => {
                 base * (observed / predicted).clamp(0.05, 50.0)
@@ -155,24 +132,41 @@ impl CostModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::registry::workload;
+    use local_graphs::{family, Family};
 
-    fn cell(problem: ProblemKind, family: Family, n: usize) -> Scenario {
-        Scenario { problem, family, n, replicate: 0 }
+    fn cell(problem: &str, family_name: &str, n: usize) -> Scenario {
+        Scenario {
+            problem: workload(problem),
+            family: parse_family(family_name).expect("test family parses"),
+            n,
+            replicate: 0,
+        }
     }
 
     #[test]
     fn bigger_cells_cost_more() {
-        let small = CostModel::base_cost(&ProblemKind::Mis, Family::SparseGnp, 100);
-        let large = CostModel::base_cost(&ProblemKind::Mis, Family::SparseGnp, 1000);
+        let spec = workload("mis");
+        let fam = Family::SparseGnp.into();
+        let small = CostModel::base_cost(&spec, &fam, 100);
+        let large = CostModel::base_cost(&spec, &fam, 1000);
         assert!(large > 10.0 * small, "power law must dominate: {small} vs {large}");
+    }
+
+    #[test]
+    fn parameterized_families_scale_the_density_factor() {
+        let spec = workload("mis");
+        let sparse = CostModel::base_cost(&spec, &family("gnp-d4"), 256);
+        let dense = CostModel::base_cost(&spec, &family("gnp-d32"), 256);
+        assert!(dense > 4.0 * sparse, "denser parameterizations must predict more work");
     }
 
     #[test]
     fn slowest_first_puts_big_expensive_cells_up_front() {
         let cells = vec![
-            cell(ProblemKind::LubyMis, Family::SparseGnp, 64),
-            cell(ProblemKind::EdgeColoring, Family::DenseGnp, 512),
-            cell(ProblemKind::Mis, Family::SparseGnp, 256),
+            cell("luby-mis", "gnp-avg8", 64),
+            cell("edge-coloring", "gnp-sqrt-n", 512),
+            cell("mis", "gnp-avg8", 256),
         ];
         let order = CostModel::new().order_slowest_first(&cells, vec![0, 1, 2]);
         assert_eq!(order[0], 1, "the line-graph colouring at n=512 is the straggler");
@@ -182,58 +176,17 @@ mod tests {
     #[test]
     fn ordering_is_deterministic_under_ties() {
         let cells = vec![
-            cell(ProblemKind::Mis, Family::SparseGnp, 128),
-            cell(ProblemKind::Mis, Family::SparseGnp, 128),
-            cell(ProblemKind::Mis, Family::SparseGnp, 128),
+            cell("mis", "gnp-avg8", 128),
+            cell("mis", "gnp-avg8", 128),
+            cell("mis", "gnp-avg8", 128),
         ];
         let order = CostModel::new().order_slowest_first(&cells, vec![0, 1, 2]);
         assert_eq!(order, vec![0, 1, 2], "ties break by canonical index");
     }
 
-    #[test]
-    fn observations_recalibrate_predictions() {
-        let mut model = CostModel::new();
-        let scenario = cell(ProblemKind::Mis, Family::SparseGnp, 128);
-        let before = model.predict(&scenario);
-        // Observe the group running 10x slower than the static shape claims.
-        let observed = CellResult {
-            problem: "mis".into(),
-            family: "gnp-avg8".into(),
-            requested_n: 128,
-            n: 128,
-            edges: 300,
-            replicate: 0,
-            seed: 0,
-            uniform_rounds: 10,
-            uniform_messages: 10,
-            nonuniform_rounds: 10,
-            nonuniform_messages: 10,
-            overhead_ratio: 1.0,
-            subiterations: 1,
-            solved: true,
-            valid: true,
-            wall_micros: (CostModel::base_cost(&ProblemKind::Mis, Family::SparseGnp, 128) * 10.0)
-                as u64,
-            attempt_micros: 0,
-            prune_micros: 0,
-            instance_micros: 0,
-        };
-        model.observe(&observed);
-        let after = model.predict(&scenario);
-        assert!(
-            (after / before - 10.0).abs() < 0.5,
-            "calibration must track the observed ratio: {before} -> {after}"
-        );
-    }
-
-    #[test]
-    fn merging_worker_models_equals_observing_locally() {
-        // Two "workers" each observe one group; the merged model must predict exactly like
-        // a single model that observed both groups itself.
-        let mis = cell(ProblemKind::Mis, Family::SparseGnp, 128);
-        let matching = cell(ProblemKind::Matching, Family::Grid, 96);
-        let sample = |scenario: &Scenario, factor: f64| CellResult {
-            problem: scenario.problem.name(),
+    fn sample(scenario: &Scenario, factor: f64) -> CellResult {
+        CellResult {
+            problem: scenario.problem.name().to_string(),
             family: scenario.family.name().to_string(),
             requested_n: scenario.n,
             n: scenario.n,
@@ -248,12 +201,50 @@ mod tests {
             subiterations: 0,
             solved: true,
             valid: true,
-            wall_micros: (CostModel::base_cost(&scenario.problem, scenario.family, scenario.n)
+            wall_micros: (CostModel::base_cost(&scenario.problem, &scenario.family, scenario.n)
                 * factor) as u64,
             attempt_micros: 0,
             prune_micros: 0,
             instance_micros: 0,
-        };
+        }
+    }
+
+    #[test]
+    fn observations_recalibrate_predictions() {
+        let mut model = CostModel::new();
+        let scenario = cell("mis", "gnp-avg8", 128);
+        let before = model.predict(&scenario);
+        // Observe the group running 10x slower than the static shape claims.
+        model.observe(&sample(&scenario, 10.0));
+        let after = model.predict(&scenario);
+        assert!(
+            (after / before - 10.0).abs() < 0.5,
+            "calibration must track the observed ratio: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn observations_calibrate_parameterized_groups_independently() {
+        let mut model = CostModel::new();
+        let d16 = cell("mis", "gnp-d16", 128);
+        let d4 = cell("mis", "gnp-d4", 128);
+        let before = model.predict(&d4);
+        model.observe(&sample(&d16, 8.0));
+        // Only the observed parameterization recalibrates.
+        assert!(
+            (model.predict(&d16) / CostModel::base_cost(&d16.problem, &d16.family, 128) - 8.0)
+                .abs()
+                < 0.5
+        );
+        assert_eq!(model.predict(&d4), before);
+    }
+
+    #[test]
+    fn merging_worker_models_equals_observing_locally() {
+        // Two "workers" each observe one group; the merged model must predict exactly like
+        // a single model that observed both groups itself.
+        let mis = cell("mis", "gnp-avg8", 128);
+        let matching = cell("matching", "grid", 96);
 
         let mut worker_a = CostModel::new();
         worker_a.observe(&sample(&mis, 3.0));

@@ -6,8 +6,14 @@
 //!
 //! Layers:
 //!
-//! * [`scenario`] — the experiment model: [`ProblemKind`] (the catalog rows), [`Scenario`]
-//!   (one cell), and the [`ScenarioGrid`] cross-product builder.
+//! * [`workloads`] — the open workload model: the [`Workload`] trait (name, seed tag, cost
+//!   shape, execution) with one implementation per catalog problem, handled through the
+//!   name-keyed [`WorkloadSpec`].
+//! * [`registry`] — the single table mapping stable names to workload constructors
+//!   (parse, the `all` catalog, the self-documenting `sweep --list` output); the family
+//!   side lives in [`local_graphs::FAMILY_ENTRIES`].
+//! * [`scenario`] — the experiment model: [`Scenario`] (one cell pairing a workload spec
+//!   with a family spec) and the [`ScenarioGrid`] cross-product builder.
 //! * [`scheduler`] — the [`Sweep`] builder: cache probe, cost-model LPT ordering, streaming
 //!   aggregation, and canonical report order, around an abstract execution backend. Per-cell
 //!   seeding is deterministic (built on [`local_runtime::mix_seed`]), so a sweep is
@@ -28,13 +34,13 @@
 //! ## Example
 //!
 //! ```
-//! use local_engine::{run_grid, ProblemKind, ScenarioGrid, SweepConfig};
-//! use local_graphs::Family;
+//! use local_engine::{run_grid, workload, ScenarioGrid, SweepConfig};
+//! use local_graphs::{family, Family};
 //!
 //! let grid = ScenarioGrid::new()
-//!     .problems([ProblemKind::Mis])
-//!     .families([Family::SparseGnp])
-//!     .sizes([48usize, 96])
+//!     .problems([workload("mis")])
+//!     .families([Family::SparseGnp.into(), family("gnp-d16")])
+//!     .sizes([48usize])
 //!     .replicates(2);
 //! let report = run_grid(&grid, &SweepConfig::with_threads(2));
 //! assert_eq!(report.cell_count, 4);
@@ -49,13 +55,19 @@ pub mod backend;
 pub mod cache;
 pub mod cost;
 pub mod pool;
+pub mod registry;
 pub mod report;
 pub mod scenario;
 pub mod scheduler;
+pub mod workloads;
 
 pub use backend::{CellShard, ExecBackend, InProcessBackend, ProcessBackend};
 pub use cache::{SweepCache, CODE_VERSION};
 pub use cost::CostModel;
+pub use registry::{
+    default_workloads, parse_workload, render_listing, workload, WorkloadEntry, WORKLOAD_ENTRIES,
+};
 pub use report::{folded_stacks, summarize, CellResult, GroupSummary, Report, SummaryAccumulator};
-pub use scenario::{parse_sizes, ProblemKind, Scenario, ScenarioGrid};
+pub use scenario::{parse_sizes, Scenario, ScenarioGrid};
 pub use scheduler::{run_cell, run_cell_in, run_grid, Instance, Sweep, SweepConfig};
+pub use workloads::{MeasuredRun, Workload, WorkloadSpec};

@@ -1,140 +1,29 @@
 //! The scenario model: what one experiment cell is, and how grids of cells are built.
 //!
-//! A [`Scenario`] is one point of an experiment design: a problem (drawn from the uniform
-//! catalog of `local_uniform::catalog`), a graph family, a target size, and a replicate
-//! index. A [`ScenarioGrid`] is the cross product of the four axes, the unit of work the
-//! scheduler executes. Cells are enumerated in a fixed deterministic order and carry their
-//! own seeds (derived with [`local_runtime::mix_seed`]), so a grid means the same set of
-//! executions regardless of how it is later sharded over threads.
+//! A [`Scenario`] is one point of an experiment design: a workload (resolved through
+//! [`crate::registry`]), a graph family ([`local_graphs::FamilySpec`]), a target size, and
+//! a replicate index. A [`ScenarioGrid`] is the cross product of the four axes, the unit
+//! of work the scheduler executes. Cells are enumerated in a fixed deterministic order and
+//! carry their own seeds (derived with [`local_runtime::mix_seed`] from the workload's and
+//! family's stable tags), so a grid means the same set of executions regardless of how it
+//! is later sharded over threads — or which registry entry the specs came from.
 
-use local_graphs::{Family, InstanceKey};
+use crate::registry::parse_workload;
+use crate::workloads::WorkloadSpec;
+use local_graphs::{parse_family, FamilySpec, InstanceKey};
 use local_runtime::mix_seed;
 use serde::{Deserialize, Serialize, Value};
 
 /// Salt separating graph-generation seeds from execution seeds.
 const GRAPH_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 
-/// One problem of the experiment catalog (the rows of the paper's Table 1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub enum ProblemKind {
-    /// Deterministic MIS via (Δ+1)-colouring, transformed by Theorem 1.
-    Mis,
-    /// Deterministic MIS with the synthetic `2^{O(√log n)}` bound (Table 1 row 2).
-    PsMis,
-    /// Deterministic MIS parameterised by arboricity (Table 1 rows 3–4).
-    ArboricityMis,
-    /// The Corollary 1(i) "fastest of the breeds" MIS combinator (Theorem 4).
-    Corollary1Mis,
-    /// Luby's uniform randomized MIS — the already-uniform baseline of Table 1's last row.
-    LubyMis,
-    /// Deterministic maximal matching from edge colouring (Table 1 row 8).
-    Matching,
-    /// Maximal matching with the synthetic `O(log⁴ n)` time shape.
-    Log4Matching,
-    /// The Las Vegas (2, β)-ruling set of Theorem 2 (Table 1 row 9).
-    RulingSet(u64),
-    /// The Theorem 5 uniform `λ(Δ+1)`-colouring (`λ = 1` is Table 1 row 1's colouring
-    /// output; larger `λ` is row 5).
-    LambdaColoring(u64),
-    /// `O(Δ)`-edge colouring via the line graph + Theorem 5 (Table 1 rows 6–7).
-    EdgeColoring,
-}
-
-impl ProblemKind {
-    /// A representative list of every kind (with default parameters), in report order.
-    pub const ALL: [ProblemKind; 10] = [
-        ProblemKind::Mis,
-        ProblemKind::PsMis,
-        ProblemKind::ArboricityMis,
-        ProblemKind::Corollary1Mis,
-        ProblemKind::LubyMis,
-        ProblemKind::Matching,
-        ProblemKind::Log4Matching,
-        ProblemKind::RulingSet(2),
-        ProblemKind::LambdaColoring(1),
-        ProblemKind::EdgeColoring,
-    ];
-
-    /// The stable name used in reports and accepted by [`ProblemKind::parse`].
-    pub fn name(&self) -> String {
-        match self {
-            ProblemKind::Mis => "mis".into(),
-            ProblemKind::PsMis => "ps-mis".into(),
-            ProblemKind::ArboricityMis => "arboricity-mis".into(),
-            ProblemKind::Corollary1Mis => "cor1-mis".into(),
-            ProblemKind::LubyMis => "luby-mis".into(),
-            ProblemKind::Matching => "matching".into(),
-            ProblemKind::Log4Matching => "log4-matching".into(),
-            ProblemKind::RulingSet(beta) => format!("ruling-set-b{beta}"),
-            ProblemKind::LambdaColoring(1) => "coloring".into(),
-            ProblemKind::LambdaColoring(lambda) => format!("lambda{lambda}-coloring"),
-            ProblemKind::EdgeColoring => "edge-coloring".into(),
-        }
-    }
-
-    /// Parses a kind from its [`ProblemKind::name`] (plus the shorthands `ruling-set` for
-    /// β = 2 and `coloring` for λ = 1).
-    pub fn parse(text: &str) -> Option<ProblemKind> {
-        match text {
-            "mis" => Some(ProblemKind::Mis),
-            "ps-mis" => Some(ProblemKind::PsMis),
-            "arboricity-mis" => Some(ProblemKind::ArboricityMis),
-            "cor1-mis" => Some(ProblemKind::Corollary1Mis),
-            "luby-mis" => Some(ProblemKind::LubyMis),
-            "matching" => Some(ProblemKind::Matching),
-            "log4-matching" => Some(ProblemKind::Log4Matching),
-            "ruling-set" => Some(ProblemKind::RulingSet(2)),
-            "coloring" => Some(ProblemKind::LambdaColoring(1)),
-            "edge-coloring" => Some(ProblemKind::EdgeColoring),
-            _ => {
-                if let Some(beta) = text.strip_prefix("ruling-set-b") {
-                    return beta.parse().ok().map(ProblemKind::RulingSet);
-                }
-                text.strip_prefix("lambda")
-                    .and_then(|rest| rest.strip_suffix("-coloring"))
-                    .and_then(|lambda| lambda.parse().ok())
-                    .map(ProblemKind::LambdaColoring)
-            }
-        }
-    }
-
-    /// A small stable integer distinguishing kinds, mixed into per-cell seeds.
-    pub fn tag(&self) -> u64 {
-        match self {
-            ProblemKind::Mis => 1,
-            ProblemKind::PsMis => 2,
-            ProblemKind::ArboricityMis => 3,
-            ProblemKind::Corollary1Mis => 4,
-            ProblemKind::LubyMis => 5,
-            ProblemKind::Matching => 6,
-            ProblemKind::Log4Matching => 7,
-            ProblemKind::EdgeColoring => 8,
-            ProblemKind::RulingSet(beta) => 0x100 + beta,
-            ProblemKind::LambdaColoring(lambda) => 0x1_0000 + lambda,
-        }
-    }
-}
-
-impl Serialize for ProblemKind {
-    fn to_value(&self) -> Value {
-        Value::Str(self.name())
-    }
-}
-
-impl Deserialize for ProblemKind {
-    fn from_value(value: &Value) -> Result<Self, String> {
-        let name = value.as_str().ok_or_else(|| format!("expected problem name, got {value:?}"))?;
-        ProblemKind::parse(name).ok_or_else(|| format!("unknown problem: {name:?}"))
-    }
-}
-
-/// One experiment cell: `(problem, family, n, replicate)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// One experiment cell: `(workload, family, n, replicate)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Scenario {
-    /// The problem to solve.
-    pub problem: ProblemKind,
+    /// The workload to run.
+    pub problem: WorkloadSpec,
     /// The graph family the instance is drawn from.
-    pub family: Family,
+    pub family: FamilySpec,
     /// Requested instance size.
     pub n: usize,
     /// Replicate index (`0..replicates`); distinct replicates get distinct instances.
@@ -143,11 +32,15 @@ pub struct Scenario {
 
 impl Scenario {
     /// The key of the graph instance this cell runs on. Cells that differ only in the
-    /// problem share the key — and therefore, under the scheduler's cache, the instance.
+    /// workload share the key — and therefore, under the scheduler's cache, the instance.
+    ///
+    /// The family's stable [`FamilySpec::tag`] is mixed into the generation seed, so
+    /// distinct families — including distinct *parameterizations* of one generator —
+    /// always draw distinct instances. (This used to rank families by their position in
+    /// the closed catalog, which silently mapped any family outside it to rank 0.)
     pub fn instance_key(&self, base_seed: u64) -> InstanceKey {
-        let family_rank = Family::ALL.iter().position(|f| f == &self.family).unwrap_or(0) as u64;
-        let shape = mix_seed(family_rank, ((self.n as u64) << 20) ^ self.replicate);
-        InstanceKey::new(self.family, self.n, mix_seed(base_seed ^ GRAPH_SEED_SALT, shape))
+        let shape = mix_seed(self.family.tag(), ((self.n as u64) << 20) ^ self.replicate);
+        InstanceKey::new(self.family.clone(), self.n, mix_seed(base_seed ^ GRAPH_SEED_SALT, shape))
     }
 
     /// The execution seed of this cell: a deterministic function of the cell's identity
@@ -162,14 +55,13 @@ impl Scenario {
     }
 }
 
-// The wire representation of a cell (the shard protocol and any future cache index) spells
-// the problem and family by their stable names, so the wire is readable and survives enum
-// reordering. Hand-written because the vendored serde derive cannot express data-carrying
-// enums like `ProblemKind::RulingSet(u64)`.
+// The wire representation of a cell (the shard protocol and the cache index) spells the
+// workload and family by their stable names, so the wire is readable, survives registry
+// reordering, and stays byte-identical to the representation the closed enums produced.
 impl Serialize for Scenario {
     fn to_value(&self) -> Value {
         Value::Map(vec![
-            ("problem".into(), self.problem.to_value()),
+            ("problem".into(), Value::Str(self.problem.name().to_string())),
             ("family".into(), Value::Str(self.family.name().to_string())),
             ("n".into(), Value::U64(self.n as u64)),
             ("replicate".into(), Value::U64(self.replicate)),
@@ -181,12 +73,16 @@ impl Deserialize for Scenario {
     fn from_value(value: &Value) -> Result<Self, String> {
         let field =
             |key: &str| value.get(key).ok_or_else(|| format!("scenario is missing field {key:?}"));
-        let family = field("family")?;
-        let family_name =
-            family.as_str().ok_or_else(|| format!("expected family name, got {family:?}"))?;
+        let name = |key: &str| -> Result<String, String> {
+            let v = field(key)?;
+            v.as_str().map(str::to_string).ok_or_else(|| format!("expected {key} name, got {v:?}"))
+        };
+        let problem_name = name("problem")?;
+        let family_name = name("family")?;
         Ok(Scenario {
-            problem: ProblemKind::from_value(field("problem")?)?,
-            family: Family::from_name(family_name)
+            problem: parse_workload(&problem_name)
+                .ok_or_else(|| format!("unknown problem: {problem_name:?}"))?,
+            family: parse_family(&family_name)
                 .ok_or_else(|| format!("unknown family: {family_name:?}"))?,
             n: usize::from_value(field("n")?)?,
             replicate: u64::from_value(field("replicate")?)?,
@@ -197,10 +93,10 @@ impl Deserialize for Scenario {
 /// A cross-product experiment design.
 #[derive(Debug, Clone)]
 pub struct ScenarioGrid {
-    /// Problems to run (axis 1).
-    pub problems: Vec<ProblemKind>,
+    /// Workloads to run (axis 1).
+    pub problems: Vec<WorkloadSpec>,
     /// Graph families (axis 2).
-    pub families: Vec<Family>,
+    pub families: Vec<FamilySpec>,
     /// Instance sizes (axis 3).
     pub sizes: Vec<usize>,
     /// Number of replicates per `(problem, family, size)` (axis 4).
@@ -212,8 +108,8 @@ pub struct ScenarioGrid {
 impl Default for ScenarioGrid {
     fn default() -> Self {
         ScenarioGrid {
-            problems: vec![ProblemKind::Mis],
-            families: vec![Family::SparseGnp],
+            problems: vec![crate::registry::workload("mis")],
+            families: vec![local_graphs::Family::SparseGnp.into()],
             sizes: vec![128],
             replicates: 1,
             base_seed: 0,
@@ -228,15 +124,24 @@ impl ScenarioGrid {
         ScenarioGrid::default()
     }
 
-    /// Sets the problem axis.
-    pub fn problems(mut self, problems: impl Into<Vec<ProblemKind>>) -> Self {
-        self.problems = problems.into();
+    /// Sets the problem axis (anything convertible to a [`WorkloadSpec`]).
+    pub fn problems<I>(mut self, problems: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<WorkloadSpec>,
+    {
+        self.problems = problems.into_iter().map(Into::into).collect();
         self
     }
 
-    /// Sets the family axis.
-    pub fn families(mut self, families: impl Into<Vec<Family>>) -> Self {
-        self.families = families.into();
+    /// Sets the family axis (anything convertible to a [`FamilySpec`], including the
+    /// builtin [`local_graphs::Family`] variants).
+    pub fn families<I>(mut self, families: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<FamilySpec>,
+    {
+        self.families = families.into_iter().map(Into::into).collect();
         self
     }
 
@@ -274,11 +179,16 @@ impl ScenarioGrid {
     /// (problem-major, then family, size, replicate).
     pub fn cells(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.cell_count());
-        for &problem in &self.problems {
-            for &family in &self.families {
+        for problem in &self.problems {
+            for family in &self.families {
                 for &n in &self.sizes {
                     for replicate in 0..self.replicates {
-                        out.push(Scenario { problem, family, n, replicate });
+                        out.push(Scenario {
+                            problem: problem.clone(),
+                            family: family.clone(),
+                            n,
+                            replicate,
+                        });
                     }
                 }
             }
@@ -325,31 +235,13 @@ pub fn parse_sizes(text: &str) -> Result<Vec<usize>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn names_round_trip_through_parse() {
-        for kind in ProblemKind::ALL {
-            assert_eq!(ProblemKind::parse(&kind.name()), Some(kind), "{}", kind.name());
-        }
-        assert_eq!(ProblemKind::parse("ruling-set"), Some(ProblemKind::RulingSet(2)));
-        assert_eq!(ProblemKind::parse("lambda4-coloring"), Some(ProblemKind::LambdaColoring(4)));
-        assert_eq!(ProblemKind::parse("nonsense"), None);
-    }
-
-    #[test]
-    fn tags_are_distinct() {
-        let mut tags: Vec<u64> = ProblemKind::ALL.iter().map(ProblemKind::tag).collect();
-        tags.push(ProblemKind::RulingSet(3).tag());
-        tags.push(ProblemKind::LambdaColoring(4).tag());
-        tags.sort_unstable();
-        tags.dedup();
-        assert_eq!(tags.len(), ProblemKind::ALL.len() + 2);
-    }
+    use crate::registry::workload;
+    use local_graphs::{family, Family};
 
     #[test]
     fn grid_cross_product_has_expected_shape() {
         let grid = ScenarioGrid::new()
-            .problems([ProblemKind::Mis, ProblemKind::Matching])
+            .problems([workload("mis"), workload("matching")])
             .families([Family::SparseGnp, Family::Grid, Family::Path])
             .sizes([64usize, 128])
             .replicates(4);
@@ -357,22 +249,58 @@ mod tests {
         let cells = grid.cells();
         assert_eq!(cells.len(), grid.cell_count());
         // Canonical order: first cell is the first coordinate of every axis.
-        assert_eq!(cells[0].problem, ProblemKind::Mis);
-        assert_eq!(cells[0].family, Family::SparseGnp);
+        assert_eq!(cells[0].problem, workload("mis"));
+        assert_eq!(cells[0].family, Family::SparseGnp.into());
         assert_eq!(cells[0].n, 64);
         assert_eq!(cells[0].replicate, 0);
     }
 
     #[test]
+    fn grids_mix_builtin_and_parameterized_families() {
+        let grid = ScenarioGrid::new()
+            .problems([workload("luby-mis")])
+            .families([Family::Grid.into(), family("gnp-d16"), family("regular-4")])
+            .sizes([48usize]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells[1].family.name(), "gnp-d16");
+        assert_eq!(cells[2].family.name(), "regular-4");
+    }
+
+    #[test]
     fn same_instance_across_problems_distinct_across_replicates() {
-        let a = Scenario { problem: ProblemKind::Mis, family: Family::Grid, n: 64, replicate: 0 };
-        let b =
-            Scenario { problem: ProblemKind::Matching, family: Family::Grid, n: 64, replicate: 0 };
-        let c = Scenario { problem: ProblemKind::Mis, family: Family::Grid, n: 64, replicate: 1 };
+        let a =
+            Scenario { problem: workload("mis"), family: Family::Grid.into(), n: 64, replicate: 0 };
+        let b = Scenario { problem: workload("matching"), ..a.clone() };
+        let c = Scenario { problem: workload("mis"), replicate: 1, ..a.clone() };
         assert_eq!(a.instance_key(7), b.instance_key(7));
         assert_ne!(a.instance_key(7), c.instance_key(7));
         // Execution seeds differ per problem even on the shared instance.
         assert_ne!(a.cell_seed(7), b.cell_seed(7));
+    }
+
+    #[test]
+    fn distinct_parameterized_families_draw_distinct_instances() {
+        // The historical bug: families outside the closed catalog all ranked 0, so two
+        // different parameterizations would have drawn identically-seeded instances. The
+        // family tag in the seed mix makes every parameterization its own instance stream.
+        let cell = |family_name: &str| Scenario {
+            problem: workload("mis"),
+            family: family(family_name),
+            n: 96,
+            replicate: 0,
+        };
+        let pairs = [("gnp-d8", "gnp-d16"), ("regular-4", "regular-8"), ("forest-2", "forest-4")];
+        for (a, b) in pairs {
+            let (ka, kb) = (cell(a).instance_key(7), cell(b).instance_key(7));
+            assert_ne!(ka, kb, "{a} vs {b} must be distinct keys");
+            assert_ne!(ka.seed, kb.seed, "{a} vs {b} must draw from distinct seed streams");
+        }
+        // And a parameterized family never shadows a builtin's stream either.
+        assert_ne!(
+            cell("gnp-d8").instance_key(7).seed,
+            Scenario { family: Family::SparseGnp.into(), ..cell("gnp-d8") }.instance_key(7).seed
+        );
     }
 
     #[test]
@@ -389,8 +317,8 @@ mod tests {
     #[test]
     fn cell_seeds_do_not_depend_on_grid_order() {
         let cell = Scenario {
-            problem: ProblemKind::RulingSet(2),
-            family: Family::UnitDisk,
+            problem: workload("ruling-set-b2"),
+            family: Family::UnitDisk.into(),
             n: 96,
             replicate: 3,
         };

@@ -18,15 +18,10 @@ use crate::backend::{CellShard, ExecBackend, InProcessBackend};
 use crate::cache::SweepCache;
 use crate::cost::CostModel;
 use crate::report::{CellResult, Report, SummaryAccumulator};
-use crate::scenario::{ProblemKind, Scenario, ScenarioGrid};
-use local_algos::checkers;
-use local_algos::edge_coloring::LineGraphEdgeColoring;
-use local_algos::mis::LubyMis;
+use crate::scenario::{Scenario, ScenarioGrid};
 use local_graphs::{GraphParams, InstanceKey};
-use local_runtime::{Graph, GraphAlgorithm, Session};
-use local_uniform::catalog;
-use local_uniform::problem::{MatchingProblem, MisProblem, Problem, RulingSetProblem};
-use std::collections::{BTreeSet, HashMap};
+use local_runtime::{Graph, Session};
+use std::collections::BTreeSet;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -97,11 +92,11 @@ impl Instance {
 /// every combination composes:
 ///
 /// ```
-/// use local_engine::{backend::InProcessBackend, ProblemKind, ScenarioGrid, Sweep};
+/// use local_engine::{backend::InProcessBackend, workload, ScenarioGrid, Sweep};
 /// use local_graphs::Family;
 ///
 /// let grid = ScenarioGrid::new()
-///     .problems([ProblemKind::Mis])
+///     .problems([workload("mis")])
 ///     .families([Family::SparseGnp])
 ///     .sizes([48usize])
 ///     .replicates(2);
@@ -207,7 +202,8 @@ impl<'a> Sweep<'a> {
             .collect::<BTreeSet<InstanceKey>>()
             .len();
         let order = model.order_slowest_first(&cells, missed);
-        let shard = CellShard::new(grid.base_seed, order.iter().map(|&i| cells[i]).collect());
+        let shard =
+            CellShard::new(grid.base_seed, order.iter().map(|&i| cells[i].clone()).collect());
 
         // Phase 3: hand the shard to the backend; write fresh results to the cache and
         // land them at their canonical position as they are emitted.
@@ -225,7 +221,7 @@ impl<'a> Sweep<'a> {
             // not reorder the report), fold cells as they finish, and drop them.
             let mut accumulator = SummaryAccumulator::new();
             for cell in &cells {
-                accumulator.register(&cell.problem.name(), cell.family.name());
+                accumulator.register(cell.problem.name(), cell.family.name());
             }
             for (i, hit) in cached.iter().enumerate() {
                 if let Some(hit) = hit {
@@ -297,32 +293,17 @@ pub fn run_grid(grid: &ScenarioGrid, cfg: &SweepConfig) -> Report {
     Sweep::over(grid).config(cfg).run()
 }
 
-/// What one cell execution measured, before packaging into a [`CellResult`].
-struct Measured {
-    uniform_rounds: u64,
-    uniform_messages: u64,
-    nonuniform_rounds: u64,
-    nonuniform_messages: u64,
-    subiterations: u64,
-    solved: bool,
-    valid: bool,
-    attempt_micros: u64,
-    prune_micros: u64,
-}
-
-fn units(n: usize) -> Vec<()> {
-    vec![(); n]
-}
-
 /// Executes one cell with a throwaway execution session; see [`run_cell_in`].
 pub fn run_cell(cell: &Scenario, instance: &Instance, base_seed: u64) -> CellResult {
     run_cell_in(cell, instance, base_seed, &mut Session::new())
 }
 
-/// Executes one cell: the uniform algorithm and the non-uniform baseline with correct
-/// guesses, both validated against the problem's ground-truth checker. The caller's
-/// [`Session`] is reused across every attempt of the uniform driver (and across cells, when
-/// the scheduler hands one session per worker).
+/// Executes one cell: the cell's workload runs the uniform algorithm and the non-uniform
+/// baseline with correct guesses, both validated against the problem's ground-truth
+/// checker (see [`crate::workloads::Workload::run`] — the dispatch that used to be a
+/// closed match over every problem kind). The caller's [`Session`] is reused across every
+/// attempt of the uniform driver (and across cells, when the scheduler hands one session
+/// per worker).
 pub fn run_cell_in(
     cell: &Scenario,
     instance: &Instance,
@@ -331,156 +312,10 @@ pub fn run_cell_in(
 ) -> CellResult {
     let started = Instant::now();
     let seed = cell.cell_seed(base_seed);
+    let measured = cell.problem.run(instance, seed, session);
     let graph = &instance.graph;
-    let params = &instance.params;
-    let measured = match cell.problem {
-        ProblemKind::Mis => {
-            let baseline = catalog::coloring_mis_black_box();
-            run_mis_cell(
-                graph,
-                (baseline.build)(&[params.max_degree, params.max_id]),
-                seed,
-                session,
-                |g, s, session| {
-                    catalog::uniform_coloring_mis().solve_in(g, &units(g.node_count()), s, session)
-                },
-            )
-        }
-        ProblemKind::PsMis => {
-            let baseline = catalog::panconesi_srinivasan_mis_black_box();
-            run_mis_cell(graph, (baseline.build)(&[params.n]), seed, session, |g, s, session| {
-                catalog::uniform_ps_mis().solve_in(g, &units(g.node_count()), s, session)
-            })
-        }
-        ProblemKind::ArboricityMis => {
-            let baseline = catalog::arboricity_mis_black_box();
-            let guesses = [params.degeneracy.max(1), params.n, params.max_id];
-            run_mis_cell(graph, (baseline.build)(&guesses), seed, session, |g, s, session| {
-                catalog::uniform_arboricity_mis().solve_in(g, &units(g.node_count()), s, session)
-            })
-        }
-        ProblemKind::Corollary1Mis => {
-            // Baseline: the Δ-based black box (the combinator's claim is to match the best
-            // component, which this box's correct-guess run approximates from above).
-            let baseline = catalog::coloring_mis_black_box();
-            run_mis_cell(
-                graph,
-                (baseline.build)(&[params.max_degree, params.max_id]),
-                seed,
-                session,
-                |g, s, session| {
-                    catalog::corollary1_mis().solve_in(g, &units(g.node_count()), s, session)
-                },
-            )
-        }
-        ProblemKind::LubyMis => {
-            // Already uniform: the baseline is the algorithm itself (ratio 1 by definition).
-            let run = LubyMis.execute(graph, &units(graph.node_count()), None, seed);
-            let valid =
-                MisProblem.validate(graph, &units(graph.node_count()), &run.outputs).is_ok();
-            Measured {
-                uniform_rounds: run.rounds,
-                uniform_messages: run.messages,
-                nonuniform_rounds: run.rounds,
-                nonuniform_messages: run.messages,
-                subiterations: 0,
-                solved: run.completed,
-                valid,
-                attempt_micros: 0,
-                prune_micros: 0,
-            }
-        }
-        ProblemKind::Matching => {
-            let baseline = catalog::matching_black_box();
-            run_matching_cell(
-                graph,
-                (baseline.build)(&[params.max_degree, params.max_id]),
-                seed,
-                session,
-                |g, s, session| {
-                    catalog::uniform_matching().solve_in(g, &units(g.node_count()), s, session)
-                },
-            )
-        }
-        ProblemKind::Log4Matching => {
-            let baseline = catalog::synthetic_log4_matching_black_box();
-            run_matching_cell(
-                graph,
-                (baseline.build)(&[params.n]),
-                seed,
-                session,
-                |g, s, session| {
-                    catalog::uniform_log4_matching().solve_in(g, &units(g.node_count()), s, session)
-                },
-            )
-        }
-        ProblemKind::RulingSet(beta) => {
-            let baseline = catalog::ruling_set_black_box();
-            let nu = (baseline.build)(&[params.n]).execute(
-                graph,
-                &units(graph.node_count()),
-                None,
-                seed,
-            );
-            let uni = catalog::uniform_ruling_set(beta as usize).solve_in(
-                graph,
-                &units(graph.node_count()),
-                seed,
-                session,
-            );
-            // The Monte-Carlo baseline is allowed to fail; the Las Vegas claim is on the
-            // uniform output only.
-            let valid = RulingSetProblem::two(beta as usize)
-                .validate(graph, &units(graph.node_count()), &uni.outputs)
-                .is_ok();
-            Measured {
-                uniform_rounds: uni.rounds,
-                uniform_messages: uni.messages,
-                nonuniform_rounds: nu.rounds,
-                nonuniform_messages: nu.messages,
-                subiterations: uni.subiterations,
-                solved: uni.solved,
-                valid,
-                attempt_micros: uni.attempt_micros,
-                prune_micros: uni.prune_micros,
-            }
-        }
-        ProblemKind::LambdaColoring(lambda) => {
-            let baseline = catalog::lambda_coloring_box(lambda);
-            let nu = (baseline.build)(params.max_degree, params.max_id).execute(
-                graph,
-                &units(graph.node_count()),
-                None,
-                seed,
-            );
-            let transformer = catalog::uniform_lambda_coloring(lambda);
-            let uni = transformer.solve_in(graph, seed, session);
-            let nu_valid = checkers::check_coloring_with_palette(
-                graph,
-                &nu.outputs,
-                (baseline.palette)(params.max_degree),
-            )
-            .is_ok();
-            let uni_valid = checkers::check_coloring(graph, &uni.colors).is_ok()
-                && (checkers::palette_size(&uni.colors) as u64)
-                    <= transformer.palette_bound(params.max_degree);
-            Measured {
-                uniform_rounds: uni.rounds,
-                uniform_messages: uni.messages,
-                nonuniform_rounds: nu.rounds,
-                nonuniform_messages: nu.messages,
-                subiterations: 0,
-                solved: uni.solved,
-                valid: nu_valid && uni_valid,
-                attempt_micros: uni.attempt_micros,
-                prune_micros: uni.prune_micros,
-            }
-        }
-        ProblemKind::EdgeColoring => run_edge_coloring_cell(graph, params, seed, session),
-    };
-
     CellResult {
-        problem: cell.problem.name(),
+        problem: cell.problem.name().to_string(),
         family: cell.family.name().to_string(),
         requested_n: cell.n,
         n: graph.node_count(),
@@ -502,127 +337,52 @@ pub fn run_cell_in(
     }
 }
 
-/// Shared shape of the transformed cells: run the boxed non-uniform baseline at correct
-/// guesses and the uniform solver, validate both against `problem`, and package the
-/// measurements.
-fn run_transformed_cell<P: Problem<Input = ()>>(
-    problem: &P,
-    graph: &Graph,
-    baseline: local_runtime::DynAlgorithm<(), P::Output>,
-    seed: u64,
-    session: &mut Session,
-    uniform: impl Fn(&Graph, u64, &mut Session) -> local_uniform::UniformRun<P::Output>,
-) -> Measured {
-    let nu = baseline.execute(graph, &units(graph.node_count()), None, seed);
-    let uni = uniform(graph, seed, session);
-    let valid = problem.validate(graph, &units(graph.node_count()), &nu.outputs).is_ok()
-        && problem.validate(graph, &units(graph.node_count()), &uni.outputs).is_ok();
-    Measured {
-        uniform_rounds: uni.rounds,
-        uniform_messages: uni.messages,
-        nonuniform_rounds: nu.rounds,
-        nonuniform_messages: nu.messages,
-        subiterations: uni.subiterations,
-        solved: uni.solved,
-        valid,
-        attempt_micros: uni.attempt_micros,
-        prune_micros: uni.prune_micros,
-    }
-}
-
-/// [`run_transformed_cell`] specialised to the MIS validator.
-fn run_mis_cell(
-    graph: &Graph,
-    baseline: local_runtime::DynAlgorithm<(), bool>,
-    seed: u64,
-    session: &mut Session,
-    uniform: impl Fn(&Graph, u64, &mut Session) -> local_uniform::UniformRun<bool>,
-) -> Measured {
-    run_transformed_cell(&MisProblem, graph, baseline, seed, session, uniform)
-}
-
-/// [`run_transformed_cell`] specialised to the maximal-matching validator.
-fn run_matching_cell(
-    graph: &Graph,
-    baseline: local_runtime::DynAlgorithm<(), Option<local_runtime::NodeId>>,
-    seed: u64,
-    session: &mut Session,
-    uniform: impl Fn(
-        &Graph,
-        u64,
-        &mut Session,
-    ) -> local_uniform::UniformRun<Option<local_runtime::NodeId>>,
-) -> Measured {
-    run_transformed_cell(&MatchingProblem, graph, baseline, seed, session, uniform)
-}
-
-/// Edge colouring: the non-uniform line-graph baseline versus Theorem 5 on the line graph
-/// (a vertex colouring of `L(G)` is an edge colouring of `G`; +1 round to exchange the
-/// chosen colours over the edges).
-fn run_edge_coloring_cell(
-    graph: &Graph,
-    params: &GraphParams,
-    seed: u64,
-    session: &mut Session,
-) -> Measured {
-    let baseline =
-        LineGraphEdgeColoring { delta_guess: params.max_degree, id_bound_guess: params.max_id };
-    let nu = baseline.execute(graph, &units(graph.node_count()), None, seed);
-    let nu_valid = checkers::check_edge_coloring(graph, &nu.outputs).is_ok();
-
-    let (lg, edges) = graph.line_graph();
-    let transformer = catalog::uniform_lambda_coloring(1);
-    let uni = transformer.solve_in(&lg, seed, session);
-    let mut edge_color = HashMap::new();
-    for (i, &(u, v)) in edges.iter().enumerate() {
-        edge_color.insert((u.min(v), u.max(v)), uni.colors[i]);
-    }
-    let port_colors: Vec<Vec<u64>> = (0..graph.node_count())
-        .map(|v| graph.neighbors(v).iter().map(|&w| edge_color[&(v.min(w), v.max(w))]).collect())
-        .collect();
-    let uni_valid = checkers::check_edge_coloring(graph, &port_colors).is_ok();
-
-    Measured {
-        uniform_rounds: uni.rounds + 1,
-        uniform_messages: uni.messages,
-        nonuniform_rounds: nu.rounds,
-        nonuniform_messages: nu.messages,
-        subiterations: 0,
-        solved: uni.solved,
-        valid: nu_valid && uni_valid,
-        attempt_micros: uni.attempt_micros,
-        prune_micros: uni.prune_micros,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use local_graphs::Family;
+    use crate::registry::{default_workloads, workload};
+    use local_graphs::{family, Family, FamilySpec};
 
     #[test]
-    fn every_problem_kind_runs_one_valid_cell() {
-        for problem in ProblemKind::ALL {
-            let family = match problem {
-                ProblemKind::ArboricityMis => Family::Forest3,
-                ProblemKind::PsMis => Family::DenseGnp,
-                ProblemKind::EdgeColoring => Family::Regular6,
-                ProblemKind::RulingSet(_) => Family::UnitDisk,
-                _ => Family::SparseGnp,
+    fn every_default_workload_runs_one_valid_cell() {
+        for problem in default_workloads() {
+            let family: FamilySpec = match problem.name() {
+                "arboricity-mis" => Family::Forest3.into(),
+                "ps-mis" => Family::DenseGnp.into(),
+                "edge-coloring" => Family::Regular6.into(),
+                "ruling-set-b2" => Family::UnitDisk.into(),
+                _ => Family::SparseGnp.into(),
             };
             let cell = Scenario { problem, family, n: 48, replicate: 0 };
             let instance = Instance::generate(cell.instance_key(1));
             let result = run_cell(&cell, &instance, 1);
             assert!(result.valid, "{} produced an invalid cell", cell.label());
             assert!(result.solved, "{} did not solve", cell.label());
-            assert!(result.uniform_rounds > 0 || problem == ProblemKind::LubyMis);
+            assert!(result.uniform_rounds > 0 || cell.problem.name() == "luby-mis");
+        }
+    }
+
+    #[test]
+    fn parameterized_families_run_valid_cells() {
+        for family_name in ["gnp-d16", "regular-4", "forest-2", "pa-2"] {
+            let cell = Scenario {
+                problem: workload("mis"),
+                family: family(family_name),
+                n: 48,
+                replicate: 0,
+            };
+            let instance = Instance::generate(cell.instance_key(1));
+            let result = run_cell(&cell, &instance, 1);
+            assert!(result.valid, "{} produced an invalid cell", cell.label());
+            assert!(result.solved, "{} did not solve", cell.label());
+            assert_eq!(result.family, family_name);
         }
     }
 
     #[test]
     fn grid_run_counts_cells_and_instances() {
         let grid = ScenarioGrid::new()
-            .problems([ProblemKind::Mis, ProblemKind::Matching])
+            .problems([workload("mis"), workload("matching")])
             .families([Family::Grid])
             .sizes([36usize, 64])
             .replicates(2);
@@ -636,9 +396,13 @@ mod tests {
 
     #[test]
     fn instance_cache_shares_graphs_across_problems() {
-        let a =
-            Scenario { problem: ProblemKind::Mis, family: Family::SparseGnp, n: 50, replicate: 1 };
-        let b = Scenario { problem: ProblemKind::RulingSet(2), ..a };
+        let a = Scenario {
+            problem: workload("mis"),
+            family: Family::SparseGnp.into(),
+            n: 50,
+            replicate: 1,
+        };
+        let b = Scenario { problem: workload("ruling-set-b2"), ..a.clone() };
         let ia = Instance::generate(a.instance_key(3));
         let ib = Instance::generate(b.instance_key(3));
         assert_eq!(ia.graph, ib.graph);

@@ -9,9 +9,9 @@
 
 use local_engine::backend::ProcessBackend;
 use local_engine::{
-    run_grid, CellResult, ProblemKind, Report, ScenarioGrid, Sweep, SweepCache, SweepConfig,
+    run_grid, workload, CellResult, Report, ScenarioGrid, Sweep, SweepCache, SweepConfig,
 };
-use local_graphs::Family;
+use local_graphs::{family, Family};
 use std::path::PathBuf;
 
 fn worker_bin() -> String {
@@ -20,8 +20,8 @@ fn worker_bin() -> String {
 
 fn demo_grid() -> ScenarioGrid {
     ScenarioGrid::new()
-        .problems([ProblemKind::Mis, ProblemKind::LubyMis, ProblemKind::RulingSet(2)])
-        .families([Family::SparseGnp, Family::Grid])
+        .problems([workload("mis"), workload("luby-mis"), workload("ruling-set-b2")])
+        .families([Family::SparseGnp.into(), Family::Grid.into(), family("gnp-d16")])
         .sizes([36usize, 48])
         .replicates(2)
         .base_seed(9)

@@ -2,8 +2,8 @@
 //! cache and produces a byte-identical merged report; a code-version bump retires the
 //! cache; streaming mode folds the same summaries without holding cells in memory.
 
-use local_engine::{folded_stacks, run_grid, ProblemKind, ScenarioGrid, SweepCache, SweepConfig};
-use local_graphs::Family;
+use local_engine::{folded_stacks, run_grid, workload, ScenarioGrid, SweepCache, SweepConfig};
+use local_graphs::{family, Family};
 use std::path::PathBuf;
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -14,8 +14,8 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 fn small_grid() -> ScenarioGrid {
     ScenarioGrid::new()
-        .problems([ProblemKind::Mis, ProblemKind::LubyMis])
-        .families([Family::SparseGnp, Family::Grid])
+        .problems([workload("mis"), workload("luby-mis")])
+        .families([Family::SparseGnp.into(), family("gnp-d10")])
         .sizes([36usize, 48])
         .replicates(2)
         .base_seed(5)

@@ -2,18 +2,18 @@
 //! results. A parallel sweep (`threads = 8`) must produce byte-identical `CellResult`s to a
 //! fully sequential one (`threads = 1`), wall-clock fields aside.
 
-use local_engine::{run_grid, ProblemKind, ScenarioGrid, SweepConfig};
-use local_graphs::Family;
+use local_engine::{run_grid, workload, ScenarioGrid, SweepConfig};
+use local_graphs::{family, Family};
 
 fn demo_grid() -> ScenarioGrid {
     ScenarioGrid::new()
         .problems([
-            ProblemKind::Mis,
-            ProblemKind::Matching,
-            ProblemKind::RulingSet(2),
-            ProblemKind::LambdaColoring(1),
+            workload("mis"),
+            workload("matching"),
+            workload("ruling-set-b2"),
+            workload("coloring"),
         ])
-        .families([Family::SparseGnp, Family::Grid])
+        .families([Family::SparseGnp.into(), Family::Grid.into(), family("gnp-d12")])
         .sizes([36usize, 60])
         .replicates(2)
         .base_seed(5)

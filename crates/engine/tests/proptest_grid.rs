@@ -1,30 +1,40 @@
 //! Property test: every cell of an arbitrary (small) scenario grid produces an output that
 //! passes its problem's ground-truth validator, and the uniform driver always terminates.
 
-use local_engine::{run_grid, ProblemKind, ScenarioGrid, SweepConfig};
-use local_graphs::Family;
+use local_engine::{default_workloads, run_grid, ScenarioGrid, SweepConfig};
+use local_graphs::{family, Family, FamilySpec};
 use proptest::prelude::*;
 
-/// Families every catalog problem can digest at small sizes in reasonable time.
-const FAMILIES: [Family; 6] = [
-    Family::Path,
-    Family::BinaryTree,
-    Family::Grid,
-    Family::SparseGnp,
-    Family::Forest3,
-    Family::UnitDisk,
-];
+/// Families every catalog problem can digest at small sizes in reasonable time — builtins
+/// plus parameterized generators across the degree/arboricity regimes.
+fn families() -> Vec<FamilySpec> {
+    vec![
+        Family::Path.into(),
+        Family::BinaryTree.into(),
+        Family::Grid.into(),
+        Family::SparseGnp.into(),
+        Family::Forest3.into(),
+        Family::UnitDisk.into(),
+        family("gnp-d6"),
+        family("regular-4"),
+        family("forest-2"),
+        family("pa-2"),
+    ]
+}
 
 fn arbitrary_grid() -> impl Strategy<Value = ScenarioGrid> {
-    (0usize..ProblemKind::ALL.len(), 0usize..FAMILIES.len(), 24usize..64, 1u64..3, 0u64..1_000)
-        .prop_map(|(problem, family, n, replicates, base_seed)| {
+    let workloads = default_workloads();
+    let pool = families();
+    (0usize..workloads.len(), 0usize..pool.len(), 24usize..64, 1u64..3, 0u64..1_000).prop_map(
+        move |(problem, family, n, replicates, base_seed)| {
             ScenarioGrid::new()
-                .problems([ProblemKind::ALL[problem]])
-                .families([FAMILIES[family]])
+                .problems([workloads[problem].clone()])
+                .families([pool[family].clone()])
                 .sizes([n])
                 .replicates(replicates)
                 .base_seed(base_seed)
-        })
+        },
+    )
 }
 
 proptest! {

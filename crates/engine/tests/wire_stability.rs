@@ -1,10 +1,11 @@
 //! Wire stability of the shard protocol (and the cache files built on the same serde):
 //! serialize → deserialize → serialize is byte-identical for `Scenario`, `CellResult`, and
 //! `CellShard`, so a result can cross a process boundary (or sit in the cache) and come
-//! back exactly as it left.
+//! back exactly as it left — including scenarios built from *parameterized* workload and
+//! family specs, which spell their parameters inside the stable name.
 
-use local_engine::{CellResult, CellShard, ProblemKind, Scenario};
-use local_graphs::Family;
+use local_engine::{default_workloads, workload, CellResult, CellShard, Scenario, WorkloadSpec};
+use local_graphs::{builtin_families, family, Family, FamilySpec};
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -22,15 +23,31 @@ where
     assert_eq!(first, second, "wire bytes changed across a round trip");
 }
 
+/// The workload pool the proptests draw from: every default plus parameterized kinds with
+/// non-default parameters.
+fn workload_pool() -> Vec<WorkloadSpec> {
+    let mut pool = default_workloads();
+    pool.push(workload("ruling-set-b5"));
+    pool.push(workload("lambda4-coloring"));
+    pool
+}
+
+/// The family pool: every builtin plus one of each parameterized generator shape.
+fn family_pool() -> Vec<FamilySpec> {
+    let mut pool = builtin_families();
+    for name in
+        ["gnp-d2", "gnp-d16", "regular-4", "regular-12", "forest-5", "pa-2", "unit-disk-r75"]
+    {
+        pool.push(family(name));
+    }
+    pool
+}
+
 #[test]
-fn scenario_round_trips_for_every_problem_kind() {
-    let mut problems = ProblemKind::ALL.to_vec();
-    // Parameterised kinds beyond the defaults: the wire must carry the parameter.
-    problems.push(ProblemKind::RulingSet(5));
-    problems.push(ProblemKind::LambdaColoring(4));
-    for problem in problems {
-        for family in Family::ALL {
-            assert_stable(&Scenario { problem, family, n: 97, replicate: 3 });
+fn scenario_round_trips_for_every_workload_and_family() {
+    for problem in workload_pool() {
+        for family in family_pool() {
+            assert_stable(&Scenario { problem: problem.clone(), family, n: 97, replicate: 3 });
         }
     }
 }
@@ -61,20 +78,25 @@ fn cell_result_round_trips_with_every_field_populated() {
 }
 
 #[test]
-fn shard_round_trips_with_mixed_cells() {
+fn shard_round_trips_with_mixed_builtin_and_parameterized_cells() {
     let shard = CellShard::new(
         0xDEAD_BEEF,
         vec![
-            Scenario { problem: ProblemKind::Mis, family: Family::SparseGnp, n: 64, replicate: 0 },
             Scenario {
-                problem: ProblemKind::LambdaColoring(3),
-                family: Family::UnitDisk,
+                problem: workload("mis"),
+                family: Family::SparseGnp.into(),
+                n: 64,
+                replicate: 0,
+            },
+            Scenario {
+                problem: workload("lambda3-coloring"),
+                family: family("gnp-d16"),
                 n: 128,
                 replicate: 2,
             },
             Scenario {
-                problem: ProblemKind::RulingSet(2),
-                family: Family::Forest3,
+                problem: workload("ruling-set-b2"),
+                family: family("forest-5"),
                 n: 32,
                 replicate: 9,
             },
@@ -84,29 +106,31 @@ fn shard_round_trips_with_mixed_cells() {
 }
 
 fn arbitrary_scenario() -> impl Strategy<Value = Scenario> {
-    // One index past ALL exercises each parameterised kind with a non-default parameter.
-    (0usize..ProblemKind::ALL.len() + 2, 0usize..Family::ALL.len(), 1usize..100_000, 0u64..64)
-        .prop_map(|(p, f, n, replicate)| {
-            let problem = match p.checked_sub(ProblemKind::ALL.len()) {
-                None => ProblemKind::ALL[p],
-                Some(0) => ProblemKind::RulingSet(3 + replicate),
-                Some(_) => ProblemKind::LambdaColoring(2 + replicate),
-            };
-            Scenario { problem, family: Family::ALL[f], n, replicate }
-        })
+    let problems = workload_pool();
+    let families = family_pool();
+    (0usize..problems.len(), 0usize..families.len(), 1usize..100_000, 0u64..64).prop_map(
+        move |(p, f, n, replicate)| Scenario {
+            problem: problems[p].clone(),
+            family: families[f].clone(),
+            n,
+            replicate,
+        },
+    )
 }
 
 fn arbitrary_result() -> impl Strategy<Value = CellResult> {
+    let problems = workload_pool();
+    let families = family_pool();
     (
-        (0usize..ProblemKind::ALL.len(), 0usize..Family::ALL.len(), 1usize..100_000, 0u64..64),
+        (0usize..problems.len(), 0usize..families.len(), 1usize..100_000, 0u64..64),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<bool>(), any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |((p, f, n, replicate), (seed, ur, um, nr, nm), (solved, valid, w, a, pr, i))| {
+            move |((p, f, n, replicate), (seed, ur, um, nr, nm), (solved, valid, w, a, pr, i))| {
                 CellResult {
-                    problem: ProblemKind::ALL[p].name(),
-                    family: Family::ALL[f].name().to_string(),
+                    problem: problems[p].name().to_string(),
+                    family: families[f].name().to_string(),
                     requested_n: n,
                     n,
                     edges: n / 2,

@@ -9,9 +9,26 @@ use crate::params::GraphParams;
 use crate::random::{
     forest_union, gnp_avg_degree, preferential_attachment, random_regular, unit_disk,
 };
+use crate::spec::FamilySpec;
 use crate::structured::{binary_tree, cycle, grid, path, triangulated_grid};
 use local_runtime::Graph;
 use serde::{Deserialize, Serialize};
+
+/// One-line summaries of the builtin families, indexed by the variant's rank in
+/// [`Family::ALL`] (shared by `GraphFamily::describe` and the CLI listing).
+pub(crate) const FAMILY_SUMMARIES: [(&str, &str); 11] = [
+    ("path", "path graphs (Δ = 2, arboricity 1)"),
+    ("cycle", "cycles (Δ = 2, arboricity ≤ 2)"),
+    ("binary-tree", "complete binary trees (Δ = 3, arboricity 1)"),
+    ("grid", "square grids (Δ = 4, arboricity 2)"),
+    ("triangulated-grid", "triangulated grids (Δ ≤ 8, planar, arboricity ≤ 3)"),
+    ("gnp-avg8", "Erdős–Rényi G(n, p) with expected average degree 8"),
+    ("gnp-sqrt-n", "Erdős–Rényi G(n, p) with expected average degree √n (large Δ)"),
+    ("regular-6", "random 6-regular graphs (constant Δ)"),
+    ("forest-union-3", "unions of 3 random forests (arboricity ≤ 3, unbounded Δ)"),
+    ("unit-disk", "unit-disk graphs with radius chosen for expected degree ≈ 10"),
+    ("power-law", "preferential attachment with m = 3 (skewed degrees, small arboricity)"),
+];
 
 /// A named graph family with a scaling rule.
 ///
@@ -132,14 +149,16 @@ impl Family {
 }
 
 /// The identity of one generated graph instance: `(family, n, seed)` fully determines the
-/// graph ([`Family::generate`] is deterministic), so batch runners can use this key to
-/// generate each instance once and share it across every algorithm that runs on it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+/// graph ([`crate::spec::GraphFamily::generate`] is deterministic), so batch runners can
+/// use this key to generate each instance once and share it across every algorithm that
+/// runs on it. The family is an open [`FamilySpec`], so parameterized families key
+/// instance caches exactly like the builtin catalog does.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct InstanceKey {
     /// The graph family.
-    pub family: Family,
-    /// Requested number of nodes (the generated graph may deviate slightly; see
-    /// [`Family::generate`]).
+    pub family: FamilySpec,
+    /// Requested number of nodes (the generated graph may deviate slightly; families round
+    /// the size to fit their structure).
     pub n: usize,
     /// Generation seed.
     pub seed: u64,
@@ -147,8 +166,8 @@ pub struct InstanceKey {
 
 impl InstanceKey {
     /// Creates a key.
-    pub fn new(family: Family, n: usize, seed: u64) -> Self {
-        InstanceKey { family, n, seed }
+    pub fn new(family: impl Into<FamilySpec>, n: usize, seed: u64) -> Self {
+        InstanceKey { family: family.into(), n, seed }
     }
 
     /// Generates the graph this key names, together with its global parameters.

@@ -19,6 +19,7 @@
 pub mod families;
 pub mod params;
 pub mod random;
+pub mod spec;
 pub mod structured;
 
 pub use families::{Family, InstanceKey};
@@ -27,8 +28,11 @@ pub use params::{
     degeneracy_view, diameter, log_star, GraphParams, Parameter,
 };
 pub use random::{
-    forest_union, gnp, gnp_avg_degree, preferential_attachment, random_regular, random_tree,
-    scramble_ids, unit_disk,
+    forest_union, gnp, gnp_avg_degree, gnp_avg_degree_fast, gnp_skip, preferential_attachment,
+    random_regular, random_tree, scramble_ids, unit_disk,
+};
+pub use spec::{
+    builtin_families, family, parse_family, FamilyEntry, FamilySpec, GraphFamily, FAMILY_ENTRIES,
 };
 pub use structured::{
     barbell, binary_tree, caterpillar, complete, cycle, edgeless, grid, hypercube, path, star,

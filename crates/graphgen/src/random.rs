@@ -36,6 +36,49 @@ pub fn gnp_avg_degree(n: usize, c: f64, seed: u64) -> Graph {
     gnp(n, p, seed)
 }
 
+/// Erdős–Rényi `G(n, p)` in `O(n + m)` expected time via Batagelj–Brandes skip sampling:
+/// instead of flipping a coin per pair, jump geometric gaps between successive edges of the
+/// row-major upper triangle. Same distribution as [`gnp`], different (still deterministic)
+/// draw — the two are separate generators, not interchangeable seed-for-seed.
+pub fn gnp_skip(n: usize, p: f64, seed: u64) -> Graph {
+    let p = p.clamp(0.0, 1.0);
+    if n == 0 || p <= 0.0 {
+        return Graph::from_edges(n, &[]).expect("empty gnp edges are valid");
+    }
+    if p >= 1.0 {
+        let edges: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        return Graph::from_edges(n, &edges).expect("complete gnp edges are valid");
+    }
+    let mut r = rng(seed);
+    let ln_q = (1.0 - p).ln();
+    let mut edges = Vec::new();
+    // `(v, w)` walks the strictly-lower-triangular adjacency (w < v) in row-major order;
+    // each uniform draw advances by one plus a geometric number of skipped pairs.
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    while v < n {
+        let u: f64 = r.gen::<f64>();
+        let gap = ((1.0 - u).ln() / ln_q).floor() as i64;
+        w += 1 + gap.max(0);
+        while w >= v as i64 && v < n {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            edges.push((w as usize, v));
+        }
+    }
+    Graph::from_edges(n, &edges).expect("skip-sampled gnp edges are valid")
+}
+
+/// [`gnp_skip`] with `p = c / n`, i.e. expected average degree `c` — the generator behind
+/// the parameterized `gnp-d<c>` family, cheap enough for `n` in the hundreds of thousands.
+pub fn gnp_avg_degree_fast(n: usize, c: f64, seed: u64) -> Graph {
+    let p = if n <= 1 { 0.0 } else { (c / n as f64).clamp(0.0, 1.0) };
+    gnp_skip(n, p, seed)
+}
+
 /// A random `d`-regular-ish multigraph via the configuration model, with self-loops and
 /// duplicate edges dropped; the result has maximum degree at most `d`.
 ///
@@ -200,6 +243,28 @@ mod tests {
         let g = gnp_avg_degree(400, 6.0, 3);
         let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
         assert!((3.0..9.0).contains(&avg), "average degree {avg} too far from 6");
+    }
+
+    #[test]
+    fn gnp_skip_matches_the_pairwise_distribution_roughly() {
+        let g = gnp_skip(800, 10.0 / 800.0, 5);
+        let avg = 2.0 * g.edge_count() as f64 / g.node_count() as f64;
+        assert!((7.0..13.0).contains(&avg), "skip-sampled average degree {avg} too far from 10");
+        // Valid simple-graph output: no duplicate pairs.
+        let mut pairs: Vec<_> = g.edges().collect();
+        let count = pairs.len();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), count);
+    }
+
+    #[test]
+    fn gnp_skip_is_reproducible_and_handles_extremes() {
+        assert_eq!(gnp_skip(120, 0.05, 7), gnp_skip(120, 0.05, 7));
+        assert_eq!(gnp_skip(20, 0.0, 1).edge_count(), 0);
+        assert_eq!(gnp_skip(10, 1.0, 1).edge_count(), 45);
+        assert_eq!(gnp_skip(0, 0.5, 1).node_count(), 0);
+        assert_eq!(gnp_skip(1, 0.5, 1).edge_count(), 0);
     }
 
     #[test]
