@@ -167,6 +167,17 @@ fn bench(c: &mut Criterion) {
     let steady_state_allocations = assert_allocation_free_steady_state(&view, &inputs);
     println!("  steady-state attempt allocations: {steady_state_allocations} (asserted zero)");
 
+    // ---- The same proof with the observability layer armed: counters hit pre-registered
+    // atomics and events land in the pre-sized thread-local buffer (capacity-guarded push,
+    // drop-on-overflow), so recording must not reintroduce steady-state allocations. The
+    // warm-up inside the assertion registers this thread's track before counting starts.
+    local_obs::enable();
+    let traced_allocations = assert_allocation_free_steady_state(&view, &inputs);
+    local_obs::disable();
+    println!(
+        "  steady-state attempt allocations with obs enabled: {traced_allocations} (asserted zero)"
+    );
+
     // ---- Driver-dominated workload: the synthetic PS box. ----
     let ps = local_uniform::catalog::uniform_ps_mis();
     let ps_reference = UniformTransformer::new(

@@ -16,9 +16,11 @@
 
 mod in_process;
 mod process;
+pub mod telemetry;
 
 pub use in_process::InProcessBackend;
 pub use process::{worker_serve, ProcessBackend};
+pub use telemetry::{SpanDump, WireEvent, WireTrack, WorkerTelemetry};
 
 use crate::cost::CostModel;
 use crate::report::CellResult;

@@ -13,8 +13,15 @@
 //! * **stdout** — newline-delimited JSON, one `{"index": i, "cell": {…}}` line per finished
 //!   cell (in completion order — the index maps back to the stripe), terminated by a
 //!   sentinel `{"done": n, "observations": […]}` line carrying the worker's cost-model
-//!   observation sums.
-//! * **stderr** — inherited; worker diagnostics surface directly.
+//!   observation sums. When the parent requested telemetry (`--telemetry <ms>`), the
+//!   stream additionally carries `{"telemetry": …}` heartbeat records (progress + counter
+//!   totals, see [`super::telemetry::WorkerTelemetry`]) and one final `{"spans": …}` dump
+//!   of the worker's span buffers ([`super::telemetry::SpanDump`]) right before the
+//!   sentinel — both strictly additive, so mixed-version fleets exchange exactly the
+//!   pre-existing record bytes.
+//! * **stderr** — captured line by line, re-emitted on the parent's stderr prefixed with
+//!   the worker id (`[worker 3] …`); the last few lines ride along in the failure reason
+//!   when a worker dies, so the rescue-path log says *why*.
 //!
 //! # Failure semantics
 //!
@@ -25,14 +32,20 @@
 //! rest with an [`InProcessBackend`] — so a killed or garbage-spewing worker degrades wall
 //! clock, never the report.
 
+use super::telemetry::{SpanDump, WorkerTelemetry};
 use super::{CellShard, EmitFn, ExecBackend, InProcessBackend};
 use crate::cost::CostModel;
 use crate::pool;
+use crate::progress::ProgressMeter;
 use crate::report::CellResult;
 use serde::{Deserialize, Serialize, Value};
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::process::{Command, Stdio};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+/// How many trailing worker-stderr lines ride along in a failure reason.
+const STDERR_TAIL: usize = 8;
 
 /// Executes shards by fanning stripes out to `sweep --worker` subprocesses.
 #[derive(Debug)]
@@ -41,6 +54,8 @@ pub struct ProcessBackend {
     worker_threads: usize,
     command: Vec<String>,
     observed: Mutex<CostModel>,
+    progress: Option<ProgressMeter>,
+    heartbeat_ms: u64,
 }
 
 impl ProcessBackend {
@@ -62,6 +77,8 @@ impl ProcessBackend {
             worker_threads: 1,
             command: command.into(),
             observed: Mutex::new(CostModel::new()),
+            progress: None,
+            heartbeat_ms: 500,
         }
     }
 
@@ -73,11 +90,31 @@ impl ProcessBackend {
         self
     }
 
+    /// Attaches a live progress meter: workers are asked for heartbeats, and both result
+    /// lines and heartbeat records update the per-worker throughput display.
+    pub fn progress(mut self, meter: ProgressMeter) -> Self {
+        self.progress = Some(meter);
+        self
+    }
+
+    /// Sets the worker heartbeat interval (default 500ms; only used when telemetry is on).
+    pub fn heartbeat_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_ms = ms.max(1);
+        self
+    }
+
+    /// Whether to ask workers for telemetry, and at what interval: yes when a progress
+    /// meter is attached or the coordinator's own obs layer is recording.
+    fn telemetry_interval(&self) -> Option<u64> {
+        (self.progress.is_some() || local_obs::is_enabled()).then_some(self.heartbeat_ms)
+    }
+
     /// Dispatches one stripe to one worker subprocess. Returns the indices (into the
     /// stripe) of the cells that still need a result, plus a description of what went wrong
     /// when the stream could not be fully trusted.
     fn run_stripe(
         &self,
+        worker: usize,
         stripe: &CellShard,
         parent_indices: &[usize],
         emit: &EmitFn,
@@ -86,17 +123,43 @@ impl ProcessBackend {
         if self.command.is_empty() {
             return Err((all(), "no worker command (current_exe unavailable)".into()));
         }
-        let mut child = match Command::new(&self.command[0])
+        let mut command = Command::new(&self.command[0]);
+        command
             .args(&self.command[1..])
             .arg("--worker")
             .args(["--threads", &self.worker_threads.to_string()])
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
-            .spawn()
-        {
+            .stderr(Stdio::piped());
+        if let Some(ms) = self.telemetry_interval() {
+            command.args(["--telemetry", &ms.to_string()]);
+        }
+        // Worker span timestamps are relative to the worker's own start; record the spawn
+        // time so the final span dump can be rebased onto the coordinator's timeline.
+        let spawn_offset = local_obs::now_micros();
+        let mut child = match command.spawn() {
             Ok(child) => child,
             Err(e) => return Err((all(), format!("cannot spawn worker: {e}"))),
         };
+
+        // Drain stderr on a dedicated thread: re-emit each line prefixed with the worker
+        // id, and keep a short tail for the failure reason. The thread ends at pipe EOF
+        // (worker exit), so joining after `wait` below cannot hang.
+        let stderr_tail = Arc::new(Mutex::new(VecDeque::<String>::new()));
+        let stderr_thread = child.stderr.take().map(|stderr| {
+            let tail = Arc::clone(&stderr_tail);
+            std::thread::spawn(move || {
+                for line in BufReader::new(stderr).lines().map_while(Result::ok) {
+                    eprintln!("[worker {worker}] {line}");
+                    let mut tail = tail.lock().expect("stderr tail poisoned");
+                    if tail.len() == STDERR_TAIL {
+                        tail.pop_front();
+                    }
+                    tail.push_back(line);
+                }
+            })
+        });
+        let worker_label = format!("worker {worker}");
 
         // Ship the stripe. The worker reads all of stdin before producing anything, so
         // writing the whole document and closing the pipe cannot deadlock. A worker that
@@ -141,11 +204,42 @@ impl ProcessBackend {
                     sentinel = Some(value);
                     break;
                 }
+                // Telemetry record kinds (only present when the parent asked for them).
+                // A record that *claims* a kind but does not parse is treated like any
+                // other garbage: stop trusting the stream.
+                if let Some(t) = value.get("telemetry") {
+                    match WorkerTelemetry::from_value(t) {
+                        Ok(heartbeat) => {
+                            if let Some(meter) = &self.progress {
+                                meter.worker_progress(&worker_label, heartbeat.cells_done);
+                            }
+                        }
+                        Err(e) => {
+                            failure = Some(format!("bad telemetry record: {e}"));
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                if let Some(s) = value.get("spans") {
+                    match SpanDump::from_value(s) {
+                        Ok(dump) => dump.import(&worker_label, spawn_offset),
+                        Err(e) => {
+                            failure = Some(format!("bad span dump: {e}"));
+                            break;
+                        }
+                    }
+                    continue;
+                }
                 match accept_result(stripe, &value, &emitted) {
                     Ok((index, result)) => {
                         emitted[index] = true;
                         line_observed.observe(&result);
                         emit(parent_indices[index], result);
+                        if let Some(meter) = &self.progress {
+                            let done = emitted.iter().filter(|&&e| e).count() as u64;
+                            meter.worker_progress(&worker_label, done);
+                        }
                     }
                     Err(reason) => {
                         failure = Some(reason);
@@ -161,6 +255,10 @@ impl ProcessBackend {
             let _ = child.kill();
         }
         let status = child.wait();
+        // The worker is gone, so its stderr pipe has hit EOF; join to complete the tail.
+        if let Some(thread) = stderr_thread {
+            let _ = thread.join();
+        }
         if failure.is_none() {
             // What the sentinel *claims* is irrelevant; completeness is judged by what was
             // actually verified and emitted, so an under-emitting worker with a confident
@@ -202,11 +300,16 @@ impl ProcessBackend {
                 }
                 Ok(())
             }
-            Some(reason) => {
+            Some(mut reason) => {
                 // The sentinel's sums are gone with the worker, but the verified cells
                 // stand in the report — so their line-observed calibration stands too (the
                 // fallback separately observes whatever it re-runs).
                 self.observed.lock().expect("cost observations poisoned").merge(&line_observed);
+                let tail = stderr_tail.lock().expect("stderr tail poisoned");
+                if !tail.is_empty() {
+                    reason.push_str("; last stderr: ");
+                    reason.push_str(&tail.iter().cloned().collect::<Vec<_>>().join(" | "));
+                }
                 let missing: Vec<usize> =
                     (0..stripe.cells.len()).filter(|&i| !emitted[i]).collect();
                 Err((missing, reason))
@@ -230,9 +333,11 @@ impl ExecBackend for ProcessBackend {
         }
         let stripes = shard.stripe(self.workers);
         std::thread::scope(|scope| {
-            for (stripe, parent_indices) in &stripes {
+            for (worker, (stripe, parent_indices)) in stripes.iter().enumerate() {
                 scope.spawn(move || {
-                    if let Err((missing, reason)) = self.run_stripe(stripe, parent_indices, emit) {
+                    if let Err((missing, reason)) =
+                        self.run_stripe(worker, stripe, parent_indices, emit)
+                    {
                         eprintln!(
                             "sweep process backend: worker failed ({reason}); re-running {} \
                              cells in-process",
@@ -313,9 +418,15 @@ fn accept_result(
 /// `out`. This *is* `sweep --worker`; it lives here so both sides of the protocol share one
 /// module. Errors (bad shard, version skew) are returned for the binary to print and turn
 /// into a nonzero exit, which the parent detects as a shard failure.
+///
+/// `telemetry_ms` is the parent's `--telemetry` request: `Some(interval)` turns the obs
+/// layer on for the stripe and adds heartbeat records every `interval` milliseconds plus a
+/// final span dump before the sentinel; `None` (old parents, plain invocations) produces
+/// exactly the pre-telemetry stream.
 pub fn worker_serve(
     input: &str,
     threads: usize,
+    telemetry_ms: Option<u64>,
     out: &mut (impl Write + Send),
 ) -> Result<(), String> {
     let shard = CellShard::from_value(
@@ -329,25 +440,76 @@ pub fn worker_serve(
             crate::cache::CODE_VERSION
         ));
     }
+    if telemetry_ms.is_some() {
+        local_obs::enable();
+    }
+    let started = std::time::Instant::now();
     let backend = InProcessBackend::new(threads);
     let sink = Mutex::new(&mut *out);
+    let cells_done = std::sync::atomic::AtomicU64::new(0);
+    let heartbeat = || {
+        let record = WorkerTelemetry {
+            cells_done: cells_done.load(std::sync::atomic::Ordering::Relaxed),
+            wall_micros: started.elapsed().as_micros() as u64,
+            counters: local_obs::counter_totals(),
+        };
+        let line = Raw(Value::Map(vec![("telemetry".into(), record.to_value())]));
+        let text = serde_json::to_string(&line).expect("telemetry line serializes");
+        // Best-effort: a heartbeat the parent never reads must not fail the stripe.
+        let mut sink = sink.lock().expect("worker stdout poisoned");
+        let _ = writeln!(sink, "{text}");
+        let _ = sink.flush();
+    };
     let mut write_error = None;
     {
         let write_error = Mutex::new(&mut write_error);
-        backend.run_shard(&shard, &|index, result| {
-            let line = Raw(Value::Map(vec![
-                ("index".into(), Value::U64(index as u64)),
-                ("cell".into(), result.to_value()),
-            ]));
-            let text = serde_json::to_string(&line).expect("result line serializes");
-            let mut sink = sink.lock().expect("worker stdout poisoned");
-            if let Err(e) = writeln!(sink, "{text}") {
-                write_error.lock().expect("error slot poisoned").get_or_insert(e.to_string());
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            if let Some(interval_ms) = telemetry_ms {
+                let stop = &stop;
+                let heartbeat = &heartbeat;
+                scope.spawn(move || {
+                    // Sleep in short slices so the beater notices `stop` promptly even
+                    // under long heartbeat intervals.
+                    let slice = std::time::Duration::from_millis(interval_ms.clamp(1, 50));
+                    let mut elapsed_ms = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        std::thread::sleep(slice);
+                        elapsed_ms += slice.as_millis() as u64;
+                        if elapsed_ms >= interval_ms {
+                            elapsed_ms = 0;
+                            heartbeat();
+                        }
+                    }
+                });
             }
+            backend.run_shard(&shard, &|index, result| {
+                let line = Raw(Value::Map(vec![
+                    ("index".into(), Value::U64(index as u64)),
+                    ("cell".into(), result.to_value()),
+                ]));
+                let text = serde_json::to_string(&line).expect("result line serializes");
+                cells_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let mut sink = sink.lock().expect("worker stdout poisoned");
+                if let Err(e) = writeln!(sink, "{text}") {
+                    write_error.lock().expect("error slot poisoned").get_or_insert(e.to_string());
+                }
+            });
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
         });
     }
     if let Some(e) = write_error {
         return Err(format!("cannot write results: {e}"));
+    }
+    if telemetry_ms.is_some() {
+        // One guaranteed final heartbeat (fast stripes may outrun the interval), then the
+        // span dump — both before the sentinel, which stays the stream terminator.
+        heartbeat();
+        let dump = SpanDump::from_snapshot(&local_obs::snapshot());
+        let line = Raw(Value::Map(vec![("spans".into(), dump.to_value())]));
+        let text = serde_json::to_string(&line).expect("span dump serializes");
+        let mut sink = sink.lock().expect("worker stdout poisoned");
+        writeln!(sink, "{text}").map_err(|e| format!("cannot write span dump: {e}"))?;
     }
     let sentinel = Raw(Value::Map(vec![
         ("done".into(), Value::U64(shard.cells.len() as u64)),
@@ -436,7 +598,7 @@ mod tests {
     fn worker_serve_round_trips_through_the_stream_format() {
         let shard = small_shard();
         let mut out = Vec::new();
-        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, &mut out).unwrap();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), shard.cells.len() + 1, "cells + sentinel");
@@ -461,7 +623,8 @@ mod tests {
         let mut shard = small_shard();
         shard.code_version = "some-stale-build".into();
         let mut out = Vec::new();
-        let err = worker_serve(&serde_json::to_string(&shard).unwrap(), 1, &mut out).unwrap_err();
+        let err =
+            worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &mut out).unwrap_err();
         assert!(err.contains("code-version skew"), "{err}");
         assert!(out.is_empty(), "a refused shard must produce no results");
     }
@@ -470,7 +633,7 @@ mod tests {
     fn accept_result_rejects_foreign_and_duplicate_cells() {
         let shard = small_shard();
         let mut out = Vec::new();
-        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, &mut out).unwrap();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         let first = serde_json::from_str(text.lines().next().unwrap()).unwrap();
 

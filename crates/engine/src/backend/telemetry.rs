@@ -1,0 +1,140 @@
+//! Telemetry record kinds of the worker wire protocol.
+//!
+//! These ride the same NDJSON stdout stream as result lines, distinguished by their top-level
+//! key — `{"telemetry": …}` (periodic heartbeats), `{"spans": …}` (one final span dump) —
+//! and are strictly *additive*: a worker only emits them when the parent asked for them with
+//! `--telemetry <ms>`, old workers never see the flag, and old parents never send it, so
+//! mixed-version fleets keep exchanging exactly the pre-existing record bytes.
+
+use local_obs::EventRecord;
+use serde::{Deserialize, Serialize};
+
+/// A periodic worker heartbeat: progress and counter totals so far. Counts are absolute
+/// (not deltas), so a lost or reordered heartbeat costs nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerTelemetry {
+    /// Cells of the stripe completed so far.
+    pub cells_done: u64,
+    /// Microseconds since the worker started serving.
+    pub wall_micros: u64,
+    /// Current counter totals, by registered metric name.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// One event of a worker's span dump (the owned-string form of [`local_obs::Event`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireEvent {
+    /// Registered metric name.
+    pub metric: String,
+    /// Label text ("" for none).
+    pub label: String,
+    /// Microseconds since the worker's epoch (the coordinator rebases on import).
+    pub start_micros: u64,
+    /// Span duration in microseconds (0 for values).
+    pub dur_micros: u64,
+    /// Attached value.
+    pub value: u64,
+    /// Span vs. timestamped value.
+    pub is_span: bool,
+}
+
+/// One worker thread's event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireTrack {
+    /// Thread-track name inside the worker ("thread-0", ...).
+    pub name: String,
+    /// Events in recording order.
+    pub events: Vec<WireEvent>,
+}
+
+/// The final span dump a telemetry-enabled worker emits right before its sentinel:
+/// everything its collector recorded, plus the final counter totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanDump {
+    /// Per-thread tracks.
+    pub tracks: Vec<WireTrack>,
+    /// Final counter totals, by registered metric name.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl SpanDump {
+    /// Packages the current process's collector contents for the wire.
+    pub fn from_snapshot(snapshot: &local_obs::Snapshot) -> Self {
+        SpanDump {
+            tracks: snapshot
+                .tracks
+                .iter()
+                .map(|t| WireTrack {
+                    name: t.name.clone(),
+                    events: t
+                        .events
+                        .iter()
+                        .map(|e| WireEvent {
+                            metric: e.metric.clone(),
+                            label: e.label.clone(),
+                            start_micros: e.start_micros,
+                            dur_micros: e.dur_micros,
+                            value: e.value,
+                            is_span: e.is_span,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            counters: snapshot.counters.clone(),
+        }
+    }
+
+    /// Merges this dump into the coordinator's collector: each track lands as
+    /// `"{worker_label} {track}"` with timestamps shifted by `offset_micros` (the
+    /// coordinator-side spawn time), counters fold into the matching local counters
+    /// (unknown names from a newer worker are skipped). No-op when obs is disabled.
+    pub fn import(&self, worker_label: &str, offset_micros: u64) {
+        for track in &self.tracks {
+            local_obs::import_track(
+                format!("{worker_label} {}", track.name),
+                track
+                    .events
+                    .iter()
+                    .map(|e| EventRecord {
+                        metric: e.metric.clone(),
+                        label: e.label.clone(),
+                        start_micros: e.start_micros,
+                        dur_micros: e.dur_micros,
+                        value: e.value,
+                        is_span: e.is_span,
+                    })
+                    .collect(),
+                offset_micros,
+            );
+        }
+        for (name, value) in &self.counters {
+            local_obs::merge_counter_by_name(name, *value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_dump_round_trips_a_snapshot_shape() {
+        let dump = SpanDump {
+            tracks: vec![WireTrack {
+                name: "thread-0".into(),
+                events: vec![WireEvent {
+                    metric: "attempt".into(),
+                    label: "mis;sparse-gnp".into(),
+                    start_micros: 12,
+                    dur_micros: 34,
+                    value: 0,
+                    is_span: true,
+                }],
+            }],
+            counters: vec![("messages-sent".into(), 99)],
+        };
+        let wire = serde_json::to_string(&dump).unwrap();
+        let back = SpanDump::from_value(&serde_json::from_str(&wire).unwrap()).unwrap();
+        assert_eq!(back, dump);
+    }
+}

@@ -33,6 +33,12 @@
 //!   re-sweep executes only cells whose inputs changed. `--no-cache` disables it.
 //! * `--stream`    stream cells to the cache instead of holding them in memory (large
 //!   grids); per-cell CSV is then produced by reading the cache back. Requires the cache.
+//! * `--trace F`   enable the observability layer and write a Chrome trace-event JSON of
+//!   the sweep (phase spans, counters, one track per thread/worker) to `F` — loadable in
+//!   Perfetto or `chrome://tracing`.
+//! * `--trace-events F`  append the same events as an NDJSON log to `F`.
+//! * `--progress`  live stderr status line: cells done/total, cache hits, per-worker
+//!   throughput, and an ETA from the cost model's predictions for the outstanding cells.
 //!
 //! There is also a hidden `--worker` mode — the receiving end of the process backend's
 //! shard protocol (shard JSON on stdin, newline-delimited results + sentinel on stdout);
@@ -40,8 +46,8 @@
 
 use local_engine::backend::{worker_serve, InProcessBackend, ProcessBackend};
 use local_engine::{
-    default_workloads, parse_sizes, parse_workload, render_listing, CostModel, ScenarioGrid, Sweep,
-    SweepCache, WorkloadSpec,
+    default_workloads, parse_sizes, parse_workload, render_listing, CostModel, ProgressMeter,
+    ScenarioGrid, Sweep, SweepCache, WorkloadSpec,
 };
 use local_graphs::{builtin_families, parse_family, FamilySpec};
 use std::io::Read;
@@ -70,6 +76,9 @@ struct Args {
     folded: Option<String>,
     cache_dir: Option<String>,
     stream: bool,
+    trace: Option<String>,
+    trace_events: Option<String>,
+    progress: bool,
 }
 
 /// Parses a worker/thread count. The semantics live in
@@ -98,6 +107,9 @@ fn parse_args() -> Result<Args, String> {
         folded: None,
         cache_dir: Some("target/sweep-cache".to_string()),
         stream: false,
+        trace: None,
+        trace_events: None,
+        progress: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -163,6 +175,9 @@ fn parse_args() -> Result<Args, String> {
             "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
             "--no-cache" => args.cache_dir = None,
             "--stream" => args.stream = true,
+            "--trace" => args.trace = Some(value("--trace")?),
+            "--trace-events" => args.trace_events = Some(value("--trace-events")?),
+            "--progress" => args.progress = true,
             "--help" | "-h" => {
                 println!("{HELP}");
                 std::process::exit(0);
@@ -187,6 +202,7 @@ USAGE:
         [--base-seed S] [--out report.json] [--csv cells.csv] [--list] [--dry-run]
         [--deterministic] [--profile] [--folded stacks.folded]
         [--cache-dir DIR | --no-cache] [--stream]
+        [--trace trace.json] [--trace-events events.ndjson] [--progress]
 
   --list       print every registered workload and family (with parameterized patterns
                like gnp-d<d> and ruling-set-b<beta>) straight from the registry, then exit.
@@ -210,6 +226,13 @@ USAGE:
   --no-cache   disable the cache.
   --stream     fold cells into summaries as they complete and keep them only in the cache
                (flat memory for very large grids). Requires the cache.
+  --trace F    enable observability and write a Chrome trace-event JSON (phase spans,
+               counters, one track per thread/worker) to F; open it in Perfetto or
+               chrome://tracing. Under --backend process, workers stream their spans home.
+  --trace-events F
+               append the recorded events to F as an NDJSON log (one JSON object per line).
+  --progress   live stderr status line: cells done/total, cache hits, per-worker
+               throughput, and an ETA from cost-model predictions of outstanding cells.
 
 EXAMPLE:
   sweep --problems mis,matching --families sparse-gnp,tree --sizes 100..1600 \\
@@ -218,14 +241,14 @@ EXAMPLE:
 /// The hidden `--worker` mode: serve one shard over the stdin/stdout protocol and exit.
 /// Any error lands on stderr with a nonzero exit, which the parent treats as a shard
 /// failure and absorbs in-process.
-fn worker_main(threads: usize) -> ExitCode {
+fn worker_main(threads: usize, telemetry_ms: Option<u64>) -> ExitCode {
     let mut input = String::new();
     if let Err(e) = std::io::stdin().read_to_string(&mut input) {
         eprintln!("sweep --worker: cannot read shard from stdin: {e}");
         return ExitCode::FAILURE;
     }
     let mut stdout = std::io::stdout();
-    match worker_serve(&input, threads, &mut stdout) {
+    match worker_serve(&input, threads, telemetry_ms, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("sweep --worker: {message}");
@@ -261,6 +284,16 @@ fn dry_run(grid: &ScenarioGrid, cache: Option<&SweepCache>) -> ExitCode {
     for (rank, &i) in order.iter().enumerate() {
         let predicted = model.predict(&cells[i]);
         total += predicted;
+        if local_obs::is_enabled() {
+            // The predictions flow through the same metric registry as the observed
+            // timings, so a dry-run trace joins against a real sweep's trace on
+            // (metric, cell label) for predicted-vs-observed analysis.
+            local_obs::record(
+                local_obs::metrics::PREDICTED_MICROS,
+                local_obs::label(&cells[i].label()),
+                predicted as u64,
+            );
+        }
         println!("{:>5} {:>16.0}  {}", rank + 1, predicted, cells[i].label());
     }
     println!("total predicted work: {total:.0} us-equivalents (nothing was executed)");
@@ -269,8 +302,8 @@ fn dry_run(grid: &ScenarioGrid, cache: Option<&SweepCache>) -> ExitCode {
 
 fn main() -> ExitCode {
     // The worker mode is not a regular flag: it must not drag the full sweep arg surface
-    // into the protocol, so it is dispatched before normal parsing. The only argument it
-    // honours is `--threads N`.
+    // into the protocol, so it is dispatched before normal parsing. The only arguments it
+    // honours are `--threads N` and `--telemetry MS` (the parent's heartbeat request).
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--worker") {
         let threads = raw
@@ -279,7 +312,12 @@ fn main() -> ExitCode {
             .and_then(|i| raw.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(1);
-        return worker_main(threads);
+        let telemetry_ms = raw
+            .iter()
+            .position(|a| a == "--telemetry")
+            .and_then(|i| raw.get(i + 1))
+            .and_then(|v| v.parse().ok());
+        return worker_main(threads, telemetry_ms);
     }
 
     let args = match parse_args() {
@@ -290,6 +328,13 @@ fn main() -> ExitCode {
         }
     };
 
+    // Tracing flags arm the global recorder before anything runs; it stays a no-op
+    // otherwise, so the deterministic outputs of an untraced sweep are untouched.
+    if args.trace.is_some() || args.trace_events.is_some() {
+        local_obs::enable();
+        local_obs::set_track_name("coordinator");
+    }
+
     let grid = ScenarioGrid::new()
         .problems(args.problems)
         .families(args.families)
@@ -299,7 +344,12 @@ fn main() -> ExitCode {
     let cache = args.cache_dir.as_ref().map(SweepCache::new);
 
     if args.dry_run {
-        return dry_run(&grid, cache.as_ref());
+        let code = dry_run(&grid, cache.as_ref());
+        if let Err(message) = write_trace_outputs(&args.trace, &args.trace_events) {
+            eprintln!("sweep: {message}");
+            return ExitCode::FAILURE;
+        }
+        return code;
     }
 
     let backend_label = match args.backend {
@@ -323,12 +373,22 @@ fn main() -> ExitCode {
         backend_label
     );
 
+    let meter = args.progress.then(ProgressMeter::new);
     let mut sweep = Sweep::over(&grid);
     sweep = match args.backend {
         BackendKind::InProcess => sweep.backend(InProcessBackend::new(args.threads.unwrap_or(0))),
-        BackendKind::Process => sweep
-            .backend(ProcessBackend::new(args.workers).worker_threads(args.threads.unwrap_or(1))),
+        BackendKind::Process => {
+            let mut backend =
+                ProcessBackend::new(args.workers).worker_threads(args.threads.unwrap_or(1));
+            if let Some(meter) = &meter {
+                backend = backend.progress(meter.clone());
+            }
+            sweep.backend(backend)
+        }
     };
+    if let Some(meter) = &meter {
+        sweep = sweep.progress(meter.clone());
+    }
     if let Some(cache) = cache.clone() {
         sweep = sweep.cache(cache);
     }
@@ -412,7 +472,12 @@ fn main() -> ExitCode {
         println!("wrote per-cell CSV to {path}");
     }
     if let Some(path) = &args.folded {
-        let folded = if args.stream {
+        // With the recorder armed, folded stacks come from the actual recorded spans
+        // (per-phase, per-label, including worker-imported tracks) rather than being
+        // reconstructed from per-cell timing fields.
+        let folded = if local_obs::is_enabled() {
+            local_obs::snapshot().to_folded()
+        } else if args.stream {
             match streamed_folded(&grid, cache.as_ref().expect("--stream implies cache")) {
                 Ok(folded) => folded,
                 Err(message) => {
@@ -429,11 +494,44 @@ fn main() -> ExitCode {
         }
         println!("wrote folded phase stacks to {path}");
     }
+    if let Err(message) = write_trace_outputs(&args.trace, &args.trace_events) {
+        eprintln!("sweep: {message}");
+        return ExitCode::FAILURE;
+    }
     if invalid > 0 {
         eprintln!("sweep: {invalid} cells failed validation");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+/// Writes the `--trace` / `--trace-events` outputs from one snapshot of the global
+/// recorder. A no-op when the recorder was never armed.
+fn write_trace_outputs(
+    trace: &Option<String>,
+    trace_events: &Option<String>,
+) -> Result<(), String> {
+    if !local_obs::is_enabled() {
+        return Ok(());
+    }
+    let snapshot = local_obs::snapshot();
+    if let Some(path) = trace {
+        std::fs::write(path, snapshot.to_chrome_trace())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote Chrome trace (Perfetto-loadable) to {path}");
+    }
+    if let Some(path) = trace_events {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open {path}: {e}"))?;
+        file.write_all(snapshot.to_ndjson().as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("appended {} trace events as NDJSON to {path}", snapshot.event_count());
+    }
+    Ok(())
 }
 
 /// Reads every cell of `grid` back from the cache (a streamed sweep just wrote them) and

@@ -55,6 +55,7 @@ pub mod backend;
 pub mod cache;
 pub mod cost;
 pub mod pool;
+pub mod progress;
 pub mod registry;
 pub mod report;
 pub mod scenario;
@@ -64,6 +65,7 @@ pub mod workloads;
 pub use backend::{CellShard, ExecBackend, InProcessBackend, ProcessBackend};
 pub use cache::{SweepCache, CODE_VERSION};
 pub use cost::CostModel;
+pub use progress::ProgressMeter;
 pub use registry::{
     default_workloads, parse_workload, render_listing, workload, WorkloadEntry, WORKLOAD_ENTRIES,
 };

@@ -17,9 +17,11 @@
 use crate::backend::{CellShard, ExecBackend, InProcessBackend};
 use crate::cache::SweepCache;
 use crate::cost::CostModel;
+use crate::progress::ProgressMeter;
 use crate::report::{CellResult, Report, SummaryAccumulator};
 use crate::scenario::{Scenario, ScenarioGrid};
 use local_graphs::{GraphParams, InstanceKey};
+use local_obs::metrics as obs_metrics;
 use local_runtime::{Graph, Session};
 use std::collections::BTreeSet;
 use std::sync::Mutex;
@@ -77,6 +79,8 @@ pub struct Instance {
 impl Instance {
     /// Realizes the instance a key names.
     pub fn generate(key: InstanceKey) -> Self {
+        // `span` disarms itself and `label` returns NONE when obs is disabled.
+        let _span = local_obs::span(obs_metrics::INSTANCE_GEN, local_obs::label(key.family.name()));
         let started = Instant::now();
         let (graph, params) = key.realize();
         Instance { key, graph, params, gen_micros: started.elapsed().as_micros() as u64 }
@@ -108,13 +112,20 @@ pub struct Sweep<'a> {
     backend: Box<dyn ExecBackend + 'a>,
     cache: Option<SweepCache>,
     stream: bool,
+    progress: Option<ProgressMeter>,
 }
 
 impl<'a> Sweep<'a> {
     /// A sweep over `grid` with the default backend (in-process, available parallelism),
     /// no cache, and no streaming.
     pub fn over(grid: &'a ScenarioGrid) -> Self {
-        Sweep { grid, backend: Box::new(InProcessBackend::new(0)), cache: None, stream: false }
+        Sweep {
+            grid,
+            backend: Box::new(InProcessBackend::new(0)),
+            cache: None,
+            stream: false,
+            progress: None,
+        }
     }
 
     /// Sets the execution backend.
@@ -135,6 +146,13 @@ impl<'a> Sweep<'a> {
     /// stays flat no matter how large the grid is. Requires a cache.
     pub fn streaming(mut self) -> Self {
         self.stream = true;
+        self
+    }
+
+    /// Attaches a live progress meter: the sweep reports the grid size, cache hits, and
+    /// CostModel predictions to it at start, then each completed cell as it lands.
+    pub fn progress(mut self, meter: ProgressMeter) -> Self {
+        self.progress = Some(meter);
         self
     }
 
@@ -204,6 +222,19 @@ impl<'a> Sweep<'a> {
         let order = model.order_slowest_first(&cells, missed);
         let shard =
             CellShard::new(grid.base_seed, order.iter().map(|&i| cells[i].clone()).collect());
+        if local_obs::is_enabled() {
+            local_obs::counter_add(obs_metrics::CACHE_HITS, cache_hits as u64);
+        }
+        if let Some(meter) = &self.progress {
+            let predicted: Vec<f64> = order.iter().map(|&i| model.predict(&cells[i])).collect();
+            meter.begin(cells.len(), cache_hits, predicted);
+        }
+        let progress = self.progress.clone();
+        let tick = |k: usize| {
+            if let Some(meter) = &progress {
+                meter.cell_done(k);
+            }
+        };
 
         // Phase 3: hand the shard to the backend; write fresh results to the cache and
         // land them at their canonical position as they are emitted.
@@ -239,7 +270,11 @@ impl<'a> Sweep<'a> {
                     .expect("summary accumulator poisoned")
                     .fold_at(order[k], &result);
                 folded.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                tick(k);
             });
+            if let Some(meter) = &self.progress {
+                meter.finish();
+            }
             let folded = folded.into_inner();
             assert_eq!(folded, order.len(), "backend did not emit every cell of the shard");
             model.merge(&self.backend.calibration());
@@ -262,7 +297,11 @@ impl<'a> Sweep<'a> {
         self.backend.run_shard(&shard, &|k, result| {
             store(k, &result);
             *slots[k].lock().expect("result slot poisoned") = Some(result);
+            tick(k);
         });
+        if let Some(meter) = &self.progress {
+            meter.finish();
+        }
         model.merge(&self.backend.calibration());
         for (&i, slot) in order.iter().zip(slots) {
             cached[i] = slot.into_inner().expect("result slot poisoned");
@@ -311,10 +350,12 @@ pub fn run_cell_in(
     session: &mut Session,
 ) -> CellResult {
     let started = Instant::now();
+    let obs_on = local_obs::is_enabled();
+    let obs_start = if obs_on { local_obs::now_micros() } else { 0 };
     let seed = cell.cell_seed(base_seed);
     let measured = cell.problem.run(instance, seed, session);
     let graph = &instance.graph;
-    CellResult {
+    let result = CellResult {
         problem: cell.problem.name().to_string(),
         family: cell.family.name().to_string(),
         requested_n: cell.n,
@@ -334,7 +375,26 @@ pub fn run_cell_in(
         attempt_micros: measured.attempt_micros,
         prune_micros: measured.prune_micros,
         instance_micros: instance.gen_micros,
+    };
+    if obs_on {
+        // One whole-cell span plus its phases, rebuilt from the measured micros: attempt
+        // and prune were timed inside the workload, verify is the remaining wall time.
+        // Labels intern per distinct (problem, family) / cell, not per event.
+        let phase = local_obs::label(&format!("{};{}", result.problem, result.family));
+        let cell_label = local_obs::label(&cell.label());
+        let attempt = result.attempt_micros;
+        let prune = result.prune_micros;
+        let verify = result.wall_micros.saturating_sub(attempt + prune);
+        local_obs::complete(obs_metrics::CELL, cell_label, obs_start, result.wall_micros);
+        local_obs::complete(obs_metrics::ATTEMPT, phase, obs_start, attempt);
+        local_obs::complete(obs_metrics::PRUNE, phase, obs_start + attempt, prune);
+        local_obs::complete(obs_metrics::VERIFY, phase, obs_start + attempt + prune, verify);
+        // The observed-side record of the predicted-vs-observed join (label = cell label,
+        // same registry as `predicted-micros` from `--dry-run`).
+        local_obs::record(obs_metrics::CELL_MICROS, cell_label, result.wall_micros);
+        local_obs::counter_add(obs_metrics::CELLS_DONE, 1);
     }
+    result
 }
 
 #[cfg(test)]

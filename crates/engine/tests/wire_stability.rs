@@ -4,6 +4,7 @@
 //! back exactly as it left — including scenarios built from *parameterized* workload and
 //! family specs, which spell their parameters inside the stable name.
 
+use local_engine::backend::{SpanDump, WireEvent, WireTrack, WorkerTelemetry};
 use local_engine::{default_workloads, workload, CellResult, CellShard, Scenario, WorkloadSpec};
 use local_graphs::{builtin_families, family, Family, FamilySpec};
 use proptest::prelude::*;
@@ -105,6 +106,42 @@ fn shard_round_trips_with_mixed_builtin_and_parameterized_cells() {
     assert_stable(&shard);
 }
 
+#[test]
+fn telemetry_records_round_trip_with_every_field_populated() {
+    assert_stable(&WorkerTelemetry {
+        cells_done: u64::MAX,
+        wall_micros: 123_456_789,
+        counters: vec![("messages-sent".into(), 42), ("rounds".into(), 0)],
+    });
+    assert_stable(&SpanDump {
+        tracks: vec![
+            WireTrack {
+                name: "thread-0".into(),
+                events: vec![
+                    WireEvent {
+                        metric: "attempt".into(),
+                        label: "mis;sparse-gnp".into(),
+                        start_micros: 12,
+                        dur_micros: 34,
+                        value: 0,
+                        is_span: true,
+                    },
+                    WireEvent {
+                        metric: "active-nodes".into(),
+                        label: String::new(),
+                        start_micros: 56,
+                        dur_micros: 0,
+                        value: u64::MAX,
+                        is_span: false,
+                    },
+                ],
+            },
+            WireTrack { name: "thread-1".into(), events: Vec::new() },
+        ],
+        counters: vec![("cells-done".into(), 7)],
+    });
+}
+
 fn arbitrary_scenario() -> impl Strategy<Value = Scenario> {
     let problems = workload_pool();
     let families = family_pool();
@@ -155,6 +192,52 @@ fn arbitrary_result() -> impl Strategy<Value = CellResult> {
         )
 }
 
+/// Registered metric names the telemetry proptests draw from (workers only ever put
+/// registered names on the wire).
+const METRIC_NAMES: [&str; 7] =
+    ["cell", "instance-gen", "attempt", "prune", "verify", "messages-sent", "active-nodes"];
+
+/// Label shapes that actually occur: none, phase labels, and full cell labels.
+const LABEL_POOL: [&str; 4] = ["", "mis;sparse-gnp", "matching;tree", "mis/sparse-gnp/n128/r0"];
+
+fn arbitrary_wire_event() -> impl Strategy<Value = WireEvent> {
+    (
+        (0usize..METRIC_NAMES.len(), 0usize..LABEL_POOL.len()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<bool>()),
+    )
+        .prop_map(|((m, l), (start, dur, value, is_span))| WireEvent {
+            metric: METRIC_NAMES[m].to_string(),
+            label: LABEL_POOL[l].to_string(),
+            start_micros: start,
+            dur_micros: dur,
+            value,
+            is_span,
+        })
+}
+
+fn arbitrary_counters() -> impl Strategy<Value = Vec<(String, u64)>> {
+    proptest::collection::vec((0usize..METRIC_NAMES.len(), any::<u64>()), 0..5).prop_map(
+        |counters| counters.into_iter().map(|(m, v)| (METRIC_NAMES[m].to_string(), v)).collect(),
+    )
+}
+
+fn arbitrary_span_dump() -> impl Strategy<Value = SpanDump> {
+    (
+        proptest::collection::vec(
+            (0usize..4, proptest::collection::vec(arbitrary_wire_event(), 0..8)),
+            0..4,
+        ),
+        arbitrary_counters(),
+    )
+        .prop_map(|(tracks, counters)| SpanDump {
+            tracks: tracks
+                .into_iter()
+                .map(|(k, events)| WireTrack { name: format!("thread-{k}"), events })
+                .collect(),
+            counters,
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -172,5 +255,17 @@ proptest! {
     fn shard_wire_is_byte_stable(cells in proptest::collection::vec(arbitrary_scenario(), 0..12),
                                  base_seed in any::<u64>()) {
         assert_stable(&CellShard::new(base_seed, cells));
+    }
+
+    #[test]
+    fn worker_telemetry_wire_is_byte_stable(cells_done in any::<u64>(),
+                                            wall_micros in any::<u64>(),
+                                            counters in arbitrary_counters()) {
+        assert_stable(&WorkerTelemetry { cells_done, wall_micros, counters });
+    }
+
+    #[test]
+    fn span_dump_wire_is_byte_stable(dump in arbitrary_span_dump()) {
+        assert_stable(&dump);
     }
 }

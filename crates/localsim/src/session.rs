@@ -427,6 +427,14 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
     let mut messages: u64 = 0;
     let mut trace = cfg.record_trace.then(ExecutionTrace::default);
 
+    // Observability (one relaxed load; everything below is skipped when disabled). The
+    // per-round calls are allocation-free: counters are atomics, the value event lands in
+    // a preallocated fixed-capacity buffer.
+    let obs_on = local_obs::is_enabled();
+    if obs_on {
+        local_obs::gauge_max(local_obs::metrics::ARENA_ARCS, slab.arc_count() as u64);
+    }
+
     let limit = cfg.max_rounds.unwrap_or(cfg.hard_cap).min(cfg.hard_cap);
     let mut rounds_executed = 0u64;
     let mut active_count = n;
@@ -495,6 +503,15 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
         }
         round += 1;
         rounds_executed = round;
+        if obs_on {
+            local_obs::counter_add(local_obs::metrics::ROUNDS, 1);
+            local_obs::counter_add(local_obs::metrics::MESSAGES_SENT, delivered_this_round);
+            local_obs::record(
+                local_obs::metrics::ACTIVE_NODES,
+                local_obs::LabelId::NONE,
+                active_count as u64,
+            );
+        }
         if let Some(t) = trace.as_mut() {
             t.rounds.push(RoundTrace {
                 round: round - 1,

@@ -1,0 +1,260 @@
+//! Renderers from a resolved [`Snapshot`] to the three export formats:
+//!
+//! * **Chrome trace-event JSON** ([`Snapshot::to_chrome_trace`]) — loadable in Perfetto or
+//!   `chrome://tracing`; one track (tid + `thread_name` metadata) per recorded thread,
+//!   including imported worker tracks.
+//! * **NDJSON event log** ([`Snapshot::to_ndjson`]) — one self-describing JSON object per
+//!   line, suitable for appending across runs and for `jq`-style joins (e.g.
+//!   `predicted-micros` vs `cell-micros` on `label`).
+//! * **Folded stacks** ([`Snapshot::to_folded`]) — `frame;frame;frame count` lines for
+//!   flamegraph tools, rebased onto span data.
+//!
+//! All JSON is built by hand; this crate takes no dependencies.
+
+use crate::Snapshot;
+
+/// Escapes a string for embedding inside a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a Chrome trace-event file (the `{"traceEvents":[...]}`
+    /// object form). Spans become `"X"` complete events, values become `"C"` counter
+    /// events on their track, and process-global counters are appended as `"C"` events on
+    /// a synthetic tid 0 at the end of the timeline.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut events: Vec<String> = Vec::new();
+        let mut end_ts = 0u64;
+        for (idx, track) in self.tracks.iter().enumerate() {
+            let tid = idx + 1;
+            events.push(format!(
+                "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(&track.name)
+            ));
+            for e in &track.events {
+                end_ts = end_ts.max(e.start_micros + e.dur_micros);
+                let label = json_escape(&e.label);
+                if e.is_span {
+                    events.push(format!(
+                        "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"sweep\",\"ts\":{},\
+                         \"dur\":{},\"pid\":0,\"tid\":{tid},\"args\":{{\"label\":\"{label}\",\
+                         \"value\":{}}}}}",
+                        json_escape(&e.metric),
+                        e.start_micros,
+                        e.dur_micros,
+                        e.value
+                    ));
+                } else {
+                    events.push(format!(
+                        "{{\"ph\":\"C\",\"name\":\"{}\",\"ts\":{},\"pid\":0,\"tid\":{tid},\
+                         \"args\":{{\"{label2}\":{}}}}}",
+                        json_escape(&e.metric),
+                        e.start_micros,
+                        e.value,
+                        label2 = if e.label.is_empty() { "value".to_string() } else { label }
+                    ));
+                }
+            }
+        }
+        events.push(
+            "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":0,\
+             \"args\":{\"name\":\"totals\"}}"
+                .to_string(),
+        );
+        for (name, value) in &self.counters {
+            events.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"{}\",\"ts\":{end_ts},\"pid\":0,\"tid\":0,\
+                 \"args\":{{\"value\":{value}}}}}",
+                json_escape(name)
+            ));
+        }
+        let mut out = String::from("{\"traceEvents\":[\n");
+        out.push_str(&events.join(",\n"));
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Renders the snapshot as newline-delimited JSON: one `track` / `span` / `value` /
+    /// `counter` object per line (plus a `dropped` line when events were lost). Safe to
+    /// append to an existing log file.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for track in &self.tracks {
+            let tname = json_escape(&track.name);
+            out.push_str(&format!("{{\"type\":\"track\",\"name\":\"{tname}\"}}\n"));
+            for e in &track.events {
+                if e.is_span {
+                    out.push_str(&format!(
+                        "{{\"type\":\"span\",\"track\":\"{tname}\",\"metric\":\"{}\",\
+                         \"label\":\"{}\",\"start_us\":{},\"dur_us\":{},\"value\":{}}}\n",
+                        json_escape(&e.metric),
+                        json_escape(&e.label),
+                        e.start_micros,
+                        e.dur_micros,
+                        e.value
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "{{\"type\":\"value\",\"track\":\"{tname}\",\"metric\":\"{}\",\
+                         \"label\":\"{}\",\"ts_us\":{},\"value\":{}}}\n",
+                        json_escape(&e.metric),
+                        json_escape(&e.label),
+                        e.start_micros,
+                        e.value
+                    ));
+                }
+            }
+        }
+        for (name, value) in &self.counters {
+            out.push_str(&format!(
+                "{{\"type\":\"counter\",\"metric\":\"{}\",\"value\":{value}}}\n",
+                json_escape(name)
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("{{\"type\":\"dropped\",\"events\":{}}}\n", self.dropped));
+        }
+        out
+    }
+
+    /// Renders span data as folded stacks (`sweep;label;metric count`, micros as counts).
+    /// Labels may themselves contain `;`-separated frames (e.g. `problem;family`), which
+    /// flamegraph tools display as nested frames. The whole-cell container span is
+    /// skipped so phase frames are not double counted.
+    pub fn to_folded(&self) -> String {
+        use std::collections::BTreeMap;
+        let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+        for track in &self.tracks {
+            for e in &track.events {
+                if !e.is_span || e.metric == "cell" || e.dur_micros == 0 {
+                    continue;
+                }
+                let frame = if e.label.is_empty() {
+                    format!("sweep;{}", e.metric)
+                } else if e.metric == "instance-gen" {
+                    // Matches the historical report-derived frame order.
+                    format!("sweep;instance-gen;{}", e.label)
+                } else {
+                    format!("sweep;{};{}", e.label, e.metric)
+                };
+                *folded.entry(frame).or_insert(0) += e.dur_micros;
+            }
+        }
+        let mut out = String::new();
+        for (frame, micros) in folded {
+            out.push_str(&format!("{frame} {micros}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{EventRecord, Snapshot, TrackSnapshot};
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            tracks: vec![
+                TrackSnapshot {
+                    name: "coordinator".to_string(),
+                    events: vec![
+                        EventRecord {
+                            metric: "cell".to_string(),
+                            label: "mis/sparse-gnp/n64/r0".to_string(),
+                            start_micros: 0,
+                            dur_micros: 100,
+                            value: 0,
+                            is_span: true,
+                        },
+                        EventRecord {
+                            metric: "attempt".to_string(),
+                            label: "mis;sparse-gnp".to_string(),
+                            start_micros: 0,
+                            dur_micros: 70,
+                            value: 0,
+                            is_span: true,
+                        },
+                        EventRecord {
+                            metric: "active-nodes".to_string(),
+                            label: String::new(),
+                            start_micros: 5,
+                            dur_micros: 0,
+                            value: 42,
+                            is_span: false,
+                        },
+                    ],
+                },
+                TrackSnapshot {
+                    name: "worker 1 thread-0".to_string(),
+                    events: vec![EventRecord {
+                        metric: "instance-gen".to_string(),
+                        label: "tree \"quoted\"".to_string(),
+                        start_micros: 10,
+                        dur_micros: 20,
+                        value: 0,
+                        is_span: true,
+                    }],
+                },
+            ],
+            counters: vec![("messages-sent".to_string(), 123)],
+            dropped: 1,
+        }
+    }
+
+    #[test]
+    fn chrome_trace_has_thread_names_spans_and_counters() {
+        let trace = sample().to_chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("\"coordinator\""));
+        assert!(trace.contains("\"worker 1 thread-0\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"C\""));
+        assert!(trace.contains("\"messages-sent\""));
+        assert!(trace.contains("tree \\\"quoted\\\""), "labels are JSON-escaped");
+    }
+
+    #[test]
+    fn ndjson_is_one_object_per_line() {
+        let log = sample().to_ndjson();
+        let lines: Vec<&str> = log.lines().collect();
+        assert!(lines.len() >= 7, "tracks + events + counter + dropped: {lines:?}");
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line: {line}");
+        }
+        assert!(log.contains("\"type\":\"span\""));
+        assert!(log.contains("\"type\":\"value\""));
+        assert!(log.contains("\"type\":\"counter\""));
+        assert!(log.contains("\"type\":\"dropped\""));
+    }
+
+    #[test]
+    fn folded_skips_cell_and_orders_instance_gen_frames() {
+        let folded = sample().to_folded();
+        assert!(folded.contains("sweep;mis;sparse-gnp;attempt 70"));
+        assert!(folded.contains("sweep;instance-gen;tree \"quoted\" 20"));
+        assert!(!folded.contains(";cell"), "container span must be skipped: {folded}");
+    }
+
+    #[test]
+    fn exports_of_an_empty_snapshot_are_wellformed() {
+        let empty = Snapshot { tracks: vec![], counters: vec![], dropped: 0 };
+        assert!(empty.to_chrome_trace().contains("\"traceEvents\""));
+        assert_eq!(empty.to_folded(), "");
+        assert_eq!(empty.to_ndjson(), "", "nothing recorded appends nothing to an event log");
+    }
+}
