@@ -79,8 +79,8 @@ impl NodeProgram for HPartitionProg {
     type Output = u64;
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, LeaveMsg>) -> Action<u64> {
-        for m in ctx.inbox().iter() {
-            if m.msg {
+        for (_, &left) in ctx.messages() {
+            if left {
                 self.active_neighbors = self.active_neighbors.saturating_sub(1);
             }
         }

@@ -107,13 +107,41 @@ pub fn linial_final_palette(id_bound: u64, delta: u64) -> u64 {
 /// Stops dividing as soon as the colour is exhausted and pads with zeros: under a generous
 /// identity-bound guess (say `m̃ = 2^48` against identities around `10^4`) almost all high
 /// digits are zero, and skipping their divisions is the hot-path win of the Linial step.
+#[cfg(test)]
 fn push_poly_digits(color: u64, d: u32, q: u64, out: &mut Vec<u64>) {
+    let modq = (q < local_simd::EVAL_POLY_MAX_Q).then(|| local_simd::ModQ::new(q));
+    push_poly_digits_with(color, d, q, modq, out);
+}
+
+/// [`push_poly_digits`] with a caller-supplied reciprocal context, so per-neighbour digit
+/// splits inside one recolouring share a single `ModQ::new`. The reciprocal divisions are
+/// exact (same digits as `%`/`/`) within the `ModQ` operand bound; anything else falls back
+/// to hardware division.
+fn push_poly_digits_with(
+    color: u64,
+    d: u32,
+    q: u64,
+    modq: Option<local_simd::ModQ>,
+    out: &mut Vec<u64>,
+) {
     let mut rest = color;
     let mut produced = 0u32;
-    while rest > 0 && produced <= d {
-        out.push(rest % q);
-        rest /= q;
-        produced += 1;
+    match modq {
+        Some(m) if color < local_simd::ModQ::MAX_OPERAND => {
+            while rest > 0 && produced <= d {
+                let (k, r) = m.div_rem(rest);
+                out.push(r);
+                rest = k;
+                produced += 1;
+            }
+        }
+        _ => {
+            while rest > 0 && produced <= d {
+                out.push(rest % q);
+                rest /= q;
+                produced += 1;
+            }
+        }
     }
     for _ in produced..=d {
         out.push(0);
@@ -165,8 +193,9 @@ fn eval_poly(coeffs: &[u64], a: u64, q: u64) -> u64 {
 }
 
 /// Reusable workspace of the Linial recolouring step: the node's own polynomial digits, the
-/// neighbours' digits (flattened, stride `d + 1`), and the inbox colours. One per node
-/// automaton, reused across rounds — the recolouring allocates nothing after its first use.
+/// neighbours' digits (flattened, stride `d + 1`), and the inbox colours. One per *thread*
+/// (see [`RECOLOR_SCRATCH`]), shared by every node automaton the thread runs — capacities go
+/// warm within the first few recolourings and attempts allocate nothing after that.
 #[derive(Debug, Clone, Default)]
 struct RecolorScratch {
     mine: Vec<u64>,
@@ -174,27 +203,80 @@ struct RecolorScratch {
     neighbor_colors: Vec<u64>,
 }
 
+thread_local! {
+    /// The per-thread recolouring workspace. Node automata run strictly sequentially on
+    /// their thread and a `round()` call never re-enters, so one workspace serves them all —
+    /// unlike a per-program buffer it is not reallocated from empty on every attempt of an
+    /// alternation run.
+    static RECOLOR_SCRATCH: RefCell<RecolorScratch> = RefCell::new(RecolorScratch::default());
+}
+
 impl RecolorScratch {
     /// Given my colour, the neighbour colours staged in `self.neighbor_colors`, and the step
     /// parameters, pick the new colour `a·q + p(a)` for an evaluation point `a` where my
     /// polynomial differs from every neighbour's.
+    ///
+    /// Scan order (and therefore the result) is exactly the reference loop at the bottom:
+    /// smallest evaluation point whose digest differs from every neighbour's, early-exiting
+    /// on the first clash. The arithmetic is tiered for the overwhelmingly common outcome
+    /// that `a = 0` is already free: `p(0)` is just the colour's lowest base-`q` digit, so
+    /// the `a = 0` test is one reciprocal reduction per neighbour — no digit arrays are
+    /// built at all unless `a = 0` clashes.
     fn recolor(&mut self, my_color: u64, d: u32, q: u64) -> u64 {
         let stride = d as usize + 1;
+        // Small-field fast path (the practical case): digit splits and Horner steps go
+        // through the exact reciprocal context, and my own digest is evaluated eight
+        // candidate points at a time by the dispatched block kernel.
+        let modq = (q + 7 < local_simd::EVAL_POLY_MAX_Q).then(|| local_simd::ModQ::new(q));
+        // The digit split truncates at d + 1 digits, so two colours share a polynomial iff
+        // they agree mod q^(d+1) (`None` = the power overflows u64 and nothing truncates).
+        let poly_space = q.checked_pow(d + 1);
+        let same_poly = |c: u64| match poly_space {
+            Some(space) => c % space == my_color % space,
+            None => c == my_color,
+        };
+        let mod_q = |c: u64| match modq {
+            Some(m) if c < local_simd::ModQ::MAX_OPERAND => m.div_rem(c).1,
+            _ => c % q,
+        };
+        // a = 0: the digest is the lowest digit. A neighbour whose *whole polynomial*
+        // equals mine (possible only under bad guesses, when the colour space overflows
+        // the polynomial space) cannot be avoided at any point and is ignored, exactly as
+        // the staged scan below drops it; the (rare) same-lowest-digit neighbours are the
+        // only ones that pay the full-polynomial comparison.
+        let my0 = mod_q(my_color);
+        if !self.neighbor_colors.iter().any(|&c| mod_q(c) == my0 && !same_poly(c)) {
+            return my0;
+        }
+        // a = 0 clashed: stage the digit arrays once and scan the remaining points.
         self.mine.clear();
-        push_poly_digits(my_color, d, q, &mut self.mine);
-        // Note: a neighbour whose polynomial *equals* mine (possible only under bad guesses,
-        // when the colour space overflows the polynomial space) cannot be avoided and is
-        // dropped here, once, instead of being compared at every evaluation point;
-        // correctness is only promised for good guesses, as in the paper.
+        push_poly_digits_with(my_color, d, q, modq, &mut self.mine);
         self.others.clear();
         for &c in &self.neighbor_colors {
-            let start = self.others.len();
-            push_poly_digits(c, d, q, &mut self.others);
-            if self.others[start..] == self.mine[..] {
-                self.others.truncate(start);
+            if !same_poly(c) {
+                push_poly_digits_with(c, d, q, modq, &mut self.others);
             }
         }
-        for a in 0..q {
+        if let Some(m) = modq {
+            // Block-of-8 kernel evaluation for my digest (amortized one dispatch per 8
+            // candidate points), reciprocal Horner for the (early-exiting) neighbour checks.
+            let mut block = [0u64; 8];
+            let mut block_base = u64::MAX;
+            for a in 1..q {
+                let base = a & !7;
+                if base != block_base {
+                    block = local_simd::eval_poly_block8(&self.mine, base, q);
+                    block_base = base;
+                }
+                let val = block[(a - base) as usize];
+                let clash = self.others.chunks_exact(stride).any(|p| m.eval_poly(p, a) == val);
+                if !clash {
+                    return a * q + val;
+                }
+            }
+            return q * q - 1;
+        }
+        for a in 1..q {
             let val = eval_poly(&self.mine, a, q);
             let clash = self.others.chunks_exact(stride).any(|p| eval_poly(p, a, q) == val);
             if !clash {
@@ -206,10 +288,13 @@ impl RecolorScratch {
         q * q - 1
     }
 
-    /// Stages the inbox colours for the next [`RecolorScratch::recolor`] call.
-    fn stage<'a>(&mut self, inbox: impl Iterator<Item = &'a local_runtime::Incoming<u64>>) {
+    /// Stages the received colours for the next [`RecolorScratch::recolor`] call.
+    /// `for_each` (internal iteration) lets stamp-mask message iterators run their tight
+    /// fold loop instead of the per-item `next()` state machine.
+    fn stage(&mut self, colors: impl Iterator<Item = u64>) {
         self.neighbor_colors.clear();
-        self.neighbor_colors.extend(inbox.map(|m| m.msg));
+        let buf = &mut self.neighbor_colors;
+        colors.for_each(|c| buf.push(c));
     }
 }
 
@@ -277,7 +362,6 @@ impl LinialColoring {
 pub struct LinialProg {
     schedule: Arc<[(u32, u64)]>,
     color: u64,
-    scratch: RecolorScratch,
 }
 
 impl NodeProgram for LinialProg {
@@ -289,8 +373,11 @@ impl NodeProgram for LinialProg {
         if t > 0 {
             // Apply step t-1 of the schedule using the neighbour colours broadcast last round.
             if let Some(&(d, q)) = self.schedule.get(t - 1) {
-                self.scratch.stage(ctx.inbox().iter());
-                self.color = self.scratch.recolor(self.color, d, q);
+                self.color = RECOLOR_SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    s.stage(ctx.messages().map(|(_, &c)| c));
+                    s.recolor(self.color, d, q)
+                });
             }
         }
         if t == self.schedule.len() {
@@ -311,7 +398,6 @@ impl ProgramSpec for LinialColoring {
         LinialProg {
             schedule: cached_plan(self.id_bound_guess, self.delta_guess).schedule,
             color: init.id,
-            scratch: RecolorScratch::default(),
         }
     }
 
@@ -408,7 +494,6 @@ pub struct ReducedColoringProg {
     phase: ReducePhase,
     /// Round at which the elimination phase started (= number of Linial rounds).
     eliminate_start: u64,
-    scratch: RecolorScratch,
 }
 
 impl NodeProgram for ReducedColoringProg {
@@ -422,8 +507,11 @@ impl NodeProgram for ReducedColoringProg {
                 let step = t as usize;
                 if step > 0 {
                     if let Some(&(d, q)) = self.schedule.get(step - 1) {
-                        self.scratch.stage(ctx.inbox().iter());
-                        self.color = self.scratch.recolor(self.color, d, q);
+                        self.color = RECOLOR_SCRATCH.with(|s| {
+                            let s = &mut *s.borrow_mut();
+                            s.stage(ctx.messages().map(|(_, &c)| c));
+                            s.recolor(self.color, d, q)
+                        });
                     }
                 }
                 if step == self.schedule.len() {
@@ -443,12 +531,29 @@ impl NodeProgram for ReducedColoringProg {
                 if s >= 1 {
                     let class = self.linial_palette - s;
                     if self.color == class && self.color >= self.target {
-                        // Recolour greedily into [0, target).
-                        let used: std::collections::BTreeSet<u64> =
-                            ctx.inbox().iter().map(|m| m.msg).collect();
-                        self.color = (0..self.target)
-                            .find(|c| !used.contains(c))
-                            .unwrap_or(self.target.saturating_sub(1));
+                        // Recolour greedily into [0, target): smallest colour no neighbour
+                        // uses. Sort-and-scan over the reused scratch buffer instead of a
+                        // `BTreeSet` — same colour, no per-recolour allocation.
+                        let target = self.target;
+                        self.color = RECOLOR_SCRATCH.with(|s| {
+                            let used = &mut s.borrow_mut().neighbor_colors;
+                            used.clear();
+                            ctx.messages().for_each(|(_, &c)| {
+                                if c < target {
+                                    used.push(c);
+                                }
+                            });
+                            used.sort_unstable();
+                            let mut free = 0u64;
+                            for &c in used.iter() {
+                                if c == free {
+                                    free += 1;
+                                } else if c > free {
+                                    break;
+                                }
+                            }
+                            free.min(target.saturating_sub(1))
+                        });
                     }
                     if class <= self.target {
                         self.phase = ReducePhase::Done;
@@ -478,7 +583,6 @@ impl ProgramSpec for ReducedColoring {
             color: init.id,
             phase: ReducePhase::Linial,
             eliminate_start: 0,
-            scratch: RecolorScratch::default(),
         }
     }
 
@@ -541,7 +645,6 @@ impl ProgramSpec for RefineColoring {
             color: *init.input,
             phase: ReducePhase::Linial,
             eliminate_start: 0,
-            scratch: RecolorScratch::default(),
         }
     }
 
@@ -571,7 +674,7 @@ impl NodeProgram for MisFromColoringProg {
     type Output = bool;
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, JoinMsg>) -> Action<bool> {
-        if ctx.inbox().iter().any(|m| m.msg) {
+        if ctx.messages().any(|(_, &joined)| joined) {
             self.dominated = true;
         }
         if self.dominated {

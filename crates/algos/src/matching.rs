@@ -64,7 +64,7 @@ impl NodeProgram for ProposalProg {
     fn round(&mut self, ctx: &mut RoundCtx<'_, ProposalMsg>) -> Action<Partner> {
         // Bookkeeping valid in every round.
         let inbox: Vec<(usize, ProposalMsg)> =
-            ctx.inbox().iter().map(|m| (m.port, m.msg)).collect();
+            ctx.messages().map(|(port, &msg)| (port, msg)).collect();
         for &(port, msg) in &inbox {
             match msg {
                 ProposalMsg::Matched | ProposalMsg::Retired => self.available[port] = false,
@@ -181,7 +181,8 @@ impl NodeProgram for PointerProg {
     type Output = Partner;
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, PointerMsg>) -> Action<Partner> {
-        let inbox: Vec<(usize, PointerMsg)> = ctx.inbox().iter().map(|m| (m.port, m.msg)).collect();
+        let inbox: Vec<(usize, PointerMsg)> =
+            ctx.messages().map(|(port, &msg)| (port, msg)).collect();
         for &(port, msg) in &inbox {
             match msg {
                 PointerMsg::Matched | PointerMsg::Retired => self.available[port] = false,
@@ -264,9 +265,9 @@ impl NodeProgram for GreedyClassProg {
     type Output = Partner;
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, MatchedMsg>) -> Action<Partner> {
-        for m in ctx.inbox().iter() {
-            if m.msg {
-                self.neighbor_matched[m.port] = true;
+        for (port, &matched) in ctx.messages() {
+            if matched {
+                self.neighbor_matched[port] = true;
             }
         }
         let t = ctx.round();

@@ -58,14 +58,14 @@ impl NodeProgram for LubyProg {
     fn round(&mut self, ctx: &mut RoundCtx<'_, LubyMsg>) -> Action<bool> {
         // Phases of two rounds: even round = draw + broadcast value, odd round = compare and
         // possibly join, then announce.
-        for m in ctx.inbox().iter() {
-            match m.msg {
+        for (port, msg) in ctx.messages() {
+            match *msg {
                 LubyMsg::Joined => {
                     self.dominated = true;
-                    self.undecided_neighbors[m.port] = false;
+                    self.undecided_neighbors[port] = false;
                 }
                 LubyMsg::Retired => {
-                    self.undecided_neighbors[m.port] = false;
+                    self.undecided_neighbors[port] = false;
                 }
                 LubyMsg::Value(_) => {}
             }
@@ -87,9 +87,9 @@ impl NodeProgram for LubyProg {
             // Join if my value is a strict local maximum among undecided neighbours
             // (ties broken against joining keeps adjacent nodes from joining together).
             let mut is_max = true;
-            for m in ctx.inbox().iter() {
-                if let LubyMsg::Value(v) = m.msg {
-                    if self.undecided_neighbors[m.port] && v >= self.my_value {
+            for (port, msg) in ctx.messages() {
+                if let LubyMsg::Value(v) = *msg {
+                    if self.undecided_neighbors[port] && v >= self.my_value {
                         is_max = false;
                     }
                 }
@@ -146,14 +146,14 @@ impl NodeProgram for GreedyMisProg {
     type Output = bool;
 
     fn round(&mut self, ctx: &mut RoundCtx<'_, GreedyMsg>) -> Action<bool> {
-        for m in ctx.inbox().iter() {
-            match m.msg {
+        for (port, msg) in ctx.messages() {
+            match *msg {
                 GreedyMsg::Joined => {
                     self.dominated = true;
-                    self.undecided_neighbors[m.port] = false;
+                    self.undecided_neighbors[port] = false;
                 }
                 GreedyMsg::Retired => {
-                    self.undecided_neighbors[m.port] = false;
+                    self.undecided_neighbors[port] = false;
                 }
             }
         }

@@ -274,10 +274,11 @@ fn dry_run(grid: &ScenarioGrid, cache: Option<&SweepCache>) -> ExitCode {
     let order = model.order_slowest_first(&cells, missed);
     println!(
         "dry-run: {} cells, {} served from cache (they calibrate the cost model), {} to \
-         execute in LPT (slowest-first) order:",
+         execute in LPT (slowest-first) order [{}]:",
         cells.len(),
         cached,
-        order.len()
+        order.len(),
+        local_simd::dispatch_report()
     );
     println!("{:>5} {:>16}  cell", "rank", "predicted-us");
     let mut total = 0.0;
@@ -364,13 +365,14 @@ fn main() -> ExitCode {
         ),
     };
     eprintln!(
-        "sweep: {} cells ({} problems × {} families × {} sizes × {} seeds), {}",
+        "sweep: {} cells ({} problems × {} families × {} sizes × {} seeds), {}, {}",
         grid.cell_count(),
         grid.problems.len(),
         grid.families.len(),
         grid.sizes.len(),
         grid.replicates,
-        backend_label
+        backend_label,
+        local_simd::dispatch_report()
     );
 
     let meter = args.progress.then(ProgressMeter::new);
@@ -439,6 +441,18 @@ fn main() -> ExitCode {
         report.total_wall_micros as f64 / 1000.0,
         invalid
     );
+    let peak_kb = local_obs::sample_peak_rss_kb();
+    if peak_kb > 0 {
+        let arena = local_obs::counter_value(local_obs::metrics::ARENA_ARCS);
+        if arena > 0 {
+            println!(
+                "peak RSS {:.1} MiB, arena high-water {arena} live message arcs",
+                peak_kb as f64 / 1024.0
+            );
+        } else {
+            println!("peak RSS {:.1} MiB", peak_kb as f64 / 1024.0);
+        }
+    }
 
     if let Some(path) = &args.out {
         if let Err(e) = std::fs::write(path, report.to_json()) {

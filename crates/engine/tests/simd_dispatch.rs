@@ -1,0 +1,74 @@
+//! SIMD dispatch must be invisible in every deterministic output: a full-catalog sweep
+//! forced to the portable scalar kernels (`LOCAL_SIMD=scalar`) must produce byte-identical
+//! CSV and JSON report bytes to the same sweep under automatic dispatch. The two runs are
+//! separate processes because the dispatch level is detected once and cached per process.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn sweep_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sweep")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simd-dispatch-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Runs a full-catalog deterministic sweep and returns `(csv bytes, json bytes, stderr)`.
+fn full_catalog_sweep(
+    dir: &std::path::Path,
+    tag: &str,
+    simd: Option<&str>,
+) -> (Vec<u8>, Vec<u8>, String) {
+    let csv = dir.join(format!("{tag}.csv"));
+    let json = dir.join(format!("{tag}.json"));
+    let mut command = Command::new(sweep_bin());
+    command.args(["--problems", "all", "--families", "all", "--sizes", "40,64", "--seeds", "1"]);
+    command.args(["--no-cache", "--threads", "1", "--deterministic"]);
+    command.args(["--csv", csv.to_str().unwrap(), "--out", json.to_str().unwrap()]);
+    match simd {
+        Some(level) => {
+            command.env("LOCAL_SIMD", level);
+        }
+        None => {
+            command.env_remove("LOCAL_SIMD");
+        }
+    }
+    let output = command.output().expect("sweep runs");
+    assert!(
+        output.status.success(),
+        "sweep ({tag}) failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (
+        std::fs::read(&csv).expect("csv written"),
+        std::fs::read(&json).expect("json written"),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn scalar_and_auto_dispatch_sweeps_are_byte_identical() {
+    let dir = temp_dir("scalar-vs-auto");
+    let (csv_auto, json_auto, stderr_auto) = full_catalog_sweep(&dir, "auto", None);
+    let (csv_scalar, json_scalar, stderr_scalar) =
+        full_catalog_sweep(&dir, "scalar", Some("scalar"));
+
+    // The header's dispatch report proves each process really ran the level under test.
+    assert!(
+        stderr_scalar.contains("simd: scalar"),
+        "forced-scalar run did not report scalar dispatch:\n{stderr_scalar}"
+    );
+    assert!(stderr_auto.contains("simd: "), "auto run reported no dispatch:\n{stderr_auto}");
+
+    assert!(
+        !csv_auto.is_empty() && csv_auto.iter().filter(|&&b| b == b'\n').count() > 100,
+        "full-catalog CSV is suspiciously small"
+    );
+    assert_eq!(csv_scalar, csv_auto, "scalar and auto-dispatch CSV bytes diverged");
+    assert_eq!(json_scalar, json_auto, "scalar and auto-dispatch JSON report bytes diverged");
+    let _ = std::fs::remove_dir_all(&dir);
+}

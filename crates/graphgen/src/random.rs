@@ -36,25 +36,12 @@ pub fn gnp_avg_degree(n: usize, c: f64, seed: u64) -> Graph {
     gnp(n, p, seed)
 }
 
-/// Erdős–Rényi `G(n, p)` in `O(n + m)` expected time via Batagelj–Brandes skip sampling:
-/// instead of flipping a coin per pair, jump geometric gaps between successive edges of the
-/// row-major upper triangle. Same distribution as [`gnp`], different (still deterministic)
-/// draw — the two are separate generators, not interchangeable seed-for-seed.
-pub fn gnp_skip(n: usize, p: f64, seed: u64) -> Graph {
-    let p = p.clamp(0.0, 1.0);
-    if n == 0 || p <= 0.0 {
-        return Graph::from_edges(n, &[]).expect("empty gnp edges are valid");
-    }
-    if p >= 1.0 {
-        let edges: Vec<(usize, usize)> =
-            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
-        return Graph::from_edges(n, &edges).expect("complete gnp edges are valid");
-    }
+/// Replays the Batagelj–Brandes skip walk for `G(n, p)` with `ln_q = ln(1 - p)`: `(v, w)`
+/// walks the strictly-lower-triangular adjacency (`w < v`) in row-major order, each uniform
+/// draw advancing by one plus a geometric number of skipped pairs. Calls `emit(w, v)` per
+/// edge, in walk order. Deterministic in `seed`, so two passes see the identical edge stream.
+fn gnp_skip_walk(n: usize, ln_q: f64, seed: u64, mut emit: impl FnMut(usize, usize)) {
     let mut r = rng(seed);
-    let ln_q = (1.0 - p).ln();
-    let mut edges = Vec::new();
-    // `(v, w)` walks the strictly-lower-triangular adjacency (w < v) in row-major order;
-    // each uniform draw advances by one plus a geometric number of skipped pairs.
     let mut v: usize = 1;
     let mut w: i64 = -1;
     while v < n {
@@ -66,10 +53,56 @@ pub fn gnp_skip(n: usize, p: f64, seed: u64) -> Graph {
             v += 1;
         }
         if v < n {
-            edges.push((w as usize, v));
+            emit(w as usize, v);
         }
     }
-    Graph::from_edges(n, &edges).expect("skip-sampled gnp edges are valid")
+}
+
+/// Erdős–Rényi `G(n, p)` in `O(n + m)` expected time via Batagelj–Brandes skip sampling:
+/// instead of flipping a coin per pair, jump geometric gaps between successive edges of the
+/// row-major upper triangle. Same distribution as [`gnp`], different (still deterministic)
+/// draw — the two are separate generators, not interchangeable seed-for-seed.
+///
+/// The CSR is built directly by replaying the deterministic walk twice — one pass counts
+/// degrees, one places arcs and their mirror positions — so no intermediate edge `Vec` is
+/// ever materialized. The walk emits each node's smaller neighbors (while the walk is on its
+/// row, `w` ascending) before its larger ones (later rows, `v` ascending), so every row comes
+/// out sorted and the result is bit-identical to routing the same stream through
+/// [`Graph::from_edges`], without its `O(m log m)` dedup-and-sort. At `n = 10^7` this also
+/// halves peak memory: the graph's own arrays are the only edge-sized allocations.
+pub fn gnp_skip(n: usize, p: f64, seed: u64) -> Graph {
+    let p = p.clamp(0.0, 1.0);
+    if n == 0 || p <= 0.0 {
+        return Graph::from_edges(n, &[]).expect("empty gnp edges are valid");
+    }
+    if p >= 1.0 {
+        let edges: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
+        return Graph::from_edges(n, &edges).expect("complete gnp edges are valid");
+    }
+    let ln_q = (1.0 - p).ln();
+    let mut offsets = vec![0usize; n + 1];
+    gnp_skip_walk(n, ln_q, seed, |w, v| {
+        offsets[w + 1] += 1;
+        offsets[v + 1] += 1;
+    });
+    for v in 0..n {
+        offsets[v + 1] += offsets[v];
+    }
+    let arcs = offsets[n];
+    let mut adjacency = vec![0usize; arcs];
+    let mut reverse = vec![0usize; arcs];
+    let mut cursor: Vec<usize> = offsets[..n].to_vec();
+    gnp_skip_walk(n, ln_q, seed, |w, v| {
+        let (kw, kv) = (cursor[w], cursor[v]);
+        adjacency[kw] = v;
+        adjacency[kv] = w;
+        reverse[kw] = kv;
+        reverse[kv] = kw;
+        cursor[w] = kw + 1;
+        cursor[v] = kv + 1;
+    });
+    Graph::from_csr(offsets, adjacency, reverse).expect("skip-sampled CSR is valid")
 }
 
 /// [`gnp_skip`] with `p = c / n`, i.e. expected average degree `c` — the generator behind
@@ -256,6 +289,19 @@ mod tests {
         pairs.sort_unstable();
         pairs.dedup();
         assert_eq!(pairs.len(), count);
+    }
+
+    #[test]
+    fn gnp_skip_csr_build_matches_the_edge_list_path_exactly() {
+        // The direct-CSR build must be bit-identical to collecting the same walk's edges
+        // and routing them through `Graph::from_edges` (offsets, adjacency, reverse, ids).
+        for (n, p, seed) in [(120, 0.05, 7), (300, 0.02, 1), (64, 0.3, 9), (2, 0.9, 3)] {
+            let direct = gnp_skip(n, p, seed);
+            let mut edges = Vec::new();
+            gnp_skip_walk(n, (1.0 - p).ln(), seed, |w, v| edges.push((w, v)));
+            let reference = Graph::from_edges(n, &edges).expect("walk edges are valid");
+            assert_eq!(direct, reference, "n={n} p={p} seed={seed}");
+        }
     }
 
     #[test]

@@ -75,6 +75,11 @@ pub enum GraphError {
         /// Number of identities supplied.
         got: usize,
     },
+    /// Prebuilt CSR arrays handed to [`Graph::from_csr`] violated an invariant.
+    InvalidCsr {
+        /// Which invariant failed.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -88,6 +93,7 @@ impl fmt::Display for GraphError {
             GraphError::IdCountMismatch { expected, got } => {
                 write!(f, "expected {expected} identities, got {got}")
             }
+            GraphError::InvalidCsr { detail } => write!(f, "invalid CSR input: {detail}"),
         }
     }
 }
@@ -167,6 +173,66 @@ impl Graph {
         }
         let reverse = Self::compute_reverse(&offsets, &adjacency);
         Ok(Graph { offsets, adjacency, reverse, ids: ids.to_vec() })
+    }
+
+    /// Builds a graph (identities `0..n`) directly from prebuilt CSR arrays, skipping the
+    /// edge-list round trip entirely — no edge `Vec`, no dedup set, no per-row re-sort.
+    ///
+    /// This is the constructor behind `local-graphs`' `O(n + m)` direct-CSR generators,
+    /// which emit arcs already row-sorted and place each arc's mirror position as they go.
+    /// All invariants are validated in `O(n + m)` (cheap linear scans relative to any
+    /// generator that could have produced the arrays):
+    ///
+    /// * `offsets` is monotone, starts at 0, and its last entry equals `adjacency.len()`
+    ///   (which must equal `reverse.len()`);
+    /// * every row is strictly ascending with endpoints in range and no self-loop;
+    /// * `reverse[k]` points at the mirror arc of `adjacency[k]` (which also forces the
+    ///   adjacency to be symmetric).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InvalidCsr`] naming the violated invariant.
+    pub fn from_csr(
+        offsets: Vec<usize>,
+        adjacency: Vec<NodeIndex>,
+        reverse: Vec<usize>,
+    ) -> Result<Self, GraphError> {
+        let invalid = |detail| Err(GraphError::InvalidCsr { detail });
+        if offsets.is_empty() || offsets[0] != 0 {
+            return invalid("offsets must start with 0");
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return invalid("offsets must be monotone");
+        }
+        let n = offsets.len() - 1;
+        if *offsets.last().expect("non-empty") != adjacency.len() {
+            return invalid("offsets must end at adjacency.len()");
+        }
+        if reverse.len() != adjacency.len() {
+            return invalid("reverse must have one entry per arc");
+        }
+        for u in 0..n {
+            let row = &adjacency[offsets[u]..offsets[u + 1]];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return invalid("rows must be strictly ascending");
+            }
+            if row.last().is_some_and(|&w| w >= n) {
+                return invalid("neighbor index out of range");
+            }
+            if row.binary_search(&u).is_ok() {
+                return invalid("self-loop");
+            }
+            for k in offsets[u]..offsets[u + 1] {
+                let v = adjacency[k];
+                let rv = reverse[k];
+                if rv < offsets[v] || rv >= offsets[v + 1] || adjacency[rv] != u || reverse[rv] != k
+                {
+                    return invalid("reverse arc must mirror its arc");
+                }
+            }
+        }
+        let ids: Vec<NodeId> = (0..n as u64).collect();
+        Ok(Graph { offsets, adjacency, reverse, ids })
     }
 
     fn compute_reverse(offsets: &[usize], adjacency: &[NodeIndex]) -> Vec<usize> {
@@ -446,6 +512,50 @@ mod tests {
         let g = Graph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
         assert_eq!(g.edge_count(), 1);
         assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn from_csr_accepts_what_from_edges_builds() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let rebuilt =
+            Graph::from_csr(g.offsets.clone(), g.adjacency.clone(), g.reverse.clone()).unwrap();
+        assert_eq!(rebuilt, g);
+        let empty = Graph::from_csr(vec![0], vec![], vec![]).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn from_csr_rejects_malformed_inputs() {
+        let detail = |r: Result<Graph, GraphError>| match r {
+            Err(GraphError::InvalidCsr { detail }) => detail,
+            other => panic!("expected InvalidCsr, got {other:?}"),
+        };
+        assert_eq!(detail(Graph::from_csr(vec![], vec![], vec![])), "offsets must start with 0");
+        assert_eq!(
+            detail(Graph::from_csr(vec![0, 2, 1], vec![1, 0, 0], vec![2, 1, 0])),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            detail(Graph::from_csr(vec![0, 1, 3], vec![1, 0], vec![1, 0])),
+            "offsets must end at adjacency.len()"
+        );
+        assert_eq!(
+            detail(Graph::from_csr(vec![0, 1, 2], vec![1, 0], vec![1])),
+            "reverse must have one entry per arc"
+        );
+        assert_eq!(
+            detail(Graph::from_csr(vec![0, 2, 3, 4], vec![2, 1, 0, 0], vec![3, 2, 1, 0])),
+            "rows must be strictly ascending"
+        );
+        assert_eq!(
+            detail(Graph::from_csr(vec![0, 1, 2], vec![5, 0], vec![1, 0])),
+            "neighbor index out of range"
+        );
+        assert_eq!(detail(Graph::from_csr(vec![0, 1], vec![0], vec![0])), "self-loop");
+        assert_eq!(
+            detail(Graph::from_csr(vec![0, 1, 2], vec![1, 0], vec![0, 1])),
+            "reverse arc must mirror its arc"
+        );
     }
 
     #[test]

@@ -106,14 +106,36 @@ pub struct Incoming<M> {
 
 /// The per-round view a node has of the world: its inbox, an outbox, its clock and its
 /// private randomness.
+///
+/// The inbox is staged *lazily*: the runtime hands the context the node's raw dense-arc
+/// stamp/payload segments, and the first call to [`RoundCtx::inbox`] (or
+/// [`RoundCtx::received_on`]) scans the stamps — with the dispatched `local-simd` kernel —
+/// and clones out the matching payloads. Nodes that skip their inbox in a round (e.g. a
+/// colour class waiting its turn) pay nothing for the messages they ignore.
 pub struct RoundCtx<'a, M> {
     pub(crate) round: u64,
     pub(crate) degree: usize,
     pub(crate) neighbor_ids: &'a [NodeId],
-    pub(crate) inbox: &'a [Incoming<M>],
+    /// Staging buffer for the inbox; valid only once `staged` is set.
+    pub(crate) inbox: &'a mut Vec<Incoming<M>>,
+    /// Whether `inbox` already reflects this node's segment for this round.
+    pub(crate) staged: &'a mut bool,
+    /// The node's dense-arc stamp segment in the read arena (one cell per port).
+    pub(crate) stamps: &'a [u64],
+    /// Message payloads parallel to `stamps`.
+    pub(crate) payloads: &'a [Option<M>],
+    /// Stamp value marking messages sent in the previous round.
+    pub(crate) read_tick: u64,
     pub(crate) outbox: &'a mut Vec<(usize, M)>,
     pub(crate) broadcast: &'a mut Option<M>,
-    pub(crate) rng: &'a mut ChaCha8Rng,
+    /// Lazily-drawn private random stream: the slot belongs to the run whose tick stamp
+    /// matches `rng_key.0`; any other stamp is a stale stream from an earlier run and is
+    /// re-derived on first use. Deterministic programs never touch the slot, so runs of
+    /// them skip the per-node stream derivation entirely.
+    pub(crate) rng_slot: &'a mut Option<(u64, ChaCha8Rng)>,
+    /// `(run tick stamp, execution seed, node identity)` — the derivation key of the
+    /// node's stream for this run.
+    pub(crate) rng_key: (u64, u64, NodeId),
 }
 
 impl<'a, M: Clone> RoundCtx<'a, M> {
@@ -135,14 +157,60 @@ impl<'a, M: Clone> RoundCtx<'a, M> {
         self.neighbor_ids
     }
 
-    /// Messages received this round, tagged with the arrival port.
-    pub fn inbox(&self) -> &[Incoming<M>] {
+    /// Messages received this round, tagged with the arrival port (port-ascending).
+    pub fn inbox(&mut self) -> &[Incoming<M>] {
+        self.stage();
         self.inbox
     }
 
+    /// Iterates `(port, message)` over this round's arrivals, port-ascending, **without
+    /// staging**: the iterator walks the raw stamp segment (64-arc SIMD match masks) and
+    /// borrows payloads in place — no clone, no buffer. Same arrivals in the same order as
+    /// [`RoundCtx::inbox`] (the staged buffer is just a materialization of the same
+    /// segment, so mixing the two within a round agrees); prefer this in hot per-round
+    /// loops.
+    pub fn messages(&self) -> Messages<'_, M> {
+        Messages {
+            stamps: self.stamps,
+            payloads: self.payloads,
+            read_tick: self.read_tick,
+            chunk: 0,
+            next_chunk: 0,
+            mask: 0,
+        }
+    }
+
+    /// Number of messages received this round — one SIMD stamp-count pass, no staging.
+    pub fn received_count(&self) -> usize {
+        local_simd::stamp_match_count(self.stamps, self.read_tick)
+    }
+
     /// Convenience: the message received on `port` this round, if any.
-    pub fn received_on(&self, port: usize) -> Option<&M> {
+    pub fn received_on(&mut self, port: usize) -> Option<&M> {
+        self.stage();
         self.inbox.iter().find(|m| m.port == port).map(|m| &m.msg)
+    }
+
+    /// Fills the staging buffer from the raw stamp/payload segments on first access: a
+    /// 64-arc-chunked stamp-match mask (SIMD-dispatched), then one clone per set bit.
+    fn stage(&mut self) {
+        if *self.staged {
+            return;
+        }
+        *self.staged = true;
+        // The segment refs live for 'a, independent of this borrow of self, so the raw
+        // iterator and the staging pushes don't conflict.
+        let raw = Messages {
+            stamps: self.stamps,
+            payloads: self.payloads,
+            read_tick: self.read_tick,
+            chunk: 0,
+            next_chunk: 0,
+            mask: 0,
+        };
+        let inbox = &mut *self.inbox;
+        inbox.clear();
+        raw.fold((), |(), (port, msg)| inbox.push(Incoming { port, msg: msg.clone() }));
     }
 
     /// Queues a message to the neighbor on `port`, delivered before that neighbor's next round.
@@ -171,58 +239,160 @@ impl<'a, M: Clone> RoundCtx<'a, M> {
     }
 
     /// The node's private, reproducible random stream (independent across nodes).
+    ///
+    /// Derived on first use per run from the run's seed and the node identity — the stream
+    /// (and its position) is exactly what an eager per-run initialization would serve, but
+    /// runs that never ask pay nothing.
     pub fn rng(&mut self) -> &mut ChaCha8Rng {
-        self.rng
+        let (stamp, seed, id) = self.rng_key;
+        let fresh = !matches!(self.rng_slot, Some((s, _)) if *s == stamp);
+        if fresh {
+            *self.rng_slot = Some((stamp, crate::rng::node_rng(seed, id)));
+        }
+        &mut self.rng_slot.as_mut().expect("slot filled above").1
+    }
+}
+
+/// Iterator over one round's arrivals, see [`RoundCtx::messages`].
+///
+/// Walks the stamp segment one 64-arc chunk at a time, pulling a SIMD match mask per chunk
+/// and peeling set bits. `fold` is overridden with the tight two-level loop, so
+/// internal-iteration consumers (`for_each` and adapters over it) skip the per-item state
+/// machine of [`Messages::next`].
+pub struct Messages<'b, M> {
+    stamps: &'b [u64],
+    payloads: &'b [Option<M>],
+    read_tick: u64,
+    /// Base port of the chunk `mask` refers to.
+    chunk: usize,
+    /// Base port of the next chunk to scan.
+    next_chunk: usize,
+    mask: u64,
+}
+
+impl<'b, M> Iterator for Messages<'b, M> {
+    type Item = (usize, &'b M);
+
+    #[inline]
+    fn next(&mut self) -> Option<(usize, &'b M)> {
+        loop {
+            while self.mask != 0 {
+                let port = self.chunk + self.mask.trailing_zeros() as usize;
+                self.mask &= self.mask - 1;
+                if let Some(msg) = &self.payloads[port] {
+                    return Some((port, msg));
+                }
+            }
+            if self.next_chunk >= self.stamps.len() {
+                return None;
+            }
+            let end = (self.next_chunk + 64).min(self.stamps.len());
+            self.mask =
+                local_simd::stamp_match_mask64(&self.stamps[self.next_chunk..end], self.read_tick);
+            self.chunk = self.next_chunk;
+            self.next_chunk = end;
+        }
+    }
+
+    #[inline]
+    fn fold<B, F>(mut self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, (usize, &'b M)) -> B,
+    {
+        let mut acc = init;
+        loop {
+            while self.mask != 0 {
+                let port = self.chunk + self.mask.trailing_zeros() as usize;
+                self.mask &= self.mask - 1;
+                if let Some(msg) = &self.payloads[port] {
+                    acc = f(acc, (port, msg));
+                }
+            }
+            if self.next_chunk >= self.stamps.len() {
+                return acc;
+            }
+            let end = (self.next_chunk + 64).min(self.stamps.len());
+            self.mask =
+                local_simd::stamp_match_mask64(&self.stamps[self.next_chunk..end], self.read_tick);
+            self.chunk = self.next_chunk;
+            self.next_chunk = end;
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn round_ctx_send_and_broadcast() {
-        let inbox: Vec<Incoming<u32>> = vec![Incoming { port: 1, msg: 42 }];
+        // Raw arena segments: only port 1 carries a message stamped with the read tick
+        // (port 0 holds a stale stamp from an earlier round, port 2 was never written).
+        let stamps = [3u64, 5, 0];
+        let payloads: [Option<u32>; 3] = [Some(13), Some(42), None];
+        let mut inbox: Vec<Incoming<u32>> = Vec::new();
+        let mut staged = false;
         let mut outbox = Vec::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng_slot = None;
         let neighbor_ids = [7u64, 8, 9];
         let mut bcast = None;
         let mut ctx = RoundCtx {
             round: 3,
             degree: 3,
             neighbor_ids: &neighbor_ids,
-            inbox: &inbox,
+            inbox: &mut inbox,
+            staged: &mut staged,
+            stamps: &stamps,
+            payloads: &payloads,
+            read_tick: 5,
             outbox: &mut outbox,
             broadcast: &mut bcast,
-            rng: &mut rng,
+            rng_slot: &mut rng_slot,
+            rng_key: (1, 0, 7),
         };
         assert_eq!(ctx.round(), 3);
         assert_eq!(ctx.degree(), 3);
         assert_eq!(ctx.neighbor_ids(), &[7, 8, 9]);
         assert_eq!(ctx.received_on(1), Some(&42));
         assert_eq!(ctx.received_on(0), None);
+        assert_eq!(ctx.inbox().len(), 1);
         ctx.send(2, 7);
         ctx.broadcast(9);
+        {
+            use rand::RngCore;
+            // The lazily-drawn stream is exactly node_rng(seed, id), kept across calls.
+            let first = ctx.rng().next_u64();
+            let mut reference = crate::rng::node_rng(0, 7);
+            assert_eq!(first, reference.next_u64());
+            assert_eq!(ctx.rng().next_u64(), reference.next_u64());
+        }
         assert_eq!(outbox, vec![(2, 7)]);
         assert_eq!(bcast, Some(9));
+        assert!(staged, "first inbox access must mark the segment staged");
+        assert!(rng_slot.is_some(), "rng access must fill the slot");
     }
 
     #[test]
     #[should_panic(expected = "send on port")]
     fn send_out_of_range_panics() {
-        let inbox: Vec<Incoming<u32>> = vec![];
+        let mut inbox: Vec<Incoming<u32>> = Vec::new();
+        let mut staged = false;
         let mut outbox = Vec::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut rng_slot = None;
         let mut bcast = None;
         let mut ctx = RoundCtx {
             round: 0,
             degree: 1,
             neighbor_ids: &[4],
-            inbox: &inbox,
+            inbox: &mut inbox,
+            staged: &mut staged,
+            stamps: &[0],
+            payloads: &[None],
+            read_tick: 1,
             outbox: &mut outbox,
             broadcast: &mut bcast,
-            rng: &mut rng,
+            rng_slot: &mut rng_slot,
+            rng_key: (1, 0, 4),
         };
         ctx.send(1, 0);
     }

@@ -15,7 +15,7 @@
 
 use crate::graph::{Graph, NodeId};
 use crate::program::{Action, Incoming, NodeInit, NodeProgram, ProgramSpec, RoundCtx};
-use crate::rng::node_rng;
+
 use crate::runner::{Execution, RunConfig};
 use crate::trace::{ExecutionTrace, RoundTrace};
 use crate::view::GraphView;
@@ -129,14 +129,15 @@ struct InitSlab {
     /// never reused (see [`Topology::content_epoch`]).
     key: Option<u64>,
     ids: Vec<NodeId>,
-    degrees: Vec<usize>,
-    /// Dense arc offsets: node `v`'s ports occupy arcs `offsets[v]..offsets[v + 1]`.
-    offsets: Vec<usize>,
+    /// Dense arc offsets: node `v`'s ports occupy arcs `offsets[v]..offsets[v + 1]`; the
+    /// degree is the segment width, so no separate degree array is kept. Stored as `u32`
+    /// (rebuild asserts the arc count fits), halving the slab's routing footprint.
+    offsets: Vec<u32>,
     neighbor_ids: Vec<NodeId>,
     /// Per arc `offsets[v] + p`: the arc cell a message sent by `v` on port `p` lands in
     /// (the receiver's segment base plus the arrival port) — message routing becomes one
     /// contiguous read and one indexed write.
-    arrival_arc: Vec<usize>,
+    arrival_arc: Vec<u32>,
 }
 
 impl InitSlab {
@@ -144,7 +145,6 @@ impl InitSlab {
     fn rebuild<T: Topology>(&mut self, topo: &T) {
         self.key = topo.content_epoch();
         self.ids.clear();
-        self.degrees.clear();
         self.offsets.clear();
         self.neighbor_ids.clear();
         self.offsets.push(0);
@@ -152,41 +152,48 @@ impl InitSlab {
             let s = topo.slot(v);
             let degree = topo.slot_degree(s);
             self.ids.push(topo.id(v));
-            self.degrees.push(degree);
             for port in 0..degree {
                 self.neighbor_ids.push(topo.slot_id(topo.slot_neighbor(s, port)));
             }
-            self.offsets.push(self.neighbor_ids.len());
+            let arcs = u32::try_from(self.neighbor_ids.len())
+                .expect("arc count exceeds the u32 arena limit");
+            self.offsets.push(arcs);
         }
         // Second pass (offsets are complete now): freeze the routing table.
         self.arrival_arc.clear();
         for v in 0..topo.node_count() {
             let s = topo.slot(v);
-            for port in 0..self.degrees[v] {
+            for port in 0..self.degree(v) {
                 let w = topo.slot_node(topo.slot_neighbor(s, port));
-                self.arrival_arc.push(self.offsets[w] + topo.slot_reverse_port(s, port));
+                self.arrival_arc.push(self.offsets[w] + topo.slot_reverse_port(s, port) as u32);
             }
         }
     }
 
     /// Total number of (live) arcs — the message arenas' length.
     fn arc_count(&self) -> usize {
-        *self.offsets.last().unwrap_or(&0)
+        *self.offsets.last().unwrap_or(&0) as usize
+    }
+
+    /// Degree of node `v` (its dense-arc segment width).
+    fn degree(&self, v: usize) -> usize {
+        (self.offsets[v + 1] - self.offsets[v]) as usize
     }
 
     /// Port-ordered neighbor identities of node `v`.
     fn neighbors(&self, v: usize) -> &[NodeId] {
-        &self.neighbor_ids[self.offsets[v]..self.offsets[v + 1]]
+        &self.neighbor_ids[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 }
 
 /// The flat, tick-stamped message arena for one message type, pooled across runs by
 /// [`Session`].
 ///
-/// One cell per *arc* of the (base) graph: a message sent to slot `w`'s port `p` in round
-/// `r` is a single indexed write of `(tick(r), msg)` into cell `arc_base(w) + p` of the
-/// round's write arena; the receiver reads its contiguous cell segment in round `r + 1` and
-/// accepts exactly the cells stamped `tick(r)`. Two arenas alternate by round parity so a
+/// One cell per *arc* of the (base) graph, split structure-of-arrays into a stamp plane and
+/// a payload plane: a message sent to slot `w`'s port `p` in round `r` writes `tick(r)` and
+/// the payload into cell `arc_base(w) + p` of the round's write arena; the receiver reads
+/// its contiguous cell segment in round `r + 1` and accepts exactly the cells stamped
+/// `tick(r)` (a dense `u64` scan served by the `local-simd` stamp kernels). Two arenas alternate by round parity so a
 /// same-round send can never overwrite a message the receiver has not read yet (each arc
 /// has one sender, so a cell is rewritten at the earliest two rounds after it was written —
 /// strictly after its read round). Ticks grow monotonically across rounds *and runs* (with
@@ -194,9 +201,13 @@ impl InitSlab {
 /// the per-message cost drops to one indexed write, and the per-round bookkeeping of the
 /// previous inbox design (touched lists, buffer swaps, clears) disappears entirely.
 struct MsgBuffers<M> {
-    /// `(stamp, message)` per arc, one arena per round parity; `stamp == 0` marks a
-    /// never-written cell (ticks start at 1).
-    cells: [Vec<(u64, Option<M>)>; 2],
+    /// Tick stamp per arc, one arena per round parity; `stamp == 0` marks a never-written
+    /// cell (ticks start at 1). Kept separate from the payloads so the per-node inbox scan
+    /// is a dense `u64` pass the `local-simd` stamp kernels handle in 2–4 lanes per
+    /// instruction, instead of a strided walk over `(u64, Option<M>)` pairs.
+    stamps: [Vec<u64>; 2],
+    /// Message payload per arc, parallel to `stamps`.
+    payloads: [Vec<Option<M>>; 2],
     /// The inbox staging buffer served to the running node (port-ascending).
     inbox: Vec<Incoming<M>>,
     /// The outbox staging buffer handed to the running node.
@@ -205,15 +216,25 @@ struct MsgBuffers<M> {
 
 impl<M> MsgBuffers<M> {
     fn new() -> Self {
-        MsgBuffers { cells: [Vec::new(), Vec::new()], inbox: Vec::new(), outbox: Vec::new() }
+        MsgBuffers {
+            stamps: [Vec::new(), Vec::new()],
+            payloads: [Vec::new(), Vec::new()],
+            inbox: Vec::new(),
+            outbox: Vec::new(),
+        }
     }
 
     /// Grows the arenas to `arcs` cells (never shrinks — capacities stay warm) and clears the
     /// staging buffers. Stale cells need no reset: their stamps can never match a fresh tick.
     fn reset(&mut self, arcs: usize) {
-        for arena in &mut self.cells {
+        for arena in &mut self.stamps {
             if arena.len() < arcs {
-                arena.resize_with(arcs, || (0, None));
+                arena.resize(arcs, 0);
+            }
+        }
+        for arena in &mut self.payloads {
+            if arena.len() < arcs {
+                arena.resize_with(arcs, || None);
             }
         }
         self.inbox.clear();
@@ -233,7 +254,10 @@ impl<M> MsgBuffers<M> {
 /// alternating drivers of `local-uniform` do).
 #[derive(Default)]
 pub struct Session {
-    rngs: Vec<ChaCha8Rng>,
+    /// Per-node lazily-drawn RNG slots, stamped with the tick base of the run that filled
+    /// them (see [`RoundCtx::rng`]); a stale stamp means "not drawn this run", so nothing
+    /// is cleared between runs and deterministic programs never pay a stream derivation.
+    rngs: Vec<Option<(u64, ChaCha8Rng)>>,
     halted: Vec<bool>,
     termination: Vec<u64>,
     active: Vec<usize>,
@@ -400,7 +424,7 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
         let init = NodeInit {
             index: v,
             id: slab.ids[v],
-            degree: slab.degrees[v],
+            degree: slab.degree(v),
             neighbor_ids: slab.neighbors(v),
             input,
         };
@@ -408,8 +432,9 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
         programs.push(spec.build(&init));
     }
 
-    session.rngs.clear();
-    session.rngs.extend(slab.ids.iter().map(|&id| node_rng(cfg.seed, id)));
+    if session.rngs.len() < n {
+        session.rngs.resize_with(n, || None);
+    }
     session.halted.clear();
     session.halted.resize(n, false);
     session.termination.clear();
@@ -443,48 +468,57 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
     while active_count > 0 && round < limit {
         let send_tick = tick_base + round;
         let read_tick = send_tick - 1;
+        // Split the parity arenas into this round's read half (shared, scanned lazily by
+        // the contexts) and write half (delivery target) — disjoint borrows, no swap.
+        let [stamps_even, stamps_odd] = &mut msgs.stamps;
+        let [payloads_even, payloads_odd] = &mut msgs.payloads;
+        let (read_stamps, read_payloads, send_stamps, send_payloads) =
+            if read_tick.is_multiple_of(2) {
+                (&*stamps_even, &*payloads_even, stamps_odd, payloads_odd)
+            } else {
+                (&*stamps_odd, &*payloads_odd, stamps_even, payloads_even)
+            };
         let mut delivered_this_round = 0u64;
         let mut any_halt = false;
         for idx in 0..session.active.len() {
             let v = session.active[idx];
-            // Stage the inbox: the node's contiguous dense-arc segment, port-ascending,
-            // keeping exactly the cells stamped by the previous round.
-            inbox.clear();
-            let base = slab.offsets[v];
-            let degree = slab.degrees[v];
-            let read_arena = &msgs.cells[(read_tick % 2) as usize];
-            for (port, (stamp, msg)) in read_arena[base..base + degree].iter().enumerate() {
-                if *stamp == read_tick {
-                    if let Some(msg) = msg {
-                        inbox.push(Incoming { port, msg: msg.clone() });
-                    }
-                }
-            }
+            let base = slab.offsets[v] as usize;
+            let degree = slab.degree(v);
             outbox.clear();
             bcast = None;
+            // The inbox is staged lazily: the context gets the node's raw dense-arc
+            // segment and materializes the port-ascending inbox only if the program asks.
+            let mut staged = false;
             let action = {
                 let mut ctx = RoundCtx {
                     round,
                     degree,
                     neighbor_ids: slab.neighbors(v),
-                    inbox: &inbox,
+                    inbox: &mut inbox,
+                    staged: &mut staged,
+                    stamps: &read_stamps[base..base + degree],
+                    payloads: &read_payloads[base..base + degree],
+                    read_tick,
                     outbox: &mut outbox,
                     broadcast: &mut bcast,
-                    rng: &mut session.rngs[v],
+                    rng_slot: &mut session.rngs[v],
+                    rng_key: (tick_base, cfg.seed, slab.ids[v]),
                 };
                 programs[v].round(&mut ctx)
             };
             // Deliver: `arrival_arc` holds the receiving cell of each port, so a message is
-            // one contiguous read plus one indexed write — no topology access.
-            let send_arena = &mut msgs.cells[(send_tick % 2) as usize];
+            // one contiguous read plus two indexed writes — no topology access.
             if let Some(msg) = bcast.take() {
                 for &arc in &slab.arrival_arc[base..base + degree] {
-                    send_arena[arc] = (send_tick, Some(msg.clone()));
+                    send_stamps[arc as usize] = send_tick;
+                    send_payloads[arc as usize] = Some(msg.clone());
                 }
                 delivered_this_round += degree as u64;
             }
             for (port, msg) in outbox.drain(..) {
-                send_arena[slab.arrival_arc[base + port]] = (send_tick, Some(msg));
+                let arc = slab.arrival_arc[base + port] as usize;
+                send_stamps[arc] = send_tick;
+                send_payloads[arc] = Some(msg);
                 delivered_this_round += 1;
             }
             if let Action::Halt(out) = action {
@@ -498,8 +532,7 @@ pub(crate) fn run_core<T: Topology, S: ProgramSpec>(
         }
         messages += delivered_this_round;
         if any_halt {
-            let halted = &session.halted;
-            session.active.retain(|&v| !halted[v]);
+            local_simd::compact_unmarked(&mut session.active, &session.halted);
         }
         round += 1;
         rounds_executed = round;

@@ -29,6 +29,16 @@ fn fresh_epoch() -> u64 {
     NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
 
+/// Views index nodes and arcs with `u32` to halve the cache footprint of the hot overlay
+/// arrays; the base graph must fit that width. 4 billion arcs is ~32 GiB of base adjacency
+/// alone, so the cap is far beyond what a single view can hold anyway.
+fn check_u32_width(nodes: usize, arcs: usize) {
+    assert!(
+        nodes <= u32::MAX as usize && arcs <= u32::MAX as usize,
+        "graph exceeds the view's u32 index width ({nodes} nodes, {arcs} arcs)"
+    );
+}
+
 /// A live subgraph of a base [`Graph`], maintained as an alive mask plus segmented adjacency.
 ///
 /// All public accessors speak *live indices* (dense `0..node_count()`, ascending base order);
@@ -42,17 +52,19 @@ pub struct GraphView<'g> {
     alive: Vec<bool>,
     /// Segment boundaries per base node (a copy of the base CSR offsets; segment capacity is
     /// the base degree, the live part is `adj[offsets[b]..offsets[b] + live_len[b]]`).
-    offsets: Vec<usize>,
+    /// Stored as `u32`: views cap nodes and arcs at `u32::MAX` (checked at construction) so
+    /// the arrays the round loop streams through are half the width of the base CSR.
+    offsets: Vec<u32>,
     /// Segmented adjacency: alive base neighbors of `b`, ascending, in the segment's prefix.
-    adj: Vec<NodeIndex>,
+    adj: Vec<u32>,
     /// Per arc, the port at which the *source* appears in the target's live segment.
     rev: Vec<u32>,
     /// Live degree of each base node.
-    live_len: Vec<usize>,
+    live_len: Vec<u32>,
     /// Alive base indices, ascending. Position = live index.
     live_nodes: Vec<NodeIndex>,
     /// Base index -> live index. Stale for dead nodes (never read for them).
-    live_index: Vec<usize>,
+    live_index: Vec<u32>,
     /// Content identity: unique per distinct alive set (see [`NEXT_EPOCH`]); refreshed by
     /// every effective [`GraphView::retain`], shared by clones.
     epoch: u64,
@@ -73,22 +85,21 @@ impl<'g> GraphView<'g> {
     pub fn full(base: &'g Graph) -> Self {
         let n = base.node_count();
         let (offsets, adjacency, reverse) = base.csr();
-        let offsets = offsets.to_vec();
-        let adj = adjacency.to_vec();
-        let mut rev = vec![0u32; adj.len()];
-        for (k, &w) in adj.iter().enumerate() {
+        check_u32_width(n, adjacency.len());
+        let mut rev = vec![0u32; adjacency.len()];
+        for (k, &w) in adjacency.iter().enumerate() {
             rev[k] = (reverse[k] - offsets[w]) as u32;
         }
-        let live_len: Vec<usize> = (0..n).map(|b| offsets[b + 1] - offsets[b]).collect();
+        let live_len: Vec<u32> = (0..n).map(|b| (offsets[b + 1] - offsets[b]) as u32).collect();
         GraphView {
             base,
             alive: vec![true; n],
-            offsets,
-            adj,
+            offsets: offsets.iter().map(|&o| o as u32).collect(),
+            adj: adjacency.iter().map(|&w| w as u32).collect(),
             rev,
             live_len,
             live_nodes: (0..n).collect(),
-            live_index: (0..n).collect(),
+            live_index: (0..n as u32).collect(),
             epoch: fresh_epoch(),
         }
     }
@@ -101,40 +112,40 @@ impl<'g> GraphView<'g> {
     pub fn with_mask(base: &'g Graph, keep: &[bool]) -> Self {
         let n = base.node_count();
         assert_eq!(keep.len(), n, "keep mask must cover every base node");
-        let (offsets, _, _) = base.csr();
-        let offsets = offsets.to_vec();
-        let mut adj = vec![0usize; *offsets.last().unwrap_or(&0)];
-        let mut live_len = vec![0usize; n];
+        let (offsets, adjacency, _) = base.csr();
+        check_u32_width(n, adjacency.len());
+        let mut adj = vec![0u32; adjacency.len()];
+        let mut live_len = vec![0u32; n];
         let mut live_nodes = Vec::new();
-        let mut live_index = vec![usize::MAX; n];
+        let mut live_index = vec![u32::MAX; n];
         for b in 0..n {
             if !keep[b] {
                 continue;
             }
-            live_index[b] = live_nodes.len();
+            live_index[b] = live_nodes.len() as u32;
             live_nodes.push(b);
             let mut len = 0;
             for &w in base.neighbors(b) {
                 if keep[w] {
-                    adj[offsets[b] + len] = w;
+                    adj[offsets[b] + len] = w as u32;
                     len += 1;
                 }
             }
-            live_len[b] = len;
+            live_len[b] = len as u32;
         }
         let mut rev = vec![0u32; adj.len()];
         for &b in &live_nodes {
-            for p in 0..live_len[b] {
-                let w = adj[offsets[b] + p];
-                let segment = &adj[offsets[w]..offsets[w] + live_len[w]];
-                let back = segment.binary_search(&b).expect("reverse arc must exist");
+            for p in 0..live_len[b] as usize {
+                let w = adj[offsets[b] + p] as usize;
+                let segment = &adj[offsets[w]..offsets[w] + live_len[w] as usize];
+                let back = segment.binary_search(&(b as u32)).expect("reverse arc must exist");
                 rev[offsets[b] + p] = back as u32;
             }
         }
         GraphView {
             base,
             alive: keep.to_vec(),
-            offsets,
+            offsets: offsets.iter().map(|&o| o as u32).collect(),
             adj,
             rev,
             live_len,
@@ -183,61 +194,61 @@ impl<'g> GraphView<'g> {
 
     /// Degree of live node `l` *within the view*.
     pub fn degree(&self, l: usize) -> usize {
-        self.live_len[self.live_nodes[l]]
+        self.live_len[self.live_nodes[l]] as usize
     }
 
     /// The `port`-th live neighbor of live node `l`, as a live index.
     pub fn neighbor(&self, l: usize, port: usize) -> usize {
         let b = self.live_nodes[l];
-        self.live_index[self.adj[self.offsets[b] + port]]
+        self.live_index[self.adj[self.offsets[b] as usize + port] as usize] as usize
     }
 
     /// The port at which live node `l` appears in the adjacency of its `port`-th neighbor.
     pub fn reverse_port(&self, l: usize, port: usize) -> usize {
-        self.rev[self.offsets[self.live_nodes[l]] + port] as usize
+        self.rev[self.offsets[self.live_nodes[l]] as usize + port] as usize
     }
 
     /// Iterates the live neighbors of live node `l`, as ascending live indices.
     pub fn neighbors(&self, l: usize) -> impl Iterator<Item = usize> + '_ {
-        let b = self.live_nodes[l];
-        self.adj[self.offsets[b]..self.offsets[b] + self.live_len[b]]
+        self.slot_neighbors(self.live_nodes[l])
             .iter()
-            .map(move |&w| self.live_index[w])
+            .map(move |&w| self.live_index[w as usize] as usize)
     }
 
-    /// The live segment (alive base neighbors) of base node `s`.
-    pub(crate) fn slot_neighbors(&self, s: usize) -> &[NodeIndex] {
-        &self.adj[self.offsets[s]..self.offsets[s] + self.live_len[s]]
+    /// The live segment (alive base neighbors, as `u32` base indices) of base node `s`.
+    pub(crate) fn slot_neighbors(&self, s: usize) -> &[u32] {
+        let start = self.offsets[s] as usize;
+        &self.adj[start..start + self.live_len[s] as usize]
     }
 
     /// Live degree of base node `s`.
     pub(crate) fn slot_degree(&self, s: usize) -> usize {
-        self.live_len[s]
+        self.live_len[s] as usize
     }
 
     /// The `port`-th alive neighbor of base node `s`, as a base index.
     pub(crate) fn slot_neighbor(&self, s: usize, port: usize) -> usize {
-        self.adj[self.offsets[s] + port]
+        self.adj[self.offsets[s] as usize + port] as usize
     }
 
     /// The arrival port of an arc sent from base node `s` on `port` (cached, O(1)).
     pub(crate) fn slot_reverse_port(&self, s: usize, port: usize) -> usize {
-        self.rev[self.offsets[s] + port] as usize
+        self.rev[self.offsets[s] as usize + port] as usize
     }
 
     /// Live index of base node `s` (only meaningful for alive nodes).
     pub(crate) fn live_index_of(&self, s: usize) -> usize {
-        self.live_index[s]
+        self.live_index[s] as usize
     }
 
     /// `true` if live nodes `u` and `v` are adjacent in the view.
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.slot_neighbors(self.live_nodes[u]).binary_search(&self.live_nodes[v]).is_ok()
+        self.slot_neighbors(self.live_nodes[u]).binary_search(&(self.live_nodes[v] as u32)).is_ok()
     }
 
     /// Maximum live degree; `0` for the empty view.
     pub fn max_degree(&self) -> usize {
-        self.live_nodes.iter().map(|&b| self.live_len[b]).max().unwrap_or(0)
+        self.live_nodes.iter().map(|&b| self.live_len[b] as usize).max().unwrap_or(0)
     }
 
     /// Largest identity among alive nodes, or 0 if empty.
@@ -265,7 +276,7 @@ impl<'g> GraphView<'g> {
                 continue;
             }
             for &wb in self.slot_neighbors(self.live_nodes[u]) {
-                let w = self.live_index[wb];
+                let w = self.live_index[wb as usize] as usize;
                 if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(w) {
                     e.insert(du + 1);
                     out.push(w);
@@ -288,6 +299,9 @@ impl<'g> GraphView<'g> {
     /// Panics if `keep.len() != node_count()`.
     pub fn retain(&mut self, keep: &[bool]) {
         assert_eq!(keep.len(), self.node_count(), "keep mask must cover every live node");
+        if local_simd::mask_all_true(keep) {
+            return;
+        }
         let removed: Vec<NodeIndex> = self
             .live_nodes
             .iter()
@@ -295,9 +309,6 @@ impl<'g> GraphView<'g> {
             .filter(|&(l, _)| !keep[l])
             .map(|(_, &b)| b)
             .collect();
-        if removed.is_empty() {
-            return;
-        }
         for &b in &removed {
             self.alive[b] = false;
         }
@@ -305,32 +316,33 @@ impl<'g> GraphView<'g> {
             // Delete w from each alive neighbor's segment. `rev` keeps every stored position
             // current across deletions (dead nodes' segments stay intact until the end, so
             // their cached positions keep being maintained and read consistently).
-            for k in 0..self.live_len[w] {
-                let u = self.adj[self.offsets[w] + k];
+            let w_start = self.offsets[w] as usize;
+            for k in 0..self.live_len[w] as usize {
+                let u = self.adj[w_start + k] as usize;
                 if !self.alive[u] {
                     continue;
                 }
-                let pos = self.rev[self.offsets[w] + k] as usize;
-                let (start, len) = (self.offsets[u], self.live_len[u]);
-                debug_assert_eq!(self.adj[start + pos], w);
+                let pos = self.rev[w_start + k] as usize;
+                let (start, len) = (self.offsets[u] as usize, self.live_len[u] as usize);
+                debug_assert_eq!(self.adj[start + pos] as usize, w);
                 // Shift the tail of u's segment left over the deleted entry and fix the
                 // reverse positions cached at the shifted arcs' endpoints.
                 for j in pos..len - 1 {
                     let x = self.adj[start + j + 1];
-                    let back = self.rev[start + j + 1] as usize;
+                    let back = self.rev[start + j + 1];
                     self.adj[start + j] = x;
-                    self.rev[start + j] = back as u32;
-                    self.rev[self.offsets[x] + back] -= 1;
+                    self.rev[start + j] = back;
+                    self.rev[self.offsets[x as usize] as usize + back as usize] -= 1;
                 }
-                self.live_len[u] = len - 1;
+                self.live_len[u] = (len - 1) as u32;
             }
         }
         for &w in &removed {
             self.live_len[w] = 0;
         }
-        self.live_nodes.retain(|&b| self.alive[b]);
+        local_simd::compact_marked(&mut self.live_nodes, &self.alive);
         for (l, &b) in self.live_nodes.iter().enumerate() {
-            self.live_index[b] = l;
+            self.live_index[b] = l as u32;
         }
         self.epoch = fresh_epoch();
     }

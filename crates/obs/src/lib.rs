@@ -81,6 +81,9 @@ pub mod metrics {
     /// Value: CostModel-predicted micros for one cell, labeled by the cell label.
     /// Shares the registry with [`CELL_MICROS`] so predicted vs. observed joins on label.
     pub const PREDICTED_MICROS: MetricId = MetricId(12);
+    /// Gauge (max): peak resident set size of the process in KiB, sampled from the OS via
+    /// [`super::sample_peak_rss_kb`].
+    pub const PEAK_RSS_KB: MetricId = MetricId(13);
 
     /// Names, indexed by [`MetricId`]. Order is append-only: these names are wire- and
     /// trace-visible, so existing entries must never be renamed or reordered.
@@ -98,6 +101,7 @@ pub mod metrics {
         "cache-hits",
         "cell-micros",
         "predicted-micros",
+        "peak-rss-kb",
     ];
 }
 
@@ -371,6 +375,26 @@ pub fn gauge_max(metric: MetricId, value: u64) {
         return;
     }
     collector().counters[metric.0 as usize].fetch_max(value, Ordering::Relaxed);
+}
+
+/// Samples the process's peak resident set size in KiB (Linux `VmHWM` from
+/// `/proc/self/status`; 0 on platforms without procfs) and raises the
+/// [`metrics::PEAK_RSS_KB`] gauge to it when tracing is enabled. Returns the sampled value
+/// either way, so callers can report memory without arming the recorder. Call it at the
+/// points whose footprint matters (after a sweep, after graph generation): `VmHWM` is a
+/// high-water mark, so the gauge ends up at the true process-lifetime peak regardless.
+pub fn sample_peak_rss_kb() -> u64 {
+    let status = match std::fs::read_to_string("/proc/self/status") {
+        Ok(status) => status,
+        Err(_) => return 0,
+    };
+    let kb = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse::<u64>().ok())
+        .unwrap_or(0);
+    gauge_max(metrics::PEAK_RSS_KB, kb);
+    kb
 }
 
 /// Current value of a counter/gauge (0 when disabled or never touched).

@@ -1,0 +1,128 @@
+//! AVX2 kernels: 4×u64 / 32×u8 / 4×f64 lanes, selected at runtime when the CPU supports
+//! AVX2 (see [`crate::level`]).
+
+#![allow(clippy::missing_safety_doc)]
+
+use core::arch::x86_64::*;
+
+/// See [`crate::scalar::stamp_match_mask64`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn stamp_match_mask64(stamps: &[u64], tick: u64) -> u64 {
+    let t = _mm256_set1_epi64x(tick as i64);
+    let mut mask = 0u64;
+    let mut i = 0usize;
+    while i + 4 <= stamps.len() {
+        let x = _mm256_loadu_si256(stamps.as_ptr().add(i) as *const __m256i);
+        let eq = _mm256_cmpeq_epi64(x, t);
+        let bits = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u64;
+        mask |= bits << i;
+        i += 4;
+    }
+    while i < stamps.len() {
+        mask |= u64::from(stamps[i] == tick) << i;
+        i += 1;
+    }
+    mask
+}
+
+/// See [`crate::scalar::stamp_match_count`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn stamp_match_count(stamps: &[u64], tick: u64) -> usize {
+    let mut total = 0usize;
+    for chunk in stamps.chunks(64) {
+        total += stamp_match_mask64(chunk, tick).count_ones() as usize;
+    }
+    total
+}
+
+/// See [`crate::scalar::mask_all_true`]. `bool` slices are read as bytes (guaranteed 0/1).
+#[target_feature(enable = "avx2")]
+pub unsafe fn mask_all_true(mask: &[bool]) -> bool {
+    let zero = _mm256_setzero_si256();
+    let mut chunks = mask.chunks_exact(32);
+    for chunk in &mut chunks {
+        let x = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+        if _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, zero)) != 0 {
+            return false;
+        }
+    }
+    chunks.remainder().iter().all(|&b| b)
+}
+
+/// See [`crate::scalar::mask_count_true`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn mask_count_true(mask: &[bool]) -> usize {
+    let zero = _mm256_setzero_si256();
+    let mut total = 0usize;
+    let mut chunks = mask.chunks_exact(32);
+    for chunk in &mut chunks {
+        let x = _mm256_loadu_si256(chunk.as_ptr() as *const __m256i);
+        let zeros = _mm256_movemask_epi8(_mm256_cmpeq_epi8(x, zero)) as u32;
+        total += 32 - zeros.count_ones() as usize;
+    }
+    total + chunks.remainder().iter().filter(|&&b| b).count()
+}
+
+/// See [`crate::scalar::nonzero_prefix_len`]: peel zero digits from the top, four lanes at
+/// a time.
+#[target_feature(enable = "avx2")]
+pub unsafe fn nonzero_prefix_len(coeffs: &[u64]) -> usize {
+    let zero = _mm256_setzero_si256();
+    let mut n = coeffs.len();
+    while n >= 4 {
+        let x = _mm256_loadu_si256(coeffs.as_ptr().add(n - 4) as *const __m256i);
+        let eq = _mm256_cmpeq_epi64(x, zero);
+        let zeros = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32;
+        // Consecutive zero lanes from the top of the chunk (bit 3 = highest digit).
+        let suffix = (zeros << 28).leading_ones() as usize;
+        n -= suffix;
+        if suffix < 4 {
+            return n;
+        }
+    }
+    while n > 0 && coeffs[n - 1] == 0 {
+        n -= 1;
+    }
+    n
+}
+
+/// See [`crate::scalar::eval_poly_block8`] and the crate docs for the exactness argument.
+#[target_feature(enable = "avx2")]
+pub unsafe fn eval_poly_block8(coeffs: &[u64], a: u64, q: u64) -> [u64; 8] {
+    let qf = q as f64;
+    let qv = _mm256_set1_pd(qf);
+    let inv_q = _mm256_set1_pd(1.0 / qf);
+    let zero = _mm256_setzero_pd();
+    let af = a as f64;
+    let xs = [
+        _mm256_set_pd(af + 3.0, af + 2.0, af + 1.0, af),
+        _mm256_set_pd(af + 7.0, af + 6.0, af + 5.0, af + 4.0),
+    ];
+    let mut accs = [zero; 2];
+    for &c in coeffs.iter().rev() {
+        let cf = _mm256_set1_pd(c as f64);
+        for (acc, &x) in accs.iter_mut().zip(&xs) {
+            // t = acc·x + c, exact (< 2^53). No FMA on purpose: plain mul + add keeps
+            // every intermediate exactly representable with AVX2-only requirements.
+            let t = _mm256_add_pd(_mm256_mul_pd(*acc, x), cf);
+            // Quotient estimate within ±1 of floor(t / q).
+            let k = _mm256_floor_pd(_mm256_mul_pd(t, inv_q));
+            let mut r = _mm256_sub_pd(t, _mm256_mul_pd(k, qv));
+            // r ∈ [-q, 2q): two masked fix-ups bring it into [0, q).
+            let ge = _mm256_cmp_pd(r, qv, _CMP_GE_OQ);
+            r = _mm256_sub_pd(r, _mm256_and_pd(ge, qv));
+            let lt = _mm256_cmp_pd(r, zero, _CMP_LT_OQ);
+            r = _mm256_add_pd(r, _mm256_and_pd(lt, qv));
+            *acc = r;
+        }
+    }
+    let mut lanes = [0.0f64; 8];
+    for (i, acc) in accs.iter().enumerate() {
+        _mm256_storeu_pd(lanes.as_mut_ptr().add(4 * i), *acc);
+    }
+    let mut out = [0u64; 8];
+    for (o, &f) in out.iter_mut().zip(&lanes) {
+        *o = f as u64;
+    }
+    out
+}

@@ -1,0 +1,64 @@
+//! Portable reference implementations — the semantic specification of every kernel.
+//!
+//! Keep these as simple as possible: the dispatched variants are validated against them
+//! bit-for-bit, so clarity here is worth more than speed.
+
+/// Bit `i` set iff `stamps[i] == tick` (`stamps.len() <= 64`).
+pub fn stamp_match_mask64(stamps: &[u64], tick: u64) -> u64 {
+    let mut mask = 0u64;
+    for (i, &s) in stamps.iter().enumerate() {
+        mask |= u64::from(s == tick) << i;
+    }
+    mask
+}
+
+/// Number of stamps equal to `tick`.
+pub fn stamp_match_count(stamps: &[u64], tick: u64) -> usize {
+    stamps.iter().filter(|&&s| s == tick).count()
+}
+
+/// `true` iff every element is `true`.
+pub fn mask_all_true(mask: &[bool]) -> bool {
+    mask.iter().all(|&b| b)
+}
+
+/// Number of `true` elements.
+pub fn mask_count_true(mask: &[bool]) -> usize {
+    mask.iter().filter(|&&b| b).count()
+}
+
+/// Keeps the `nodes[i]` with `mask[nodes[i]] == true`, preserving order.
+pub fn compact_marked(nodes: &mut Vec<usize>, mask: &[bool]) {
+    nodes.retain(|&v| mask[v]);
+}
+
+/// Keeps the `nodes[i]` with `mask[nodes[i]] == false`, preserving order.
+pub fn compact_unmarked(nodes: &mut Vec<usize>, mask: &[bool]) {
+    nodes.retain(|&v| !mask[v]);
+}
+
+/// Length of `coeffs` with trailing zeros removed.
+pub fn nonzero_prefix_len(coeffs: &[u64]) -> usize {
+    let mut n = coeffs.len();
+    while n > 0 && coeffs[n - 1] == 0 {
+        n -= 1;
+    }
+    n
+}
+
+/// Horner evaluation of the digit polynomial at `a..a + 8`, each mod `q`.
+///
+/// One reduction per digit, in plain integer arithmetic — the exactness reference for the
+/// `f64`-lane variants (see the crate docs for the `q < 2^25` bound).
+pub fn eval_poly_block8(coeffs: &[u64], a: u64, q: u64) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    for (i, slot) in out.iter_mut().enumerate() {
+        let x = a + i as u64;
+        let mut acc = 0u64;
+        for &c in coeffs.iter().rev() {
+            acc = (acc * x + c) % q;
+        }
+        *slot = acc;
+    }
+    out
+}

@@ -1,0 +1,141 @@
+//! SSE2 kernels — the x86_64 baseline (always available on that architecture).
+//!
+//! 64-bit lane equality is emulated with `cmpeq_epi32` + pair-AND (true 64-bit compares
+//! arrived with SSE4.1), and the Horner quotient uses truncating `cvttpd` (SSE2 has no
+//! `roundpd`); the masked fix-ups absorb the ±1 quotient slack either way.
+
+#![allow(clippy::missing_safety_doc)]
+
+use core::arch::x86_64::*;
+
+/// 2-lane u64 equality: both 32-bit halves must match.
+#[inline]
+unsafe fn cmpeq_u64(x: __m128i, t: __m128i) -> __m128i {
+    let eq32 = _mm_cmpeq_epi32(x, t);
+    let swapped = _mm_shuffle_epi32(eq32, 0b1011_0001);
+    _mm_and_si128(eq32, swapped)
+}
+
+/// See [`crate::scalar::stamp_match_mask64`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn stamp_match_mask64(stamps: &[u64], tick: u64) -> u64 {
+    let t = _mm_set1_epi64x(tick as i64);
+    let mut mask = 0u64;
+    let mut i = 0usize;
+    while i + 2 <= stamps.len() {
+        let x = _mm_loadu_si128(stamps.as_ptr().add(i) as *const __m128i);
+        let bits = _mm_movemask_pd(_mm_castsi128_pd(cmpeq_u64(x, t))) as u64;
+        mask |= bits << i;
+        i += 2;
+    }
+    if i < stamps.len() {
+        mask |= u64::from(stamps[i] == tick) << i;
+    }
+    mask
+}
+
+/// See [`crate::scalar::stamp_match_count`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn stamp_match_count(stamps: &[u64], tick: u64) -> usize {
+    let mut total = 0usize;
+    for chunk in stamps.chunks(64) {
+        total += stamp_match_mask64(chunk, tick).count_ones() as usize;
+    }
+    total
+}
+
+/// See [`crate::scalar::mask_all_true`]. `bool` slices are read as bytes (guaranteed 0/1).
+#[target_feature(enable = "sse2")]
+pub unsafe fn mask_all_true(mask: &[bool]) -> bool {
+    let zero = _mm_setzero_si128();
+    let mut chunks = mask.chunks_exact(16);
+    for chunk in &mut chunks {
+        let x = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+        if _mm_movemask_epi8(_mm_cmpeq_epi8(x, zero)) != 0 {
+            return false;
+        }
+    }
+    chunks.remainder().iter().all(|&b| b)
+}
+
+/// See [`crate::scalar::mask_count_true`].
+#[target_feature(enable = "sse2")]
+pub unsafe fn mask_count_true(mask: &[bool]) -> usize {
+    let zero = _mm_setzero_si128();
+    let mut total = 0usize;
+    let mut chunks = mask.chunks_exact(16);
+    for chunk in &mut chunks {
+        let x = _mm_loadu_si128(chunk.as_ptr() as *const __m128i);
+        let zeros = _mm_movemask_epi8(_mm_cmpeq_epi8(x, zero)) as u32;
+        total += 16 - zeros.count_ones() as usize;
+    }
+    total + chunks.remainder().iter().filter(|&&b| b).count()
+}
+
+/// See [`crate::scalar::nonzero_prefix_len`]: peel zero digits from the top, two lanes at
+/// a time.
+#[target_feature(enable = "sse2")]
+pub unsafe fn nonzero_prefix_len(coeffs: &[u64]) -> usize {
+    let zero = _mm_setzero_si128();
+    let mut n = coeffs.len();
+    while n >= 2 {
+        let x = _mm_loadu_si128(coeffs.as_ptr().add(n - 2) as *const __m128i);
+        let zeros = _mm_movemask_pd(_mm_castsi128_pd(cmpeq_u64(x, zero))) as u32;
+        // Consecutive zero lanes from the top of the chunk (bit 1 = highest digit).
+        let suffix = (zeros << 30).leading_ones() as usize;
+        n -= suffix;
+        if suffix < 2 {
+            return n;
+        }
+    }
+    while n > 0 && coeffs[n - 1] == 0 {
+        n -= 1;
+    }
+    n
+}
+
+/// See [`crate::scalar::eval_poly_block8`] and the crate docs for the exactness argument:
+/// all intermediates are exact integers in `f64` for `q < 2^25`, and the truncated quotient
+/// estimate is corrected by two masked fix-ups, so the result is bit-identical to the
+/// integer reference.
+#[target_feature(enable = "sse2")]
+pub unsafe fn eval_poly_block8(coeffs: &[u64], a: u64, q: u64) -> [u64; 8] {
+    let qf = q as f64;
+    let qv = _mm_set1_pd(qf);
+    let inv_q = _mm_set1_pd(1.0 / qf);
+    let zero = _mm_setzero_pd();
+    let af = a as f64;
+    let xs = [
+        _mm_set_pd(af + 1.0, af),
+        _mm_set_pd(af + 3.0, af + 2.0),
+        _mm_set_pd(af + 5.0, af + 4.0),
+        _mm_set_pd(af + 7.0, af + 6.0),
+    ];
+    let mut accs = [zero; 4];
+    for &c in coeffs.iter().rev() {
+        let cf = _mm_set1_pd(c as f64);
+        for (acc, &x) in accs.iter_mut().zip(&xs) {
+            // t = acc·x + c, exact (< 2^53). No FMA: plain mul + add keeps every
+            // intermediate exactly representable and the ISA floor at SSE2.
+            let t = _mm_add_pd(_mm_mul_pd(*acc, x), cf);
+            // Quotient estimate within ±1 of floor(t / q): truncate is floor for t >= 0.
+            let k = _mm_cvtepi32_pd(_mm_cvttpd_epi32(_mm_mul_pd(t, inv_q)));
+            let mut r = _mm_sub_pd(t, _mm_mul_pd(k, qv));
+            // r ∈ [-q, 2q): two masked fix-ups bring it into [0, q).
+            let ge = _mm_cmpge_pd(r, qv);
+            r = _mm_sub_pd(r, _mm_and_pd(ge, qv));
+            let lt = _mm_cmplt_pd(r, zero);
+            r = _mm_add_pd(r, _mm_and_pd(lt, qv));
+            *acc = r;
+        }
+    }
+    let mut lanes = [0.0f64; 8];
+    for (i, acc) in accs.iter().enumerate() {
+        _mm_storeu_pd(lanes.as_mut_ptr().add(2 * i), *acc);
+    }
+    let mut out = [0u64; 8];
+    for (o, &f) in out.iter_mut().zip(&lanes) {
+        *o = f as u64;
+    }
+    out
+}

@@ -1,0 +1,289 @@
+//! Cross-level equivalence suite: every kernel must agree **bit-for-bit** with the portable
+//! scalar reference on every instruction-set level the host supports — not merely with
+//! whatever level the process dispatched to. The byte-identity contract of the whole
+//! runtime (deterministic sweeps, the view-vs-rebuild oracle) rests on these kernels being
+//! drop-in interchangeable, so each check runs the scalar implementation, the dispatched
+//! public entry point, and the `sse2`/`avx2` modules directly (gated on CPU detection).
+//!
+//! Shapes covered: empty inputs, all-dead and all-true masks, single elements, the 64-arc
+//! chunk boundary the inbox scanner walks (63/64/65), max-degree rows where every lane
+//! matches, and proptest-generated arbitrary inputs. The Horner kernels are additionally
+//! compared against an independent `u128` evaluation, so a bug shared by all three
+//! implementations would still be caught.
+
+use local_simd::scalar;
+use proptest::prelude::*;
+
+// --------------------------------------------------------------- per-kernel check fns ------
+
+/// Checks `stamp_match_count` (any length) and, for rows of at most 64 arcs,
+/// `stamp_match_mask64`, across scalar, dispatched, and all hardware levels.
+fn check_stamps(stamps: &[u64], tick: u64) {
+    let count = scalar::stamp_match_count(stamps, tick);
+    assert_eq!(local_simd::stamp_match_count(stamps, tick), count, "dispatched count");
+    if stamps.len() <= 64 {
+        let mask = scalar::stamp_match_mask64(stamps, tick);
+        assert_eq!(mask.count_ones() as usize, count, "mask popcount vs count");
+        assert_eq!(local_simd::stamp_match_mask64(stamps, tick), mask, "dispatched mask");
+        #[cfg(target_arch = "x86_64")]
+        {
+            // SAFETY: each call is guarded by runtime detection of the feature it requires.
+            if std::arch::is_x86_feature_detected!("sse2") {
+                assert_eq!(unsafe { local_simd::sse2::stamp_match_mask64(stamps, tick) }, mask);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                assert_eq!(unsafe { local_simd::avx2::stamp_match_mask64(stamps, tick) }, mask);
+            }
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: guarded by runtime feature detection.
+        if std::arch::is_x86_feature_detected!("sse2") {
+            assert_eq!(unsafe { local_simd::sse2::stamp_match_count(stamps, tick) }, count);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(unsafe { local_simd::avx2::stamp_match_count(stamps, tick) }, count);
+        }
+    }
+}
+
+/// Checks `mask_all_true` and `mask_count_true` across all levels.
+fn check_mask(mask: &[bool]) {
+    let all = scalar::mask_all_true(mask);
+    let count = scalar::mask_count_true(mask);
+    assert_eq!(all, count == mask.len(), "all-true vs count");
+    assert_eq!(local_simd::mask_all_true(mask), all, "dispatched all-true");
+    assert_eq!(local_simd::mask_count_true(mask), count, "dispatched count-true");
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: guarded by runtime feature detection.
+        if std::arch::is_x86_feature_detected!("sse2") {
+            assert_eq!(unsafe { local_simd::sse2::mask_all_true(mask) }, all);
+            assert_eq!(unsafe { local_simd::sse2::mask_count_true(mask) }, count);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(unsafe { local_simd::avx2::mask_all_true(mask) }, all);
+            assert_eq!(unsafe { local_simd::avx2::mask_count_true(mask) }, count);
+        }
+    }
+}
+
+/// Checks both compaction kernels: dispatched output must equal the scalar `retain`.
+fn check_compact(nodes: &[usize], mask: &[bool]) {
+    let mut kept = nodes.to_vec();
+    scalar::compact_marked(&mut kept, mask);
+    let mut dispatched = nodes.to_vec();
+    local_simd::compact_marked(&mut dispatched, mask);
+    assert_eq!(dispatched, kept, "compact_marked");
+    let mut dropped = nodes.to_vec();
+    scalar::compact_unmarked(&mut dropped, mask);
+    let mut dispatched = nodes.to_vec();
+    local_simd::compact_unmarked(&mut dispatched, mask);
+    assert_eq!(dispatched, dropped, "compact_unmarked");
+    assert_eq!(kept.len() + dropped.len(), nodes.len(), "kept + dropped partition the input");
+}
+
+/// Independent reference: naive Horner over `u128`, immune to any bug the `f64`
+/// reciprocal implementations might share.
+fn naive_eval(coeffs: &[u64], x: u64, q: u64) -> u64 {
+    let mut acc: u128 = 0;
+    for &c in coeffs.iter().rev() {
+        acc = (acc * x as u128 + c as u128) % q as u128;
+    }
+    acc as u64
+}
+
+/// Checks `eval_poly_block8` (all levels + dispatched + `ModQ::eval_poly` + the naive
+/// `u128` reference) at the eight points `a..a+8`. Requires `a + 7 < EVAL_POLY_MAX_Q` and
+/// digits `< q`.
+fn check_poly_block(coeffs: &[u64], a: u64, q: u64) {
+    let expect: Vec<u64> = (0..8).map(|i| naive_eval(coeffs, a + i, q)).collect();
+    assert_eq!(scalar::eval_poly_block8(coeffs, a, q).to_vec(), expect, "scalar block");
+    assert_eq!(local_simd::eval_poly_block8(coeffs, a, q).to_vec(), expect, "dispatched block");
+    let modq = local_simd::ModQ::new(q);
+    for (i, &want) in expect.iter().enumerate() {
+        if a + (i as u64) < q + 8 {
+            assert_eq!(modq.eval_poly(coeffs, a + i as u64), want, "ModQ::eval_poly point {i}");
+        }
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let trimmed = local_simd::trim_leading_zeros(coeffs);
+        // SAFETY: guarded by runtime feature detection.
+        if std::arch::is_x86_feature_detected!("sse2") {
+            assert_eq!(
+                unsafe { local_simd::sse2::eval_poly_block8(trimmed, a, q) }.to_vec(),
+                expect
+            );
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(
+                unsafe { local_simd::avx2::eval_poly_block8(trimmed, a, q) }.to_vec(),
+                expect
+            );
+        }
+    }
+}
+
+/// Checks the zero-digit trim across levels.
+fn check_trim(coeffs: &[u64]) {
+    let n = scalar::nonzero_prefix_len(coeffs);
+    assert!(coeffs[n..].iter().all(|&c| c == 0), "trimmed tail must be zero");
+    assert!(n == 0 || coeffs[n - 1] != 0, "trim must be maximal");
+    assert_eq!(local_simd::trim_leading_zeros(coeffs), &coeffs[..n], "dispatched trim");
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: guarded by runtime feature detection.
+        if std::arch::is_x86_feature_detected!("sse2") {
+            assert_eq!(unsafe { local_simd::sse2::nonzero_prefix_len(coeffs) }, n);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            assert_eq!(unsafe { local_simd::avx2::nonzero_prefix_len(coeffs) }, n);
+        }
+    }
+}
+
+// --------------------------------------------------------------- deterministic edges -------
+
+#[test]
+fn empty_inputs() {
+    check_stamps(&[], 7);
+    check_mask(&[]);
+    check_compact(&[], &[]);
+    check_trim(&[]);
+    check_poly_block(&[], 0, 2); // zero polynomial: identically 0
+}
+
+#[test]
+fn single_elements() {
+    check_stamps(&[7], 7);
+    check_stamps(&[8], 7);
+    check_mask(&[true]);
+    check_mask(&[false]);
+    check_compact(&[0], &[true]);
+    check_compact(&[0], &[false]);
+    check_trim(&[0]);
+    check_trim(&[3]);
+    check_poly_block(&[1], 0, 2);
+}
+
+#[test]
+fn all_dead_and_all_live_masks() {
+    for len in [1usize, 63, 64, 65, 200] {
+        check_mask(&vec![false; len]);
+        check_mask(&vec![true; len]);
+        let nodes: Vec<usize> = (0..len).collect();
+        check_compact(&nodes, &vec![false; len]);
+        check_compact(&nodes, &vec![true; len]);
+    }
+}
+
+#[test]
+fn chunk_boundaries_and_max_degree_rows() {
+    // The inbox scanner walks 64-arc chunks: exercise rows just below, at, and above the
+    // boundary, plus the max-degree row where every arc matches (mask = all ones).
+    for len in [63usize, 64, 65, 127, 128, 129] {
+        let stamps: Vec<u64> =
+            (0..len as u64).map(|i| if i % 3 == 0 { 42 } else { i + 100 }).collect();
+        check_stamps(&stamps, 42);
+        check_stamps(&stamps, 9999); // no matches
+    }
+    let full_row = vec![42u64; 64];
+    assert_eq!(scalar::stamp_match_mask64(&full_row, 42), u64::MAX);
+    check_stamps(&full_row, 42);
+}
+
+#[test]
+fn poly_block_edges() {
+    let q_max = local_simd::EVAL_POLY_MAX_Q - 1;
+    // All-zero digits trim to the empty polynomial.
+    check_poly_block(&[0, 0, 0], 5, 11);
+    // Leading (high-power) zeros with a nonzero low digit.
+    check_poly_block(&[3, 0, 0], 5, 11);
+    // Smallest modulus, largest modulus, and a scan block at the top of the field.
+    check_poly_block(&[1, 1], 0, 2);
+    check_poly_block(&[123_456, 7, q_max - 1], 0, q_max);
+    check_poly_block(&[123_456, 7, q_max - 1], q_max - 8, q_max);
+    // Degree above the paired-Horner fold (odd/even digit counts).
+    check_poly_block(&[1, 2, 3, 4, 5], 9, 65_521);
+    check_poly_block(&[1, 2, 3, 4, 5, 6], 9, 65_521);
+}
+
+#[test]
+fn modq_div_rem_boundaries() {
+    for q in [2u64, 3, 65_535, 65_537, local_simd::EVAL_POLY_MAX_Q - 1] {
+        let m = local_simd::ModQ::new(q);
+        assert_eq!(m.q(), q);
+        for c in [0u64, 1, q - 1, q, q + 1, local_simd::ModQ::MAX_OPERAND - 1] {
+            assert_eq!(m.div_rem(c), (c / q, c % q), "q={q} c={c}");
+        }
+    }
+}
+
+// --------------------------------------------------------------- property tests ------------
+
+proptest! {
+    #[test]
+    fn stamps_match_scalar(
+        stamps in prop::collection::vec(prop_oneof![Just(42u64), 0u64..1000], 0..300),
+        tick in prop_oneof![Just(42u64), 0u64..1000],
+    ) {
+        check_stamps(&stamps, tick);
+    }
+
+    #[test]
+    fn masks_match_scalar(mask in prop::collection::vec(any::<bool>(), 0..300)) {
+        check_mask(&mask);
+    }
+
+    #[test]
+    fn compaction_matches_scalar(
+        (mask, nodes) in (1usize..200).prop_flat_map(|len| (
+            prop::collection::vec(any::<bool>(), len),
+            prop::collection::vec(0..len, 0..len),
+        )),
+    ) {
+        check_compact(&nodes, &mask);
+    }
+
+    #[test]
+    fn trim_matches_scalar(
+        coeffs in prop::collection::vec(prop_oneof![Just(0u64), 1u64..100], 0..40),
+    ) {
+        check_trim(&coeffs);
+    }
+
+    #[test]
+    fn poly_blocks_match_u128_reference(
+        (q, coeffs, a) in (2u64..local_simd::EVAL_POLY_MAX_Q).prop_flat_map(|q| (
+            Just(q),
+            prop::collection::vec(0..q, 0..8),
+            0..q,
+        )),
+    ) {
+        // a < q and q < 2^25 keep every point a..a+7 inside the exactness precondition.
+        check_poly_block(&coeffs, a, q);
+    }
+
+    #[test]
+    fn modq_div_rem_is_exact(
+        q in 2u64..local_simd::EVAL_POLY_MAX_Q,
+        c in 0..local_simd::ModQ::MAX_OPERAND,
+    ) {
+        let m = local_simd::ModQ::new(q);
+        prop_assert_eq!(m.div_rem(c), (c / q, c % q));
+    }
+
+    #[test]
+    fn modq_eval_poly_matches_u128_reference(
+        (q, coeffs, a) in (2u64..local_simd::EVAL_POLY_MAX_Q).prop_flat_map(|q| (
+            Just(q),
+            prop::collection::vec(0..q, 0..12),
+            0..q + 8, // out-of-field scan points up to q+7 are part of the contract
+        )),
+    ) {
+        let m = local_simd::ModQ::new(q);
+        prop_assert_eq!(m.eval_poly(&coeffs, a), naive_eval(&coeffs, a, q));
+    }
+}

@@ -1,8 +1,9 @@
 //! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest) crate.
 //!
 //! Re-implements the API subset this workspace's property tests use: the [`proptest!`]
-//! macro, [`Strategy`] with [`Strategy::prop_map`], range and tuple strategies,
-//! [`any`], [`collection::vec`], [`ProptestConfig`], and the `prop_assert*` macros.
+//! macro, [`Strategy`] with [`Strategy::prop_map`] and [`Strategy::prop_flat_map`],
+//! range, tuple, [`Just`] and [`prop_oneof!`] strategies, [`any`], [`collection::vec`],
+//! [`ProptestConfig`], and the `prop_assert*` macros.
 //!
 //! Each test runs its body over `cases` deterministic pseudo-random inputs. Unlike the real
 //! crate there is **no shrinking** and no failure persistence: a failing case panics with the
@@ -14,8 +15,14 @@
 /// Everything a test file needs, mirroring `proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
+
+    /// Mirror of the real crate's `prop` re-export module (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
 }
 
 /// Per-test configuration (only the case count is honoured).
@@ -85,6 +92,22 @@ pub trait Strategy {
     {
         Map { inner: self, map }
     }
+
+    /// Builds a dependent strategy from each produced value and draws from it.
+    fn prop_flat_map<T: Strategy, F: Fn(Self::Value) -> T>(self, map: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, map }
+    }
+
+    /// Type-erases this strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
 }
 
 /// The strategy returned by [`Strategy::prop_map`].
@@ -100,6 +123,65 @@ impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     fn generate(&self, rng: &mut TestRng) -> O {
         (self.map)(self.inner.generate(rng))
     }
+}
+
+/// The strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.map)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always produces a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A type-erased strategy, as stored by [`OneOf`].
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniform choice among type-erased strategies (built by [`prop_oneof!`]).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one strategy");
+        let pick = rng.below(self.0.len() as u64) as usize;
+        self.0[pick].generate(rng)
+    }
+}
+
+/// A strategy drawing uniformly from the listed strategies (no weight syntax).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
 }
 
 macro_rules! impl_range_strategy_int {
