@@ -2,30 +2,42 @@
 //!
 //! The scheduler ([`crate::scheduler`]) owns everything around execution — cache probing,
 //! cost-model ordering, streaming aggregation, canonical report order — and hands the
-//! actual running of cells to an [`ExecBackend`] as one [`CellShard`]. Two backends ship:
+//! actual running of cells to an [`ExecBackend`] as one [`CellShard`]. Three backends ship:
 //!
 //! * [`InProcessBackend`] — the work-stealing thread pool ([`crate::pool`]) that has always
 //!   powered `run_grid`, now behind the trait;
 //! * [`ProcessBackend`] — spawns `sweep --worker` subprocesses, ships each a serialized
 //!   sub-shard over stdin, and merges their newline-delimited result streams, falling back
-//!   to in-process execution when a worker dies or emits garbage.
+//!   to in-process execution when a worker dies or emits garbage;
+//! * [`NetworkBackend`] — stripes shards over persistent `sweep --serve` TCP daemons with
+//!   connect/read deadlines, capped reconnect backoff, heartbeat liveness, re-dispatch of a
+//!   dead peer's cells to healthy peers, and the same in-process rescue of last resort.
+//!
+//! All three are exercised against the same deterministic fault-injection layer
+//! ([`faults`]), so the rescue discipline is tested, not asserted.
 //!
 //! The determinism contract survives the abstraction because every cell's seed is a pure
 //! function of its identity and results are emitted with their shard index: any backend, at
 //! any parallelism, produces byte-identical results (wall-clock fields aside).
 
+pub mod faults;
 mod in_process;
+pub mod network;
 mod process;
+pub(crate) mod stream;
 pub mod telemetry;
 
+pub use faults::{backoff_ms, FaultAction, FaultClause, FaultInjector, FaultPlan, LineFault};
 pub use in_process::InProcessBackend;
+pub use network::{serve_forever, NetworkBackend};
 pub use process::{worker_serve, ProcessBackend};
-pub use telemetry::{SpanDump, WireEvent, WireTrack, WorkerTelemetry};
+pub use telemetry::{liveness_window, SpanDump, WireEvent, WireTrack, WorkerTelemetry};
 
 use crate::cost::CostModel;
 use crate::report::CellResult;
 use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize, Value};
+use std::sync::Mutex;
 
 /// A batch of cells dispatched to a backend as one unit of work, in execution (LPT) order.
 ///
@@ -135,6 +147,75 @@ pub trait ExecBackend: Sync {
     fn calibration(&self) -> CostModel {
         CostModel::new()
     }
+}
+
+/// One row of the execution-backend catalog, mirroring the workload/family registries so
+/// `sweep --list` documents *how* cells can execute, not just what can run.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendEntry {
+    /// The `--backend` name.
+    pub name: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// The CLI flags that configure it.
+    pub flags: &'static str,
+}
+
+/// Every available execution backend, in `--backend` name order of preference.
+pub const BACKEND_ENTRIES: &[BackendEntry] = &[
+    BackendEntry {
+        name: "in-process",
+        summary: "work-stealing thread pool inside the sweep process (default)",
+        flags: "--threads",
+    },
+    BackendEntry {
+        name: "process",
+        summary: "sweep --worker subprocesses over the stdin/stdout shard protocol; a \
+                  failed worker's cells are rescued in-process",
+        flags: "--workers, --threads, --faults",
+    },
+    BackendEntry {
+        name: "network",
+        summary: "persistent `sweep --serve` TCP daemons; reconnect with capped backoff, \
+                  heartbeat liveness, re-dispatch to healthy peers, in-process rescue",
+        flags: "--connect, --threads, --io-deadline-ms, --faults",
+    },
+];
+
+/// Renders the backend catalog for `sweep --list`.
+pub fn render_backend_listing() -> String {
+    let mut out = String::from("backends (--backend):\n");
+    for entry in BACKEND_ENTRIES {
+        out.push_str(&format!("  {:<28} {} [{}]\n", entry.name, entry.summary, entry.flags));
+    }
+    out
+}
+
+/// The shared rescue path: re-runs `missing` cells of `stripe` with an
+/// [`InProcessBackend`], emitting each result via `emit` keyed by its *position in
+/// `missing`* (callers map that back to their own index space), merging the fallback's
+/// calibration into `observed`, and counting the re-run cells on
+/// [`local_obs::metrics::RESCUED_CELLS`]. Both distributed backends degrade through this
+/// one function, so the failure discipline cannot drift between transports.
+pub(crate) fn rescue_missing(
+    stripe: &CellShard,
+    missing: &[usize],
+    threads: usize,
+    observed: &Mutex<CostModel>,
+    emit: &(dyn Fn(usize, CellResult) + Sync),
+) {
+    if missing.is_empty() {
+        return;
+    }
+    local_obs::counter_add(local_obs::metrics::RESCUED_CELLS, missing.len() as u64);
+    let rescue = CellShard {
+        base_seed: stripe.base_seed,
+        code_version: stripe.code_version.clone(),
+        cells: missing.iter().map(|&i| stripe.cells[i].clone()).collect(),
+    };
+    let fallback = InProcessBackend::new(threads);
+    fallback.run_shard(&rescue, emit);
+    observed.lock().expect("cost observations poisoned").merge(&fallback.calibration());
 }
 
 #[cfg(test)]

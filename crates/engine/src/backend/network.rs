@@ -1,0 +1,553 @@
+//! The network backend: shard dispatch to persistent `sweep --serve` TCP daemons.
+//!
+//! # Wire protocol
+//!
+//! The transport reuses the multi-process stream protocol verbatim ([`super::process`],
+//! verified by [`super::stream`]) with one framing addition: instead of a shard on stdin,
+//! the coordinator writes one JSON *request line* per shard over the socket —
+//! `{"shard": <CellShard>, "telemetry": <ms>?}` — and the daemon answers with exactly the
+//! stdout stream a `--worker` child would produce (result lines, optional heartbeats and a
+//! span dump, the observation-carrying sentinel). Connections are persistent: a daemon
+//! serves any number of requests per connection and any number of connections over its
+//! lifetime, version-checking every shard against its own build. A daemon that cannot
+//! serve a request answers a single `{"error": …}` line and drops the connection.
+//!
+//! # Robustness discipline
+//!
+//! Every connect carries a deadline, every read and write a liveness window
+//! ([`super::liveness_window`] — heartbeats shrink it from the configured I/O deadline to a
+//! few heartbeat intervals). Failed connects retry with capped exponential backoff and
+//! deterministic jitter ([`super::backoff_ms`]). When a peer dies mid-stripe, its verified
+//! cells stand, the missing remainder is re-dispatched to a healthy peer
+//! ([`local_obs::metrics::REDISPATCHED_CELLS`]), and whatever no peer can serve falls back
+//! to the shared in-process rescue ([`super::rescue_missing`]) — so a dead, flapping, or
+//! garbage-spewing daemon degrades wall clock, never the report. Connection state is
+//! observable: [`local_obs::metrics::NET_CONNECTS`]/[`local_obs::metrics::NET_RETRIES`]
+//! count attempts, [`local_obs::metrics::WORKER_STATE`] gauges the peak number of
+//! simultaneously connected peers, and every transition lands as a timestamped
+//! `worker-state` record labelled with the peer.
+//!
+//! Fault injection mirrors the process backend: `refuse*N` clauses fail the first N
+//! connect attempts coordinator-side; everything else in a `w<i>:` scope is scripted into
+//! daemon `i`'s own `LOCAL_FAULTS` environment when it is launched (daemons are separate
+//! processes — the coordinator cannot forward faults it did not start the daemon with).
+
+use super::faults::FaultInjector;
+use super::process::{observations_from_value, serve_shard};
+use super::stream::{LineOutcome, StripeStream};
+use super::{backoff_ms, liveness_window, CellShard, EmitFn, ExecBackend, FaultPlan};
+use crate::cost::CostModel;
+use crate::progress::ProgressMeter;
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Executes shards by striping them over persistent `sweep --serve` TCP daemons.
+#[derive(Debug)]
+pub struct NetworkBackend {
+    peers: Vec<String>,
+    rescue_threads: usize,
+    observed: Mutex<CostModel>,
+    progress: Option<ProgressMeter>,
+    heartbeat_ms: u64,
+    io_deadline_ms: u64,
+    connect_timeout_ms: u64,
+    retry_base_ms: u64,
+    retry_cap_ms: u64,
+    max_connect_attempts: u32,
+    faults: FaultPlan,
+    /// Scripted connect refusals already consumed, per peer (process-lifetime semantics:
+    /// `refuse*2` refuses two attempts total, not two per stripe).
+    refused: Vec<AtomicU64>,
+    /// Currently connected peers, for the connection-state gauge.
+    connected: AtomicU64,
+}
+
+impl NetworkBackend {
+    /// A backend over the given daemon addresses (`host:port`, one stripe per peer).
+    pub fn new(peers: Vec<String>) -> Self {
+        let refused = peers.iter().map(|_| AtomicU64::new(0)).collect();
+        NetworkBackend {
+            refused,
+            peers,
+            rescue_threads: 0,
+            observed: Mutex::new(CostModel::new()),
+            progress: None,
+            heartbeat_ms: 500,
+            io_deadline_ms: 600_000,
+            connect_timeout_ms: 5_000,
+            retry_base_ms: 100,
+            retry_cap_ms: 5_000,
+            max_connect_attempts: 5,
+            faults: FaultPlan::from_env_lossy(),
+            connected: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets how many threads the in-process rescue path uses when no peer can serve a cell
+    /// (`0` = available parallelism, the default — rescue is the degraded mode, so it takes
+    /// the whole machine).
+    pub fn rescue_threads(mut self, threads: usize) -> Self {
+        self.rescue_threads = threads;
+        self
+    }
+
+    /// Attaches a live progress meter; daemons are then asked for heartbeats.
+    pub fn progress(mut self, meter: ProgressMeter) -> Self {
+        self.progress = Some(meter);
+        self
+    }
+
+    /// Sets the daemon heartbeat interval (default 500ms; only used when telemetry is on).
+    pub fn heartbeat_ms(mut self, ms: u64) -> Self {
+        self.heartbeat_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the I/O liveness deadline in milliseconds (default 600000). When heartbeats
+    /// flow, the effective read window shrinks to a few heartbeat intervals.
+    pub fn io_deadline_ms(mut self, ms: u64) -> Self {
+        self.io_deadline_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the per-attempt connect timeout in milliseconds (default 5000).
+    pub fn connect_timeout_ms(mut self, ms: u64) -> Self {
+        self.connect_timeout_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the reconnect policy: capped exponential backoff starting at `base_ms`, capped
+    /// at `cap_ms`, giving up on a peer after `attempts` failed connects (defaults
+    /// 100/5000/5). Jitter is deterministic per (peer, attempt).
+    pub fn retry(mut self, base_ms: u64, cap_ms: u64, attempts: u32) -> Self {
+        self.retry_base_ms = base_ms.max(1);
+        self.retry_cap_ms = cap_ms.max(base_ms.max(1));
+        self.max_connect_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the deterministic fault-injection plan (default: the `LOCAL_FAULTS`
+    /// environment script). Only coordinator-side clauses apply here — `refuse*N` scoped to
+    /// peer `i` fails that peer's first N connect attempts; stream faults belong in the
+    /// daemon's own environment.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    fn telemetry_interval(&self) -> Option<u64> {
+        (self.progress.is_some() || local_obs::is_enabled()).then_some(self.heartbeat_ms)
+    }
+
+    /// Records a connection-state transition for `peer` (1 = connected, 0 = down) and keeps
+    /// the peak-concurrent-connections gauge current.
+    fn record_state(&self, peer: usize, connected: bool) {
+        let now = if connected {
+            let now = self.connected.fetch_add(1, Ordering::Relaxed) + 1;
+            local_obs::counter_add(local_obs::metrics::NET_CONNECTS, 1);
+            now
+        } else {
+            // Saturating: a refused connect records "down" without ever having been up.
+            let mut now = self.connected.load(Ordering::Relaxed);
+            while now > 0 {
+                match self.connected.compare_exchange_weak(
+                    now,
+                    now - 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        now -= 1;
+                        break;
+                    }
+                    Err(seen) => now = seen,
+                }
+            }
+            now
+        };
+        local_obs::gauge_max(local_obs::metrics::WORKER_STATE, now);
+        let label = local_obs::label(&format!("peer {peer} {}", self.peers[peer]));
+        local_obs::record(local_obs::metrics::WORKER_STATE, label, connected as u64);
+    }
+
+    /// Connects to `peer` with the retry policy; scripted refusals consume attempts like
+    /// real connection errors (and count like them — backoff, retry counter, state record).
+    fn connect(&self, peer: usize) -> Result<TcpStream, String> {
+        let addr = &self.peers[peer];
+        let scripted = self.faults.refuse_connects(peer);
+        let timeout = Duration::from_millis(self.connect_timeout_ms);
+        let mut last_err = String::new();
+        for attempt in 1..=self.max_connect_attempts {
+            // Refusals are process-lifetime: `refuse*2` refuses two attempts total across
+            // every stripe and re-dispatch, then lets connects through.
+            let refused = self.refused[peer]
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                    (n < scripted).then_some(n + 1)
+                })
+                .is_ok();
+            if refused {
+                local_obs::counter_add(local_obs::metrics::FAULTS_INJECTED, 1);
+                eprintln!("[fault] refusing connect attempt {attempt} to peer {peer} ({addr})");
+                last_err = "fault-injected connect refusal".to_string();
+            } else {
+                match try_connect(addr, timeout) {
+                    Ok(stream) => {
+                        self.record_state(peer, true);
+                        return Ok(stream);
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            local_obs::counter_add(local_obs::metrics::NET_RETRIES, 1);
+            self.record_state(peer, false);
+            if attempt < self.max_connect_attempts {
+                std::thread::sleep(Duration::from_millis(backoff_ms(
+                    peer,
+                    attempt,
+                    self.retry_base_ms,
+                    self.retry_cap_ms,
+                )));
+            }
+        }
+        Err(format!(
+            "cannot connect to {addr} after {} attempts: {last_err}",
+            self.max_connect_attempts
+        ))
+    }
+
+    /// Dispatches one stripe to one peer over a fresh connection. Returns the stripe
+    /// indices still missing plus the failure reason when the stream cannot be trusted to
+    /// completion.
+    fn run_stripe(
+        &self,
+        peer: usize,
+        stripe: &CellShard,
+        parent_indices: &[usize],
+        emit: &EmitFn,
+    ) -> Result<(), (Vec<usize>, String)> {
+        let all = || (0..stripe.cells.len()).collect::<Vec<usize>>();
+        let stream = match self.connect(peer) {
+            Ok(stream) => stream,
+            Err(reason) => return Err((all(), reason)),
+        };
+        let telemetry = self.telemetry_interval();
+        let window = liveness_window(Duration::from_millis(self.io_deadline_ms), telemetry);
+        let configured = stream
+            .set_nodelay(true)
+            .and_then(|_| stream.set_read_timeout(Some(window)))
+            .and_then(|_| stream.set_write_timeout(Some(window)));
+        if let Err(e) = configured {
+            self.record_state(peer, false);
+            return Err((all(), format!("cannot configure socket: {e}")));
+        }
+
+        // Span timestamps in the daemon's dump are relative to the daemon's own request
+        // epoch; rebase them onto our timeline at the moment we sent the request.
+        let connect_offset = local_obs::now_micros();
+        let mut request = vec![("shard".to_string(), stripe.to_value())];
+        if let Some(ms) = telemetry {
+            request.push(("telemetry".to_string(), Value::U64(ms)));
+        }
+        let request = serde_json::to_string(&Line(Value::Map(request))).expect("request serializes");
+        let mut writer = &stream;
+        if let Err(e) = writeln!(writer, "{request}").and_then(|_| writer.flush()) {
+            self.record_state(peer, false);
+            return Err((all(), format!("cannot ship the stripe to {}: {e}", self.peers[peer])));
+        }
+
+        let mut reader = BufReader::new(&stream);
+        let mut verifier = StripeStream::new(stripe, format!("peer {peer}"), connect_offset);
+        let mut failure = None;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) => {
+                    failure = Some("connection closed before the sentinel".to_string());
+                    break;
+                }
+                Ok(_) => {
+                    let mut accept =
+                        |index: usize, result| emit(parent_indices[index], result);
+                    let text = line.trim_end_matches(['\n', '\r']);
+                    match verifier.consume(text, self.progress.as_ref(), &mut accept) {
+                        Ok(LineOutcome::Progress) => {}
+                        Ok(LineOutcome::Finished) => break,
+                        Err(reason) => {
+                            failure = Some(reason);
+                            break;
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    failure = Some(format!(
+                        "liveness deadline exceeded ({}ms without a line — dead peer?)",
+                        window.as_millis()
+                    ));
+                    break;
+                }
+                Err(e) => {
+                    failure = Some(format!("stream read error: {e}"));
+                    break;
+                }
+            }
+        }
+        if failure.is_none() {
+            failure = verifier.verify_completion().err();
+        }
+        self.record_state(peer, false);
+
+        match failure {
+            None => {
+                if let Some(observations) =
+                    verifier.sentinel_observations().map(observations_from_value)
+                {
+                    let mut observed = self.observed.lock().expect("cost observations poisoned");
+                    for (problem, family, obs, pred) in observations.unwrap_or_default() {
+                        observed.observe_group(&problem, &family, obs, pred);
+                    }
+                }
+                Ok(())
+            }
+            Some(reason) => {
+                self.observed
+                    .lock()
+                    .expect("cost observations poisoned")
+                    .merge(&verifier.line_observed);
+                Err((verifier.missing(), reason))
+            }
+        }
+    }
+}
+
+impl ExecBackend for NetworkBackend {
+    fn name(&self) -> &'static str {
+        "network"
+    }
+
+    fn parallelism(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn run_shard(&self, shard: &CellShard, emit: &EmitFn) {
+        if shard.cells.is_empty() || self.peers.is_empty() {
+            if !shard.cells.is_empty() {
+                // No peers at all: everything is "irreducible remainder".
+                let all: Vec<usize> = (0..shard.cells.len()).collect();
+                super::rescue_missing(shard, &all, self.rescue_threads, &self.observed, emit);
+            }
+            return;
+        }
+        let stripes = shard.stripe(self.peers.len());
+        let healthy: Vec<AtomicBool> = self.peers.iter().map(|_| AtomicBool::new(true)).collect();
+        let failures: Mutex<Vec<(usize, Vec<usize>)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (peer, (stripe, parent_indices)) in stripes.iter().enumerate() {
+                let healthy = &healthy;
+                let failures = &failures;
+                scope.spawn(move || {
+                    if let Err((missing, reason)) =
+                        self.run_stripe(peer, stripe, parent_indices, emit)
+                    {
+                        healthy[peer].store(false, Ordering::Relaxed);
+                        eprintln!(
+                            "sweep network backend: peer {peer} ({}) failed ({reason}); \
+                             re-dispatching {} cells",
+                            self.peers[peer],
+                            missing.len()
+                        );
+                        failures.lock().expect("failure list poisoned").push((peer, missing));
+                    }
+                });
+            }
+        });
+
+        // Degraded phase: walk each failed stripe's remainder through the healthy peers;
+        // whatever none of them can serve is rescued in-process. Sequential on purpose —
+        // this is the slow path, and determinism of the *report* never depended on it.
+        for (stripe_index, mut remaining) in failures.into_inner().expect("failure list poisoned")
+        {
+            let (stripe, parent_indices) = &stripes[stripe_index];
+            while !remaining.is_empty() {
+                let Some(peer) = (0..self.peers.len())
+                    .find(|&p| healthy[p].load(Ordering::Relaxed))
+                else {
+                    break;
+                };
+                let sub = CellShard {
+                    base_seed: stripe.base_seed,
+                    code_version: stripe.code_version.clone(),
+                    cells: remaining.iter().map(|&i| stripe.cells[i].clone()).collect(),
+                };
+                let sub_parents: Vec<usize> =
+                    remaining.iter().map(|&i| parent_indices[i]).collect();
+                local_obs::counter_add(
+                    local_obs::metrics::REDISPATCHED_CELLS,
+                    remaining.len() as u64,
+                );
+                match self.run_stripe(peer, &sub, &sub_parents, emit) {
+                    Ok(()) => remaining.clear(),
+                    Err((still_missing, reason)) => {
+                        healthy[peer].store(false, Ordering::Relaxed);
+                        eprintln!(
+                            "sweep network backend: re-dispatch to peer {peer} ({}) failed \
+                             ({reason})",
+                            self.peers[peer]
+                        );
+                        remaining = still_missing.iter().map(|&k| remaining[k]).collect();
+                    }
+                }
+            }
+            if !remaining.is_empty() {
+                eprintln!(
+                    "sweep network backend: no healthy peers left; re-running {} cells \
+                     in-process",
+                    remaining.len()
+                );
+                let remaining = remaining;
+                super::rescue_missing(
+                    stripe,
+                    &remaining,
+                    self.rescue_threads,
+                    &self.observed,
+                    &|k, result| emit(parent_indices[remaining[k]], result),
+                );
+            }
+        }
+    }
+
+    fn calibration(&self) -> CostModel {
+        let mut out = CostModel::new();
+        out.merge(&self.observed.lock().expect("cost observations poisoned"));
+        out
+    }
+}
+
+/// One resolve-and-connect attempt with a deadline, trying every resolved address once.
+fn try_connect(addr: &str, timeout: Duration) -> Result<TcpStream, String> {
+    let resolved = addr.to_socket_addrs().map_err(|e| format!("cannot resolve {addr}: {e}"))?;
+    let mut last = format!("{addr} resolves to no addresses");
+    for candidate in resolved {
+        match TcpStream::connect_timeout(&candidate, timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last = e.to_string(),
+        }
+    }
+    Err(last)
+}
+
+/// Adapter rendering a raw [`Value`] through the serde stub.
+struct Line(Value);
+
+impl Serialize for Line {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Runs the `sweep --serve` daemon loop: binds `addr`, announces `listening on <addr>` on
+/// stdout (so scripts binding port 0 can learn the port), and serves shard requests
+/// forever — any number of connections, any number of requests per connection, executions
+/// serialized so the daemon's fault script and observability counters follow one
+/// deterministic emission order. Stream faults scripted in the daemon's own `LOCAL_FAULTS`
+/// apply to its result stream; `kill`/`truncate` clauses terminate the daemon process,
+/// exactly like the real failures they simulate. Only returns on bind failure.
+pub fn serve_forever(addr: &str, threads: usize) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
+    println!("listening on {local}");
+    let _ = std::io::stdout().flush();
+    let faults = Arc::new(FaultInjector::from_env_lossy());
+    if faults.is_armed() {
+        eprintln!("sweep serve: fault injection armed");
+    }
+    let serve_lock = Arc::new(Mutex::new(()));
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                let faults = Arc::clone(&faults);
+                let serve_lock = Arc::clone(&serve_lock);
+                std::thread::spawn(move || serve_connection(stream, threads, &faults, &serve_lock));
+            }
+            Err(e) => eprintln!("sweep serve: accept failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Serves one client connection: request lines in, result streams out, until the client
+/// hangs up or a request cannot be served (one `{"error": …}` line, then hang up — the
+/// coordinator treats it like any other failed stream and rescues).
+fn serve_connection(
+    stream: TcpStream,
+    threads: usize,
+    faults: &FaultInjector,
+    serve_lock: &Mutex<()>,
+) {
+    let client = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown peer".to_string());
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            eprintln!("sweep serve [{client}]: cannot clone socket: {e}");
+            return;
+        }
+    };
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {
+                // One shard at a time per daemon: deterministic fault indices and counter
+                // attribution, and no thread oversubscription on the worker machine.
+                let _guard = serve_lock.lock().expect("serve lock poisoned");
+                if let Err(e) = serve_request(line.trim(), threads, faults, &mut writer) {
+                    eprintln!("sweep serve [{client}]: {e}");
+                    let reply = Line(Value::Map(vec![("error".into(), Value::Str(e))]));
+                    let text = serde_json::to_string(&reply).expect("error line serializes");
+                    let _ = writeln!(writer, "{text}");
+                    let _ = writer.flush();
+                    return;
+                }
+            }
+            Err(e) => {
+                eprintln!("sweep serve [{client}]: read failed: {e}");
+                return;
+            }
+        }
+    }
+}
+
+/// Parses and executes one shard request against this daemon's build.
+fn serve_request(
+    request: &str,
+    threads: usize,
+    faults: &FaultInjector,
+    out: &mut (impl Write + Send),
+) -> Result<(), String> {
+    let value = serde_json::from_str(request).map_err(|e| format!("unreadable request: {e}"))?;
+    let shard = CellShard::from_value(
+        value.get("shard").ok_or_else(|| "request without a shard".to_string())?,
+    )
+    .map_err(|e| format!("malformed shard: {e}"))?;
+    let telemetry = value.get("telemetry").and_then(Value::as_u64);
+    if telemetry.is_some() {
+        // Per-request span/counter epoch: a long-lived daemon must not replay its whole
+        // history into every span dump. (The fault injector's cumulative result-line
+        // counter lives outside the obs layer and is unaffected.)
+        local_obs::reset();
+    }
+    serve_shard(&shard, threads, telemetry, faults, out)
+}

@@ -9,7 +9,10 @@
 //!
 //! * **stdin** — one JSON document: the worker's [`CellShard`] (base seed, code-version
 //!   tag, and `Scenario` coordinates). The worker reads it whole before executing
-//!   anything, then refuses it unless the code version matches its own build.
+//!   anything, then refuses it unless the code version matches its own build. The parent
+//!   writes it from a dedicated thread, behind the same liveness deadline as reads — a
+//!   wedged worker that never reads its stdin is detected and rescued, not waited on
+//!   forever.
 //! * **stdout** — newline-delimited JSON, one `{"index": i, "cell": {…}}` line per finished
 //!   cell (in completion order — the index maps back to the stripe), terminated by a
 //!   sentinel `{"done": n, "observations": […]}` line carrying the worker's cost-model
@@ -18,7 +21,8 @@
 //!   totals, see [`super::telemetry::WorkerTelemetry`]) and one final `{"spans": …}` dump
 //!   of the worker's span buffers ([`super::telemetry::SpanDump`]) right before the
 //!   sentinel — both strictly additive, so mixed-version fleets exchange exactly the
-//!   pre-existing record bytes.
+//!   pre-existing record bytes. Heartbeats double as liveness: a stream that stays silent
+//!   past the [`super::liveness_window`] is declared dead.
 //! * **stderr** — captured line by line, re-emitted on the parent's stderr prefixed with
 //!   the worker id (`[worker 3] …`); the last few lines ride along in the failure reason
 //!   when a worker dies, so the rescue-path log says *why*.
@@ -26,26 +30,87 @@
 //! # Failure semantics
 //!
 //! Every result line is verified against the cell it claims to be (problem, family, size,
-//! replicate, *and* the derived execution seed) before it is accepted. A worker that exits
-//! nonzero, truncates its stream, repeats an index, or emits anything unparseable is
-//! abandoned on the spot: its already-verified cells stand, and the parent re-executes the
-//! rest with an [`InProcessBackend`] — so a killed or garbage-spewing worker degrades wall
-//! clock, never the report.
+//! replicate, *and* the derived execution seed) before it is accepted (see
+//! [`super::stream`]). A worker that exits nonzero, truncates its stream, repeats an
+//! index, stalls past the liveness deadline, or emits anything unparseable is abandoned on
+//! the spot: its already-verified cells stand, and the parent re-executes the rest through
+//! the shared [`super::rescue_missing`] path — so a killed, wedged, or garbage-spewing
+//! worker degrades wall clock, never the report. Worker children are killed and reaped on
+//! drop, so no failure path (including a panicking emit) leaks a zombie.
+//!
+//! # Fault injection
+//!
+//! The backend honours a [`FaultPlan`] (builder knob, defaulting to the `LOCAL_FAULTS`
+//! environment script): clauses scoped `w<i>:` are forwarded — unscoped — into worker
+//! `i`'s environment, where [`worker_serve`] executes them against its own result stream;
+//! `refuse` clauses fail the spawn parent-side. Children of an unfaulted worker get
+//! `LOCAL_FAULTS` scrubbed from their environment, so a scripted coordinator can never
+//! leak its own script into the fleet.
 
-use super::telemetry::{SpanDump, WorkerTelemetry};
-use super::{CellShard, EmitFn, ExecBackend, InProcessBackend};
+use super::faults::{FaultInjector, FaultPlan, LineFault};
+use super::stream::{LineOutcome, StripeStream};
+use super::telemetry::SpanDump;
+use super::{liveness_window, CellShard, EmitFn, ExecBackend, InProcessBackend};
 use crate::cost::CostModel;
 use crate::pool;
 use crate::progress::ProgressMeter;
-use crate::report::CellResult;
 use serde::{Deserialize, Serialize, Value};
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// How many trailing worker-stderr lines ride along in a failure reason.
 const STDERR_TAIL: usize = 8;
+
+/// Default read/write liveness deadline: generous enough for the largest single cells when
+/// no heartbeats flow (telemetry shrinks the effective window via
+/// [`super::liveness_window`]).
+const DEFAULT_IO_DEADLINE_MS: u64 = 600_000;
+
+/// A worker child that is *always* killed and reaped: explicitly via [`ReapGuard::wait`]
+/// on the normal path, or by `Drop` when the dispatching thread unwinds (a panicking emit,
+/// an early error return). Without this, an abandoned child outlives the backend as a
+/// zombie once it exits.
+struct ReapGuard {
+    child: Option<Child>,
+}
+
+impl ReapGuard {
+    fn new(child: Child) -> Self {
+        ReapGuard { child: Some(child) }
+    }
+
+    /// Best-effort kill; the process is reaped by [`ReapGuard::wait`] or `Drop`.
+    fn kill(&mut self) {
+        if let Some(child) = &mut self.child {
+            let _ = child.kill();
+        }
+    }
+
+    /// Waits for (and thereby reaps) the child; afterwards `Drop` is a no-op.
+    fn wait(&mut self) -> std::io::Result<ExitStatus> {
+        match &mut self.child {
+            Some(child) => {
+                let status = child.wait();
+                self.child = None;
+                status
+            }
+            None => Err(std::io::Error::other("child already reaped")),
+        }
+    }
+}
+
+impl Drop for ReapGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
 
 /// Executes shards by fanning stripes out to `sweep --worker` subprocesses.
 #[derive(Debug)]
@@ -56,6 +121,8 @@ pub struct ProcessBackend {
     observed: Mutex<CostModel>,
     progress: Option<ProgressMeter>,
     heartbeat_ms: u64,
+    io_deadline_ms: u64,
+    faults: FaultPlan,
 }
 
 impl ProcessBackend {
@@ -79,6 +146,8 @@ impl ProcessBackend {
             observed: Mutex::new(CostModel::new()),
             progress: None,
             heartbeat_ms: 500,
+            io_deadline_ms: DEFAULT_IO_DEADLINE_MS,
+            faults: FaultPlan::from_env_lossy(),
         }
     }
 
@@ -103,6 +172,23 @@ impl ProcessBackend {
         self
     }
 
+    /// Sets the I/O liveness deadline in milliseconds (default 600000): a worker whose
+    /// stream stays silent this long — including one that never reads its stdin — is
+    /// declared dead and its missing cells are rescued. When heartbeats flow, the
+    /// effective window shrinks to a few heartbeat intervals ([`super::liveness_window`]).
+    pub fn io_deadline_ms(mut self, ms: u64) -> Self {
+        self.io_deadline_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the deterministic fault-injection plan (default: the `LOCAL_FAULTS`
+    /// environment script). Clauses scoped to worker `i` are forwarded into that worker's
+    /// environment; `refuse` clauses fail the spawn parent-side.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Whether to ask workers for telemetry, and at what interval: yes when a progress
     /// meter is attached or the coordinator's own obs layer is recording.
     fn telemetry_interval(&self) -> Option<u64> {
@@ -123,6 +209,13 @@ impl ProcessBackend {
         if self.command.is_empty() {
             return Err((all(), "no worker command (current_exe unavailable)".into()));
         }
+        let refusals = self.faults.refuse_connects(worker);
+        if refusals > 0 {
+            // The process backend has no reconnect loop, so any scripted refusal fails the
+            // whole stripe (the network backend retries through its backoff instead).
+            local_obs::counter_add(local_obs::metrics::FAULTS_INJECTED, 1);
+            return Err((all(), format!("fault-injected spawn refusal (refuse*{refusals})")));
+        }
         let mut command = Command::new(&self.command[0]);
         command
             .args(&self.command[1..])
@@ -131,8 +224,17 @@ impl ProcessBackend {
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .stderr(Stdio::piped());
-        if let Some(ms) = self.telemetry_interval() {
+        let telemetry = self.telemetry_interval();
+        if let Some(ms) = telemetry {
             command.args(["--telemetry", &ms.to_string()]);
+        }
+        // Fault clauses scoped to this worker travel in its environment; everyone else
+        // gets the variable scrubbed so a scripted parent cannot leak faults downstream.
+        let worker_faults = self.faults.for_worker(worker);
+        if worker_faults.is_empty() {
+            command.env_remove("LOCAL_FAULTS");
+        } else {
+            command.env("LOCAL_FAULTS", worker_faults.render());
         }
         // Worker span timestamps are relative to the worker's own start; record the spawn
         // time so the final span dump can be rebased onto the coordinator's timeline.
@@ -142,11 +244,16 @@ impl ProcessBackend {
             Err(e) => return Err((all(), format!("cannot spawn worker: {e}"))),
         };
 
+        // Take the pipes before the child moves behind the reap guard.
+        let child_stdin = child.stdin.take();
+        let child_stdout = child.stdout.take().expect("stdout was piped");
+        let child_stderr = child.stderr.take();
+        let mut child = ReapGuard::new(child);
+
         // Drain stderr on a dedicated thread: re-emit each line prefixed with the worker
-        // id, and keep a short tail for the failure reason. The thread ends at pipe EOF
-        // (worker exit), so joining after `wait` below cannot hang.
+        // id, and keep a short tail for the failure reason. The thread ends at pipe EOF.
         let stderr_tail = Arc::new(Mutex::new(VecDeque::<String>::new()));
-        let stderr_thread = child.stderr.take().map(|stderr| {
+        let stderr_thread = child_stderr.map(|stderr| {
             let tail = Arc::clone(&stderr_tail);
             std::thread::spawn(move || {
                 for line in BufReader::new(stderr).lines().map_while(Result::ok) {
@@ -161,121 +268,95 @@ impl ProcessBackend {
         });
         let worker_label = format!("worker {worker}");
 
-        // Ship the stripe. The worker reads all of stdin before producing anything, so
-        // writing the whole document and closing the pipe cannot deadlock. A worker that
-        // exits early (bad binary) breaks the pipe — treated like any other stream failure.
+        // Ship the stripe from a dedicated writer thread: a worker that never reads its
+        // stdin can no longer wedge the dispatcher on `write_all` — the read loop's
+        // liveness deadline fires instead, the child is killed, and the broken pipe
+        // unblocks this thread for the join below.
         let shipped = serde_json::to_string(stripe).expect("shard serializes");
-        let write_failed = match child.stdin.take() {
-            Some(mut stdin) => stdin.write_all(shipped.as_bytes()).is_err(),
-            None => true,
-        };
+        let writer_thread = std::thread::spawn(move || -> Result<(), String> {
+            match child_stdin {
+                Some(mut stdin) => {
+                    stdin.write_all(shipped.as_bytes()).map_err(|e| e.to_string())
+                }
+                None => Err("stdin was not piped".into()),
+            }
+        });
 
-        let mut emitted = vec![false; stripe.cells.len()];
-        // Per-line calibration shadow: observed alongside acceptance so that verified cells
-        // still calibrate the model when the worker later fails and its sentinel (the
-        // normal carrier of observation sums) never arrives or cannot be trusted.
-        let mut line_observed = CostModel::new();
-        let mut failure =
-            if write_failed { Some("worker closed stdin early".into()) } else { None };
-        let mut sentinel: Option<Value> = None;
-        if failure.is_none() {
-            let stdout = child.stdout.take().expect("stdout was piped");
-            let mut lines = BufReader::new(stdout).lines();
-            loop {
-                let line = match lines.next() {
-                    Some(Ok(line)) => line,
-                    Some(Err(e)) => {
-                        failure = Some(format!("stream read error: {e}"));
-                        break;
-                    }
-                    None => {
-                        failure = Some("stream truncated before the sentinel".into());
-                        break;
-                    }
-                };
-                let value = match serde_json::from_str(&line) {
-                    Ok(value) => value,
-                    Err(e) => {
-                        failure = Some(format!("garbage on stdout: {e}"));
-                        break;
-                    }
-                };
-                if value.get("done").is_some() {
-                    sentinel = Some(value);
+        // Read the stream on a dedicated thread too, so the verification loop can enforce
+        // the liveness deadline with `recv_timeout` (pipes have no native read timeout).
+        let (line_tx, line_rx) = mpsc::channel::<std::io::Result<String>>();
+        let reader_thread = std::thread::spawn(move || {
+            for line in BufReader::new(child_stdout).lines() {
+                if line_tx.send(line).is_err() {
                     break;
                 }
-                // Telemetry record kinds (only present when the parent asked for them).
-                // A record that *claims* a kind but does not parse is treated like any
-                // other garbage: stop trusting the stream.
-                if let Some(t) = value.get("telemetry") {
-                    match WorkerTelemetry::from_value(t) {
-                        Ok(heartbeat) => {
-                            if let Some(meter) = &self.progress {
-                                meter.worker_progress(&worker_label, heartbeat.cells_done);
-                            }
-                        }
-                        Err(e) => {
-                            failure = Some(format!("bad telemetry record: {e}"));
+            }
+        });
+
+        let deadline = liveness_window(Duration::from_millis(self.io_deadline_ms), telemetry);
+        let mut stream = StripeStream::new(stripe, worker_label, spawn_offset);
+        let mut failure = None;
+        loop {
+            match line_rx.recv_timeout(deadline) {
+                Ok(Ok(line)) => {
+                    let mut accept =
+                        |index: usize, result| emit(parent_indices[index], result);
+                    match stream.consume(&line, self.progress.as_ref(), &mut accept) {
+                        Ok(LineOutcome::Progress) => {}
+                        Ok(LineOutcome::Finished) => break,
+                        Err(reason) => {
+                            failure = Some(reason);
                             break;
                         }
                     }
-                    continue;
                 }
-                if let Some(s) = value.get("spans") {
-                    match SpanDump::from_value(s) {
-                        Ok(dump) => dump.import(&worker_label, spawn_offset),
-                        Err(e) => {
-                            failure = Some(format!("bad span dump: {e}"));
-                            break;
-                        }
-                    }
-                    continue;
+                Ok(Err(e)) => {
+                    failure = Some(format!("stream read error: {e}"));
+                    break;
                 }
-                match accept_result(stripe, &value, &emitted) {
-                    Ok((index, result)) => {
-                        emitted[index] = true;
-                        line_observed.observe(&result);
-                        emit(parent_indices[index], result);
-                        if let Some(meter) = &self.progress {
-                            let done = emitted.iter().filter(|&&e| e).count() as u64;
-                            meter.worker_progress(&worker_label, done);
-                        }
-                    }
-                    Err(reason) => {
-                        failure = Some(reason);
-                        break;
-                    }
+                Err(RecvTimeoutError::Disconnected) => {
+                    failure = Some("stream truncated before the sentinel".into());
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    failure = Some(format!(
+                        "liveness deadline exceeded ({}ms without a line — wedged worker?)",
+                        deadline.as_millis()
+                    ));
+                    break;
                 }
             }
+        }
+        if failure.is_none() {
+            failure = stream.verify_completion().err();
         }
 
         if failure.is_some() {
             // Stop trusting the worker entirely: kill it so a blocked writer cannot stall
             // the wait below, then re-run whatever is missing.
-            let _ = child.kill();
+            child.kill();
         }
         let status = child.wait();
-        // The worker is gone, so its stderr pipe has hit EOF; join to complete the tail.
-        if let Some(thread) = stderr_thread {
-            let _ = thread.join();
-        }
+        drop(line_rx);
         if failure.is_none() {
-            // What the sentinel *claims* is irrelevant; completeness is judged by what was
-            // actually verified and emitted, so an under-emitting worker with a confident
-            // sentinel still triggers the re-run of its missing cells.
-            match &sentinel {
-                Some(_) if !emitted.iter().all(|&e| e) => {
-                    failure = Some("sentinel arrived before every cell was emitted".into())
-                }
-                Some(value)
-                    if value.get("done").and_then(Value::as_u64)
-                        != Some(stripe.cells.len() as u64) =>
-                {
-                    failure = Some("sentinel count disagrees with the stripe".into())
-                }
-                Some(_) => {}
-                None => failure = Some("stream ended without a sentinel".into()),
+            // The worker finished cleanly, so its pipes have hit EOF; join the tails.
+            let _ = reader_thread.join();
+            let write_result =
+                writer_thread.join().unwrap_or(Err("writer thread panicked".into()));
+            if let Some(thread) = stderr_thread {
+                let _ = thread.join();
             }
+            if let Err(e) = write_result {
+                failure = Some(format!("cannot ship the stripe over stdin: {e}"));
+            }
+        } else {
+            // A killed worker may have forked grandchildren (e.g. `sh -c` wrappers) that
+            // inherited the pipe write ends and outlive the kill; joining would wait them
+            // out. Detach instead — the threads end at true EOF, and every byte that
+            // matters was already refused above.
+            drop(reader_thread);
+            drop(writer_thread);
+            drop(stderr_thread);
         }
         if failure.is_none() {
             match status {
@@ -288,10 +369,8 @@ impl ProcessBackend {
         match failure {
             None => {
                 // Fully trusted stream: merge the worker's observation sums home.
-                if let Some(observations) = sentinel
-                    .as_ref()
-                    .and_then(|v| v.get("observations"))
-                    .map(observations_from_value)
+                if let Some(observations) =
+                    stream.sentinel_observations().map(observations_from_value)
                 {
                     let mut observed = self.observed.lock().expect("cost observations poisoned");
                     for (problem, family, obs, pred) in observations.unwrap_or_default() {
@@ -304,15 +383,16 @@ impl ProcessBackend {
                 // The sentinel's sums are gone with the worker, but the verified cells
                 // stand in the report — so their line-observed calibration stands too (the
                 // fallback separately observes whatever it re-runs).
-                self.observed.lock().expect("cost observations poisoned").merge(&line_observed);
+                self.observed
+                    .lock()
+                    .expect("cost observations poisoned")
+                    .merge(&stream.line_observed);
                 let tail = stderr_tail.lock().expect("stderr tail poisoned");
                 if !tail.is_empty() {
                     reason.push_str("; last stderr: ");
                     reason.push_str(&tail.iter().cloned().collect::<Vec<_>>().join(" | "));
                 }
-                let missing: Vec<usize> =
-                    (0..stripe.cells.len()).filter(|&i| !emitted[i]).collect();
-                Err((missing, reason))
+                Err((stream.missing(), reason))
             }
         }
     }
@@ -343,19 +423,13 @@ impl ExecBackend for ProcessBackend {
                              cells in-process",
                             missing.len()
                         );
-                        let rescue = CellShard {
-                            base_seed: stripe.base_seed,
-                            code_version: stripe.code_version.clone(),
-                            cells: missing.iter().map(|&i| stripe.cells[i].clone()).collect(),
-                        };
-                        let fallback = InProcessBackend::new(self.worker_threads);
-                        fallback.run_shard(&rescue, &|k, result| {
-                            emit(parent_indices[missing[k]], result);
-                        });
-                        self.observed
-                            .lock()
-                            .expect("cost observations poisoned")
-                            .merge(&fallback.calibration());
+                        super::rescue_missing(
+                            stripe,
+                            &missing,
+                            self.worker_threads,
+                            &self.observed,
+                            &|k, result| emit(parent_indices[missing[k]], result),
+                        );
                     }
                 });
             }
@@ -369,70 +443,44 @@ impl ExecBackend for ProcessBackend {
     }
 }
 
-/// Validates one worker result line against the stripe: the claimed index must be fresh and
-/// in range, and the result must describe exactly the cell at that index — including the
-/// derived execution seed, so a worker computing with a different base seed (or a corrupted
-/// line that still parses) can never smuggle a wrong result into the report.
-fn accept_result(
-    stripe: &CellShard,
-    value: &Value,
-    emitted: &[bool],
-) -> Result<(usize, CellResult), String> {
-    let index = value
-        .get("index")
-        .and_then(Value::as_u64)
-        .ok_or_else(|| "result line without an index".to_string())?;
-    let index = usize::try_from(index).map_err(|_| format!("index {index} overflows"))?;
-    if index >= stripe.cells.len() {
-        return Err(format!("index {index} out of range for a {}-cell stripe", stripe.cells.len()));
-    }
-    if emitted[index] {
-        return Err(format!("index {index} emitted twice"));
-    }
-    let result = value
-        .get("cell")
-        .ok_or_else(|| "result line without a cell".to_string())
-        .and_then(CellResult::from_value)?;
-    let expected = &stripe.cells[index];
-    if result.problem != expected.problem.name()
-        || result.family != expected.family.name()
-        || result.requested_n != expected.n
-        || result.replicate != expected.replicate
-        || result.seed != expected.cell_seed(stripe.base_seed)
-    {
-        return Err(format!(
-            "result at index {index} does not match cell {} (claimed {}/{}/n{}/r{} seed {})",
-            expected.label(),
-            result.problem,
-            result.family,
-            result.requested_n,
-            result.replicate,
-            result.seed
-        ));
-    }
-    Ok((index, result))
-}
-
 /// Serves one worker invocation: parse the shard on `input`, execute it with an
 /// [`InProcessBackend`], and stream result lines plus the observation-carrying sentinel to
 /// `out`. This *is* `sweep --worker`; it lives here so both sides of the protocol share one
-/// module. Errors (bad shard, version skew) are returned for the binary to print and turn
-/// into a nonzero exit, which the parent detects as a shard failure.
+/// module (the `--serve` TCP daemon reuses the same serving core through
+/// [`super::network`]). Errors (bad shard, version skew) are returned for the binary to
+/// print and turn into a nonzero exit, which the parent detects as a shard failure.
 ///
 /// `telemetry_ms` is the parent's `--telemetry` request: `Some(interval)` turns the obs
 /// layer on for the stripe and adds heartbeat records every `interval` milliseconds plus a
 /// final span dump before the sentinel; `None` (old parents, plain invocations) produces
 /// exactly the pre-telemetry stream.
+///
+/// `faults` executes the process's scripted stream faults; note that `kill` and `truncate`
+/// clauses terminate the *calling process* when they fire.
 pub fn worker_serve(
     input: &str,
     threads: usize,
     telemetry_ms: Option<u64>,
+    faults: &FaultInjector,
     out: &mut (impl Write + Send),
 ) -> Result<(), String> {
     let shard = CellShard::from_value(
         &serde_json::from_str(input).map_err(|e| format!("unreadable shard: {e}"))?,
     )
     .map_err(|e| format!("malformed shard: {e}"))?;
+    serve_shard(&shard, threads, telemetry_ms, faults, out)
+}
+
+/// The serving core shared by `sweep --worker` (stdin/stdout) and the `sweep --serve` TCP
+/// daemon: version-checks `shard`, executes it, streams results/telemetry/sentinel to
+/// `out`, and applies the process's fault injector to every result line.
+pub(super) fn serve_shard(
+    shard: &CellShard,
+    threads: usize,
+    telemetry_ms: Option<u64>,
+    faults: &FaultInjector,
+    out: &mut (impl Write + Send),
+) -> Result<(), String> {
     if shard.code_version != crate::cache::CODE_VERSION {
         return Err(format!(
             "code-version skew: shard was built by {:?}, this worker is {:?}",
@@ -448,7 +496,7 @@ pub fn worker_serve(
     let sink = Mutex::new(&mut *out);
     let cells_done = std::sync::atomic::AtomicU64::new(0);
     let heartbeat = || {
-        let record = WorkerTelemetry {
+        let record = super::WorkerTelemetry {
             cells_done: cells_done.load(std::sync::atomic::Ordering::Relaxed),
             wall_micros: started.elapsed().as_micros() as u64,
             counters: local_obs::counter_totals(),
@@ -483,7 +531,7 @@ pub fn worker_serve(
                     }
                 });
             }
-            backend.run_shard(&shard, &|index, result| {
+            backend.run_shard(shard, &|index, result| {
                 let line = Raw(Value::Map(vec![
                     ("index".into(), Value::U64(index as u64)),
                     ("cell".into(), result.to_value()),
@@ -491,6 +539,30 @@ pub fn worker_serve(
                 let text = serde_json::to_string(&line).expect("result line serializes");
                 cells_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let mut sink = sink.lock().expect("worker stdout poisoned");
+                // The scripted faults fire under the sink lock, so "result line k" follows
+                // emission order deterministically.
+                match faults.on_result_line() {
+                    LineFault::Kill => {
+                        let _ = sink.flush();
+                        std::process::exit(1);
+                    }
+                    LineFault::Truncate => {
+                        // A clean stream that simply ends: flush what was verified so far
+                        // and exit zero without a sentinel.
+                        let _ = sink.flush();
+                        std::process::exit(0);
+                    }
+                    LineFault::Garble => {
+                        let _ = writeln!(sink, "{}", FaultInjector::garbage_line(index as u64));
+                    }
+                    LineFault::Duplicate => {
+                        let _ = writeln!(sink, "{text}");
+                    }
+                    LineFault::Delay(ms) => {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    LineFault::None => {}
+                }
                 if let Err(e) = writeln!(sink, "{text}") {
                     write_error.lock().expect("error slot poisoned").get_or_insert(e.to_string());
                 }
@@ -540,7 +612,9 @@ fn observations_to_value(observations: &[(String, String, f64, f64)]) -> Value {
 
 /// Parses the sentinel's observation sums; shape errors discard the calibration only (the
 /// results themselves were verified line by line).
-fn observations_from_value(value: &Value) -> Result<Vec<(String, String, f64, f64)>, String> {
+pub(super) fn observations_from_value(
+    value: &Value,
+) -> Result<Vec<(String, String, f64, f64)>, String> {
     value
         .as_seq()
         .ok_or_else(|| "observations are not a sequence".to_string())?
@@ -569,10 +643,15 @@ impl Serialize for Raw {
 
 #[cfg(test)]
 mod tests {
+    use super::super::stream::accept_result;
     use super::*;
     use crate::registry::workload;
     use crate::scenario::Scenario;
     use local_graphs::Family;
+
+    fn no_faults() -> FaultInjector {
+        FaultInjector::default()
+    }
 
     fn small_shard() -> CellShard {
         CellShard::new(
@@ -598,7 +677,8 @@ mod tests {
     fn worker_serve_round_trips_through_the_stream_format() {
         let shard = small_shard();
         let mut out = Vec::new();
-        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &mut out).unwrap();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &no_faults(), &mut out)
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), shard.cells.len() + 1, "cells + sentinel");
@@ -624,7 +704,8 @@ mod tests {
         shard.code_version = "some-stale-build".into();
         let mut out = Vec::new();
         let err =
-            worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &mut out).unwrap_err();
+            worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &no_faults(), &mut out)
+                .unwrap_err();
         assert!(err.contains("code-version skew"), "{err}");
         assert!(out.is_empty(), "a refused shard must produce no results");
     }
@@ -633,7 +714,8 @@ mod tests {
     fn accept_result_rejects_foreign_and_duplicate_cells() {
         let shard = small_shard();
         let mut out = Vec::new();
-        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &mut out).unwrap();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &no_faults(), &mut out)
+            .unwrap();
         let text = String::from_utf8(out).unwrap();
         let first = serde_json::from_str(text.lines().next().unwrap()).unwrap();
 
@@ -648,6 +730,34 @@ mod tests {
         let mut reseeded = shard.clone();
         reseeded.base_seed = 4;
         assert!(accept_result(&reseeded, &first, &fresh).unwrap_err().contains("does not match"));
+    }
+
+    #[test]
+    fn garble_faults_insert_garbage_midstream_but_keep_valid_lines() {
+        let shard = small_shard();
+        let injector = FaultInjector::new(&FaultPlan::parse("garble@1").unwrap());
+        let mut out = Vec::new();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &injector, &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), shard.cells.len() + 2, "cells + one garbage line + sentinel");
+        assert!(serde_json::from_str(lines[0]).is_ok(), "first result is clean");
+        assert!(serde_json::from_str(lines[1]).is_err(), "garbage where scripted");
+        assert!(serde_json::from_str(lines[2]).is_ok(), "valid lines continue after");
+    }
+
+    #[test]
+    fn duplicate_faults_repeat_the_scripted_line() {
+        let shard = small_shard();
+        let injector = FaultInjector::new(&FaultPlan::parse("dup@0").unwrap());
+        let mut out = Vec::new();
+        worker_serve(&serde_json::to_string(&shard).unwrap(), 1, None, &injector, &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), shard.cells.len() + 2, "cells + one duplicate + sentinel");
+        assert_eq!(lines[0], lines[1], "the scripted line is emitted twice");
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! Shared consumption of a worker's result stream.
+//!
+//! Both distributed backends — [`super::ProcessBackend`] over pipes and
+//! [`super::NetworkBackend`] over TCP — receive the same newline-delimited protocol:
+//! `{"index", "cell"}` result lines, optional `{"telemetry"}` heartbeats and one
+//! `{"spans"}` dump, terminated by a `{"done", "observations"}` sentinel. This module owns
+//! the verification state machine for one stripe of that stream, so the trust rules
+//! (per-line identity checks, duplicate-index rejection, sentinel completeness) cannot
+//! drift between transports.
+
+use super::telemetry::{SpanDump, WorkerTelemetry};
+use super::CellShard;
+use crate::cost::CostModel;
+use crate::progress::ProgressMeter;
+use crate::report::CellResult;
+use serde::{Deserialize, Value};
+
+/// What one consumed line meant for the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LineOutcome {
+    /// A result, heartbeat, or span dump: keep reading.
+    Progress,
+    /// The sentinel: the stream is over, check completion next.
+    Finished,
+}
+
+/// Verification state for one stripe's stream: which cells were verified and emitted, the
+/// per-line calibration shadow, and the sentinel once it arrives.
+pub(crate) struct StripeStream<'a> {
+    stripe: &'a CellShard,
+    worker_label: String,
+    spawn_offset_micros: u64,
+    emitted: Vec<bool>,
+    /// Calibration observed alongside acceptance, so verified cells still calibrate the
+    /// model when the worker later fails and its sentinel never arrives.
+    pub line_observed: CostModel,
+    sentinel: Option<Value>,
+}
+
+impl<'a> StripeStream<'a> {
+    /// A fresh verifier for `stripe`. `spawn_offset_micros` is the coordinator-side time
+    /// the worker started (spawn or connect), used to rebase an imported span dump.
+    pub fn new(stripe: &'a CellShard, worker_label: String, spawn_offset_micros: u64) -> Self {
+        StripeStream {
+            emitted: vec![false; stripe.cells.len()],
+            stripe,
+            worker_label,
+            spawn_offset_micros,
+            line_observed: CostModel::new(),
+            sentinel: None,
+        }
+    }
+
+    /// Consumes one line of the stream. Verified results are handed to `accept` with their
+    /// stripe index; heartbeats update `progress`; a span dump is imported into the obs
+    /// layer. Any line that cannot be fully trusted is an error — the caller must stop
+    /// trusting the stream on the spot.
+    pub fn consume(
+        &mut self,
+        line: &str,
+        progress: Option<&ProgressMeter>,
+        accept: &mut dyn FnMut(usize, CellResult),
+    ) -> Result<LineOutcome, String> {
+        let value = serde_json::from_str(line).map_err(|e| format!("garbage on stream: {e}"))?;
+        if value.get("done").is_some() {
+            self.sentinel = Some(value);
+            return Ok(LineOutcome::Finished);
+        }
+        // A daemon that cannot serve a request says so explicitly before hanging up.
+        if let Some(message) = value.get("error") {
+            return Err(match message {
+                Value::Str(text) => format!("worker reported: {text}"),
+                other => format!("worker reported an error: {other:?}"),
+            });
+        }
+        // Telemetry record kinds (only present when the parent asked for them). A record
+        // that *claims* a kind but does not parse is treated like any other garbage.
+        if let Some(t) = value.get("telemetry") {
+            let heartbeat =
+                WorkerTelemetry::from_value(t).map_err(|e| format!("bad telemetry record: {e}"))?;
+            if let Some(meter) = progress {
+                meter.worker_progress(&self.worker_label, heartbeat.cells_done);
+            }
+            return Ok(LineOutcome::Progress);
+        }
+        if let Some(s) = value.get("spans") {
+            let dump = SpanDump::from_value(s).map_err(|e| format!("bad span dump: {e}"))?;
+            dump.import(&self.worker_label, self.spawn_offset_micros);
+            return Ok(LineOutcome::Progress);
+        }
+        let (index, result) = accept_result(self.stripe, &value, &self.emitted)?;
+        self.emitted[index] = true;
+        self.line_observed.observe(&result);
+        accept(index, result);
+        if let Some(meter) = progress {
+            meter.worker_progress(&self.worker_label, self.done_count());
+        }
+        Ok(LineOutcome::Progress)
+    }
+
+    /// How many cells of the stripe were verified and emitted so far.
+    pub fn done_count(&self) -> u64 {
+        self.emitted.iter().filter(|&&e| e).count() as u64
+    }
+
+    /// The stripe indices still without a verified result.
+    pub fn missing(&self) -> Vec<usize> {
+        (0..self.stripe.cells.len()).filter(|&i| !self.emitted[i]).collect()
+    }
+
+    /// The sentinel observation sums, when a trusted sentinel carried them.
+    pub fn sentinel_observations(&self) -> Option<&Value> {
+        self.sentinel.as_ref().and_then(|v| v.get("observations"))
+    }
+
+    /// Judges completion after the stream ended. What the sentinel *claims* is irrelevant;
+    /// completeness is judged by what was actually verified and emitted, so an
+    /// under-emitting worker with a confident sentinel still triggers the re-run of its
+    /// missing cells.
+    pub fn verify_completion(&self) -> Result<(), String> {
+        match &self.sentinel {
+            Some(_) if !self.emitted.iter().all(|&e| e) => {
+                Err("sentinel arrived before every cell was emitted".into())
+            }
+            Some(value)
+                if value.get("done").and_then(Value::as_u64)
+                    != Some(self.stripe.cells.len() as u64) =>
+            {
+                Err("sentinel count disagrees with the stripe".into())
+            }
+            Some(_) => Ok(()),
+            None => Err("stream ended without a sentinel".into()),
+        }
+    }
+}
+
+/// Validates one worker result line against the stripe: the claimed index must be fresh and
+/// in range, and the result must describe exactly the cell at that index — including the
+/// derived execution seed, so a worker computing with a different base seed (or a corrupted
+/// line that still parses) can never smuggle a wrong result into the report.
+pub(crate) fn accept_result(
+    stripe: &CellShard,
+    value: &Value,
+    emitted: &[bool],
+) -> Result<(usize, CellResult), String> {
+    let index = value
+        .get("index")
+        .and_then(Value::as_u64)
+        .ok_or_else(|| "result line without an index".to_string())?;
+    let index = usize::try_from(index).map_err(|_| format!("index {index} overflows"))?;
+    if index >= stripe.cells.len() {
+        return Err(format!("index {index} out of range for a {}-cell stripe", stripe.cells.len()));
+    }
+    if emitted[index] {
+        return Err(format!("index {index} emitted twice"));
+    }
+    let result = value
+        .get("cell")
+        .ok_or_else(|| "result line without a cell".to_string())
+        .and_then(CellResult::from_value)?;
+    let expected = &stripe.cells[index];
+    if result.problem != expected.problem.name()
+        || result.family != expected.family.name()
+        || result.requested_n != expected.n
+        || result.replicate != expected.replicate
+        || result.seed != expected.cell_seed(stripe.base_seed)
+    {
+        return Err(format!(
+            "result at index {index} does not match cell {} (claimed {}/{}/n{}/r{} seed {})",
+            expected.label(),
+            result.problem,
+            result.family,
+            result.requested_n,
+            result.replicate,
+            result.seed
+        ));
+    }
+    Ok((index, result))
+}

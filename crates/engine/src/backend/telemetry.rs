@@ -8,6 +8,24 @@
 
 use local_obs::EventRecord;
 use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// How long a worker's stream may stay silent before the coordinator declares it dead.
+///
+/// Without telemetry the only safe bound is the configured I/O deadline: a silent worker
+/// may legitimately be deep in one enormous cell. With heartbeats flowing every
+/// `heartbeat_ms`, silence is evidence — a healthy worker beats even mid-cell — so the
+/// window shrinks to a generous multiple of the heartbeat interval (floored at two seconds
+/// to ride out scheduler hiccups on loaded CI machines), never exceeding the configured
+/// deadline.
+pub fn liveness_window(io_deadline: Duration, heartbeat_ms: Option<u64>) -> Duration {
+    match heartbeat_ms {
+        Some(ms) => {
+            io_deadline.min(Duration::from_millis((ms.saturating_mul(20)).max(2_000)))
+        }
+        None => io_deadline,
+    }
+}
 
 /// A periodic worker heartbeat: progress and counter totals so far. Counts are absolute
 /// (not deltas), so a lost or reordered heartbeat costs nothing.
@@ -116,6 +134,16 @@ impl SpanDump {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn liveness_window_shrinks_with_heartbeats_but_never_grows() {
+        let deadline = Duration::from_secs(600);
+        assert_eq!(liveness_window(deadline, None), deadline);
+        assert_eq!(liveness_window(deadline, Some(500)), Duration::from_secs(10));
+        assert_eq!(liveness_window(deadline, Some(10)), Duration::from_secs(2), "floored");
+        let tight = Duration::from_millis(750);
+        assert_eq!(liveness_window(tight, Some(500)), tight, "never exceeds the deadline");
+    }
 
     #[test]
     fn span_dump_round_trips_a_snapshot_shape() {

@@ -16,11 +16,15 @@
 //!   description) straight from the registry, then exit.
 //! * `--sizes`     comma list (`200,400`) or doubling ladder (`100..10000`).
 //! * `--seeds`     replicates per cell (default 2).
-//! * `--backend`   execution backend: `in-process` (default; the work-stealing thread pool)
-//!   or `process` (spawn `sweep --worker` subprocesses over the serialized shard protocol).
+//! * `--backend`   execution backend: `in-process` (default; the work-stealing thread pool),
+//!   `process` (spawn `sweep --worker` subprocesses over the serialized shard protocol), or
+//!   `network` (stripe over persistent `sweep --serve` TCP daemons named by `--connect`).
 //! * `--threads`   worker threads (0 = available parallelism). Under `--backend process`
 //!   this is each worker process's thread count (default 1).
 //! * `--workers`   worker processes for `--backend process` (0 = available parallelism).
+//! * `--connect`   comma list of daemon addresses for `--backend network`.
+//! * `--io-deadline-ms`  liveness deadline for worker I/O; heartbeats shrink the window.
+//! * `--faults`    deterministic fault-injection script (also read from `LOCAL_FAULTS`).
 //! * `--out`       write the JSON report here; `--csv` additionally writes per-cell CSV.
 //! * `--dry-run`   print the cost model's predicted per-cell micros and the LPT execution
 //!   order (calibrated from the cache when one is attached) without running anything.
@@ -41,10 +45,14 @@
 //!   throughput, and an ETA from the cost model's predictions for the outstanding cells.
 //!
 //! There is also a hidden `--worker` mode — the receiving end of the process backend's
-//! shard protocol (shard JSON on stdin, newline-delimited results + sentinel on stdout);
-//! see `local_engine::backend` for the framing.
+//! shard protocol (shard JSON on stdin, newline-delimited results + sentinel on stdout) —
+//! and a `--serve ADDR` mode, the same protocol as a persistent TCP daemon for `--backend
+//! network`; see `local_engine::backend` for the framing.
 
-use local_engine::backend::{worker_serve, InProcessBackend, ProcessBackend};
+use local_engine::backend::{
+    serve_forever, worker_serve, FaultInjector, FaultPlan, InProcessBackend, NetworkBackend,
+    ProcessBackend,
+};
 use local_engine::{
     default_workloads, parse_sizes, parse_workload, render_listing, CostModel, ProgressMeter,
     ScenarioGrid, Sweep, SweepCache, WorkloadSpec,
@@ -53,10 +61,11 @@ use local_graphs::{builtin_families, parse_family, FamilySpec};
 use std::io::Read;
 use std::process::ExitCode;
 
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Clone, PartialEq)]
 enum BackendKind {
     InProcess,
     Process,
+    Network,
 }
 
 struct Args {
@@ -67,6 +76,9 @@ struct Args {
     backend: BackendKind,
     threads: Option<usize>,
     workers: usize,
+    connect: Vec<String>,
+    io_deadline_ms: Option<u64>,
+    faults: Option<FaultPlan>,
     base_seed: u64,
     out: Option<String>,
     csv: Option<String>,
@@ -98,6 +110,9 @@ fn parse_args() -> Result<Args, String> {
         backend: BackendKind::InProcess,
         threads: None,
         workers: 0,
+        connect: Vec::new(),
+        io_deadline_ms: None,
+        faults: None,
         base_seed: 0,
         out: None,
         csv: None,
@@ -149,15 +164,34 @@ fn parse_args() -> Result<Args, String> {
                 args.backend = match value("--backend")?.as_str() {
                     "in-process" => BackendKind::InProcess,
                     "process" => BackendKind::Process,
+                    "network" => BackendKind::Network,
                     other => {
                         return Err(format!(
-                            "unknown backend: {other:?} (expected in-process or process)"
+                            "unknown backend: {other:?} (expected in-process, process, or \
+                             network — sweep --list enumerates them)"
                         ))
                     }
                 };
             }
             "--threads" => args.threads = Some(parse_count("--threads", &value("--threads")?)?),
             "--workers" => args.workers = parse_count("--workers", &value("--workers")?)?,
+            "--connect" => {
+                args.connect =
+                    value("--connect")?.split(',').map(|a| a.trim().to_string()).collect();
+            }
+            "--io-deadline-ms" => {
+                args.io_deadline_ms = Some(
+                    value("--io-deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --io-deadline-ms: {e}"))?,
+                );
+            }
+            "--faults" => {
+                args.faults = Some(
+                    FaultPlan::parse(&value("--faults")?)
+                        .map_err(|e| format!("bad --faults: {e}"))?,
+                );
+            }
             "--base-seed" => {
                 args.base_seed =
                     value("--base-seed")?.parse().map_err(|e| format!("bad --base-seed: {e}"))?
@@ -190,6 +224,11 @@ fn parse_args() -> Result<Args, String> {
                     cache, not in memory"
             .to_string());
     }
+    if args.backend == BackendKind::Network && args.connect.is_empty() {
+        return Err("--backend network needs --connect host:port[,host:port…] (start daemons \
+                    with sweep --serve ADDR)"
+            .to_string());
+    }
     Ok(args)
 }
 
@@ -198,21 +237,39 @@ sweep — parallel batched experiment engine for uniform LOCAL algorithms
 
 USAGE:
   sweep [--problems LIST|all] [--families LIST|all] [--sizes 200,400 | 100..10000]
-        [--seeds N] [--backend in-process|process] [--threads N] [--workers N]
+        [--seeds N] [--backend in-process|process|network] [--threads N] [--workers N]
+        [--connect HOST:PORT,…] [--io-deadline-ms MS] [--faults SCRIPT]
         [--base-seed S] [--out report.json] [--csv cells.csv] [--list] [--dry-run]
         [--deterministic] [--profile] [--folded stacks.folded]
         [--cache-dir DIR | --no-cache] [--stream]
         [--trace trace.json] [--trace-events events.ndjson] [--progress]
+  sweep --serve ADDR [--threads N]          run a persistent worker daemon
 
-  --list       print every registered workload and family (with parameterized patterns
-               like gnp-d<d> and ruling-set-b<beta>) straight from the registry, then exit.
+  --list       print every registered workload, family, and execution backend (with the
+               flags that configure it) straight from the registries, then exit.
 
   --backend    in-process (default): the work-stealing thread pool. process: fan the sweep
                out to worker subprocesses over the serialized shard protocol; a failed
-               worker's cells are re-run in-process, never lost.
+               worker's cells are re-run in-process, never lost. network: stripe the sweep
+               over persistent `sweep --serve ADDR` daemons (--connect) with reconnect
+               backoff, heartbeat liveness, re-dispatch to healthy peers, and the same
+               in-process rescue of last resort — byte-identical reports either way.
   --threads    worker threads; 0 = available parallelism. Under --backend process, each
-               worker process's thread count (default 1).
+               worker process's thread count (default 1); under --backend network, the
+               in-process rescue path's thread count (default 0).
   --workers    worker processes for --backend process; 0 = available parallelism.
+  --connect    comma list of daemon addresses for --backend network (one stripe per peer).
+  --serve      bind ADDR (host:port; port 0 picks one), print `listening on <addr>`, and
+               serve shard requests forever; --threads caps each shard's parallelism.
+  --io-deadline-ms
+               liveness deadline for worker I/O (default 600000): a stream silent this
+               long is declared dead and its cells rescued. When heartbeats flow the
+               effective window shrinks to a few heartbeat intervals.
+  --faults     deterministic fault-injection script (also read from LOCAL_FAULTS), e.g.
+               \"w0:kill@5 w1:refuse*2\"; clauses scoped w<i>: apply to worker/peer i.
+               kill@K / truncate@K / garble@K / dup@K / delay@K=MS act on a worker's K-th
+               result line; refuse*N fails its first N connects. Injected faults surface
+               on the `resilience:` line.
   --dry-run    print the cost model's predicted per-cell micros and the LPT execution order
                (calibrated from cached observations when available) without running cells.
   --deterministic
@@ -240,18 +297,32 @@ EXAMPLE:
 
 /// The hidden `--worker` mode: serve one shard over the stdin/stdout protocol and exit.
 /// Any error lands on stderr with a nonzero exit, which the parent treats as a shard
-/// failure and absorbs in-process.
+/// failure and absorbs in-process. Stream faults scripted into this process's
+/// `LOCAL_FAULTS` (the parent forwards per-worker clauses) are executed here.
 fn worker_main(threads: usize, telemetry_ms: Option<u64>) -> ExitCode {
     let mut input = String::new();
     if let Err(e) = std::io::stdin().read_to_string(&mut input) {
         eprintln!("sweep --worker: cannot read shard from stdin: {e}");
         return ExitCode::FAILURE;
     }
+    let faults = FaultInjector::from_env_lossy();
     let mut stdout = std::io::stdout();
-    match worker_serve(&input, threads, telemetry_ms, &mut stdout) {
+    match worker_serve(&input, threads, telemetry_ms, &faults, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("sweep --worker: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--serve` mode: a persistent worker daemon on a TCP address, the receiving end of
+/// `--backend network`. Runs until killed.
+fn serve_main(addr: &str, threads: usize) -> ExitCode {
+    match serve_forever(addr, threads) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sweep --serve: {message}");
             ExitCode::FAILURE
         }
     }
@@ -302,9 +373,10 @@ fn dry_run(grid: &ScenarioGrid, cache: Option<&SweepCache>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    // The worker mode is not a regular flag: it must not drag the full sweep arg surface
-    // into the protocol, so it is dispatched before normal parsing. The only arguments it
-    // honours are `--threads N` and `--telemetry MS` (the parent's heartbeat request).
+    // The worker and serve modes are not regular flags: they must not drag the full sweep
+    // arg surface into the protocol, so they are dispatched before normal parsing. A worker
+    // honours only `--threads N` and `--telemetry MS` (the parent's heartbeat request); a
+    // daemon honours `--serve ADDR` and `--threads N` (telemetry is per-request).
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--worker") {
         let threads = raw
@@ -320,6 +392,19 @@ fn main() -> ExitCode {
             .and_then(|v| v.parse().ok());
         return worker_main(threads, telemetry_ms);
     }
+    if let Some(i) = raw.iter().position(|a| a == "--serve") {
+        let Some(addr) = raw.get(i + 1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("sweep --serve: missing bind address (try --serve 127.0.0.1:0)");
+            return ExitCode::FAILURE;
+        };
+        let threads = raw
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|j| raw.get(j + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        return serve_main(addr, threads);
+    }
 
     let args = match parse_args() {
         Ok(args) => args,
@@ -330,8 +415,18 @@ fn main() -> ExitCode {
     };
 
     // Tracing flags arm the global recorder before anything runs; it stays a no-op
-    // otherwise, so the deterministic outputs of an untraced sweep are untouched.
-    if args.trace.is_some() || args.trace_events.is_some() {
+    // otherwise, so the deterministic outputs of an untraced sweep are untouched. The
+    // resilience machinery (network backend, fault injection) also arms it: every retry,
+    // re-dispatch, rescue, and injected fault must land on an observable counter.
+    let fault_plan = match &args.faults {
+        Some(plan) => plan.clone(),
+        None => FaultPlan::from_env_lossy(),
+    };
+    if args.trace.is_some()
+        || args.trace_events.is_some()
+        || args.backend == BackendKind::Network
+        || !fault_plan.is_empty()
+    {
         local_obs::enable();
         local_obs::set_track_name("coordinator");
     }
@@ -363,6 +458,9 @@ fn main() -> ExitCode {
             local_engine::pool::resolve_worker_count(args.workers),
             local_engine::pool::resolve_worker_count(args.threads.unwrap_or(1))
         ),
+        BackendKind::Network => {
+            format!("{} network peers ({})", args.connect.len(), args.connect.join(", "))
+        }
     };
     eprintln!(
         "sweep: {} cells ({} problems × {} families × {} sizes × {} seeds), {}, {}",
@@ -380,8 +478,24 @@ fn main() -> ExitCode {
     sweep = match args.backend {
         BackendKind::InProcess => sweep.backend(InProcessBackend::new(args.threads.unwrap_or(0))),
         BackendKind::Process => {
-            let mut backend =
-                ProcessBackend::new(args.workers).worker_threads(args.threads.unwrap_or(1));
+            let mut backend = ProcessBackend::new(args.workers)
+                .worker_threads(args.threads.unwrap_or(1))
+                .faults(fault_plan.clone());
+            if let Some(ms) = args.io_deadline_ms {
+                backend = backend.io_deadline_ms(ms);
+            }
+            if let Some(meter) = &meter {
+                backend = backend.progress(meter.clone());
+            }
+            sweep.backend(backend)
+        }
+        BackendKind::Network => {
+            let mut backend = NetworkBackend::new(args.connect.clone())
+                .rescue_threads(args.threads.unwrap_or(0))
+                .faults(fault_plan.clone());
+            if let Some(ms) = args.io_deadline_ms {
+                backend = backend.io_deadline_ms(ms);
+            }
             if let Some(meter) = &meter {
                 backend = backend.progress(meter.clone());
             }
@@ -441,6 +555,20 @@ fn main() -> ExitCode {
         report.total_wall_micros as f64 / 1000.0,
         invalid
     );
+    if args.backend == BackendKind::Network || !fault_plan.is_empty() {
+        // The resilience counters: how the sweep degraded and recovered. Printed whenever
+        // the machinery that can increment them was in play, so soak scripts can assert on
+        // the line's presence and values.
+        println!(
+            "resilience: connects {}, retries {}, redispatched {}, rescued {}, \
+             faults-injected {}",
+            local_obs::counter_value(local_obs::metrics::NET_CONNECTS),
+            local_obs::counter_value(local_obs::metrics::NET_RETRIES),
+            local_obs::counter_value(local_obs::metrics::REDISPATCHED_CELLS),
+            local_obs::counter_value(local_obs::metrics::RESCUED_CELLS),
+            local_obs::counter_value(local_obs::metrics::FAULTS_INJECTED),
+        );
+    }
     let peak_kb = local_obs::sample_peak_rss_kb();
     if peak_kb > 0 {
         let arena = local_obs::counter_value(local_obs::metrics::ARENA_ARCS);

@@ -62,7 +62,10 @@ pub mod scenario;
 pub mod scheduler;
 pub mod workloads;
 
-pub use backend::{CellShard, ExecBackend, InProcessBackend, ProcessBackend};
+pub use backend::{
+    CellShard, ExecBackend, FaultInjector, FaultPlan, InProcessBackend, NetworkBackend,
+    ProcessBackend,
+};
 pub use cache::{SweepCache, CODE_VERSION};
 pub use cost::CostModel;
 pub use progress::ProgressMeter;

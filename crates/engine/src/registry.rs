@@ -166,6 +166,8 @@ pub fn render_listing() -> String {
     for entry in FAMILY_ENTRIES.iter().filter(|e| e.pattern != "<builtin>") {
         out.push_str(&format!("  {:<28} {}\n", entry.pattern, entry.summary));
     }
+    out.push('\n');
+    out.push_str(&crate::backend::render_backend_listing());
     out.push_str(
         "\n`--problems all` / `--families all` expand to the fixed catalogs above \
          (parameterized\nnames are opt-in axes). Any listed pattern is accepted wherever a \

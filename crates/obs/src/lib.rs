@@ -84,6 +84,23 @@ pub mod metrics {
     /// Gauge (max): peak resident set size of the process in KiB, sampled from the OS via
     /// [`super::sample_peak_rss_kb`].
     pub const PEAK_RSS_KB: MetricId = MetricId(13);
+    /// Counter: successful backend connections to remote workers (network backend).
+    pub const NET_CONNECTS: MetricId = MetricId(14);
+    /// Counter: connect/reconnect attempts that had to be retried (backoff iterations,
+    /// scripted refusals, re-sent sub-shards after a mid-stream failure).
+    pub const NET_RETRIES: MetricId = MetricId(15);
+    /// Counter: cells re-executed by the in-process rescue path after a worker failure.
+    pub const RESCUED_CELLS: MetricId = MetricId(16);
+    /// Counter: cells a failed worker left behind that were re-dispatched to (and completed
+    /// by) a healthy remote peer instead of falling back in-process.
+    pub const REDISPATCHED_CELLS: MetricId = MetricId(17);
+    /// Counter: faults fired by the deterministic fault-injection layer (`LOCAL_FAULTS`),
+    /// counted where the fault actually executes (worker side for stream faults, parent
+    /// side for scripted connect refusals).
+    pub const FAULTS_INJECTED: MetricId = MetricId(18);
+    /// Value: per-worker connection state transition, labeled by the worker
+    /// (`1` = connected/healthy, `0` = declared dead).
+    pub const WORKER_STATE: MetricId = MetricId(19);
 
     /// Names, indexed by [`MetricId`]. Order is append-only: these names are wire- and
     /// trace-visible, so existing entries must never be renamed or reordered.
@@ -102,6 +119,12 @@ pub mod metrics {
         "cell-micros",
         "predicted-micros",
         "peak-rss-kb",
+        "net-connects",
+        "net-retries",
+        "rescued-cells",
+        "redispatched-cells",
+        "faults-injected",
+        "worker-state",
     ];
 }
 

@@ -252,12 +252,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume a maximal run of plain bytes in one step and validate it
+                    // once. (`"` and `\` are ASCII, so a bytewise scan can never split a
+                    // multi-byte UTF-8 character.) Validating per character instead would
+                    // re-scan the whole remaining input each time — quadratic in document
+                    // size, which turns the megabyte-scale telemetry lines the worker
+                    // protocol ships into minutes of parsing.
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
@@ -325,6 +335,32 @@ mod tests {
         let v = from_str(r#" {"xs": [1, 2.5, -3], "ok": true} "#).unwrap();
         assert_eq!(v.get("xs").unwrap().as_seq().unwrap().len(), 3);
         assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn string_chunks_respect_escapes_and_multibyte_utf8() {
+        // Escapes interleaved with plain runs and multi-byte characters: the chunked
+        // fast path must break exactly at `"` and `\` and nowhere else.
+        let v = from_str(r#""héllo \"wörld\" — tab:\there""#).unwrap();
+        assert_eq!(v, Value::Str("héllo \"wörld\" — tab:\there".into()));
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn large_documents_parse_in_linear_time() {
+        // A ~1MB document dominated by strings. With per-character revalidation this
+        // takes minutes; the chunked scan finishes instantly. The loose 10s bound only
+        // trips on a complexity regression, not on a slow machine.
+        let item = r#"{"name":"a reasonably long label string for the scaling test","v":1}"#;
+        let doc = format!("[{}]", vec![item; 15_000].join(","));
+        let started = std::time::Instant::now();
+        let parsed = from_str(&doc).unwrap();
+        assert_eq!(parsed.as_seq().unwrap().len(), 15_000);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "string parsing is super-linear again: {:?}",
+            started.elapsed()
+        );
     }
 
     #[test]
