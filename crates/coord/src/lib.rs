@@ -1,0 +1,32 @@
+//! # local-coord — multi-client sweep coordination primitives
+//!
+//! The policy layer of the sweep coordinator, kept free of engine and transport types so
+//! `local-engine` (which owns the TCP glue, the shard protocol, and the `sweep
+//! --coordinate` mode) can depend on it without a dependency cycle:
+//!
+//! * [`FairScheduler`] — a deficit-round-robin task queue over a fixed fleet of peers:
+//!   clients share the fleet's bandwidth (measured in task *cost*, not task count), tasks
+//!   remember which peers already failed them, and a dying peer drains whatever the
+//!   remaining fleet can no longer serve so the caller can rescue it locally.
+//! * [`ClientLedger`] — per-client accounting (jobs, cells assigned / verified / rescued /
+//!   re-dispatched, queue-wait time) with exact reconciliation: for every completed job,
+//!   `verified + rescued == cells`.
+//! * [`ConcurrencyGate`] — the bounded shared/exclusive gate that replaces the daemon's
+//!   global serve lock: up to `capacity` plain shard requests run concurrently, while a
+//!   request that needs a deterministic process-wide view (armed fault scripts, telemetry
+//!   epochs) acquires the gate exclusively.
+//!
+//! Everything here is synchronous `std` (mutex + condvar); the coordinator's concurrency
+//! comes from one OS thread per client connection and per fleet peer, which is the same
+//! discipline the engine's backends already use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod accounting;
+mod gate;
+mod scheduler;
+
+pub use accounting::{ClientLedger, ClientStats, JobStats};
+pub use gate::{ConcurrencyGate, GateGuard};
+pub use scheduler::{FairScheduler, TaskEntry, MAX_PEERS};

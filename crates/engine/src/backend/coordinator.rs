@@ -1,0 +1,700 @@
+//! The sweep coordinator: many clients, one daemon fleet, fair shared scheduling.
+//!
+//! `sweep --coordinate ADDR` runs a [`CoordinatorServer`]: a TCP service that accepts any
+//! number of concurrent client connections, each submitting *jobs* — one JSON line per job,
+//! either `{"shard": <CellShard>, …}` (what [`CoordinatorBackend`] ships) or
+//! `{"grid": <ScenarioGrid>, …}` (for hand-written clients; the grid is expanded in its
+//! canonical cell order), optionally carrying `"telemetry": <ms>` and a `"client": <name>`
+//! for accounting. The coordinator decomposes each job into instance-grouped stripes
+//! ([`CellShard::stripe`]), schedules the stripes over its `--connect` daemon fleet with a
+//! deficit-round-robin policy that is fair *by predicted cost* between clients
+//! ([`local_coord::FairScheduler`]) and longest-processing-time-first within a job, and
+//! streams verified results back to each client in exactly the daemon wire protocol —
+//! result lines, optional heartbeats, an observation-carrying sentinel — so a client
+//! cannot tell a coordinator from a daemon.
+//!
+//! # The determinism and loss contracts
+//!
+//! Every result line a daemon sends is verified against the submitted cells by the same
+//! [`super::stream::StripeStream`] state machine the network backend uses, and every cell
+//! seed is a pure function of the cell's identity — so a sweep submitted through the
+//! coordinator is byte-identical (deterministic view) to the same sweep run in-process, no
+//! matter how stripes interleave over the fleet. When a daemon dies mid-stripe its
+//! verified cells stand, the remainder is re-queued for the surviving fleet (tasks
+//! remember which peers already failed them), and whatever no live peer can serve is
+//! rescued in-process by the coordinator itself — per job, `verified + rescued == cells`,
+//! checked and printed on every job completion and booked per client in a
+//! [`local_coord::ClientLedger`].
+
+use super::network::NetworkBackend;
+use super::process::observations_to_value;
+use super::telemetry::WorkerTelemetry;
+use super::{rescue_missing, CellShard, EmitFn, ExecBackend, FaultPlan};
+use crate::cost::CostModel;
+use crate::progress::ProgressMeter;
+use crate::report::CellResult;
+use crate::scenario::ScenarioGrid;
+use local_coord::{ClientLedger, FairScheduler, JobStats, TaskEntry, MAX_PEERS};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How a [`CoordinatorServer`] talks to its fleet and degrades when the fleet shrinks.
+#[derive(Debug, Clone)]
+pub struct CoordinatorConfig {
+    /// Daemon addresses (`host:port`) forming the fleet. May be empty — every job is then
+    /// rescued in-process, which is slow but lossless.
+    pub fleet: Vec<String>,
+    /// Threads for the in-process rescue path (`0` = available parallelism).
+    pub rescue_threads: usize,
+    /// I/O liveness deadline towards the fleet, in milliseconds.
+    pub io_deadline_ms: u64,
+    /// Per-attempt connect timeout towards the fleet, in milliseconds.
+    pub connect_timeout_ms: u64,
+    /// Reconnect backoff base, in milliseconds.
+    pub retry_base_ms: u64,
+    /// Reconnect backoff cap, in milliseconds.
+    pub retry_cap_ms: u64,
+    /// Connect attempts per dispatch before a peer is declared dead.
+    pub max_connect_attempts: u32,
+    /// Stripes each job is split into, per fleet peer (finer stripes interleave clients
+    /// more fairly; coarser stripes amortize dispatch overhead).
+    pub stripes_per_peer: usize,
+    /// Coordinator-side fault plan (`refuse*N` clauses towards the fleet).
+    pub faults: FaultPlan,
+}
+
+impl Default for CoordinatorConfig {
+    fn default() -> Self {
+        CoordinatorConfig {
+            fleet: Vec::new(),
+            rescue_threads: 0,
+            io_deadline_ms: 600_000,
+            connect_timeout_ms: 5_000,
+            retry_base_ms: 100,
+            retry_cap_ms: 5_000,
+            max_connect_attempts: 5,
+            stripes_per_peer: 4,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// One client job in flight: the submitted cells, the socket to stream results back on,
+/// and the exact-accounting state that must reconcile when the last cell lands.
+struct CoordJob {
+    client: String,
+    seq: u64,
+    cells: usize,
+    writer: Arc<Mutex<TcpStream>>,
+    telemetry_ms: Option<u64>,
+    accepted_micros: u64,
+    remaining: AtomicUsize,
+    verified: AtomicU64,
+    rescued: AtomicU64,
+    assigned: AtomicU64,
+    redispatched: AtomicU64,
+    queue_wait: AtomicU64,
+    /// Per-job calibration observed from verified and rescued cells, shipped home in the
+    /// sentinel exactly like a daemon's.
+    observed: Mutex<CostModel>,
+    /// The client's socket broke: stop writing, keep accounting, never block the fleet.
+    failed: AtomicBool,
+    done: (Mutex<bool>, Condvar),
+}
+
+impl CoordJob {
+    /// Streams one verified or rescued cell back to the client and books it. The caller
+    /// that drops `remaining` to zero finalizes the job.
+    fn deliver(&self, state: &ServerState, wire: usize, result: CellResult, rescued: bool) {
+        if !self.failed.load(Ordering::Relaxed) {
+            let line = Raw(Value::Map(vec![
+                ("index".into(), Value::U64(wire as u64)),
+                ("cell".into(), result.to_value()),
+            ]));
+            let text = serde_json::to_string(&line).expect("result line serializes");
+            let mut writer = self.writer.lock().expect("client writer poisoned");
+            if let Err(e) = writeln!(writer, "{text}") {
+                drop(writer);
+                self.failed.store(true, Ordering::Relaxed);
+                eprintln!(
+                    "coord: client {} job {} went away mid-stream ({e}); draining its cells",
+                    self.client, self.seq
+                );
+            }
+        }
+        if rescued {
+            self.rescued.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.verified.fetch_add(1, Ordering::Relaxed);
+            local_obs::counter_add(local_obs::metrics::COORD_CELLS_VERIFIED, 1);
+            // Rescued cells calibrate through the rescue backend's own merge; verified
+            // cells calibrate here, from the verified line itself.
+            self.observed.lock().expect("job calibration poisoned").observe(&result);
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            self.finalize(state);
+        }
+    }
+
+    /// Accounts for `n` cells that will never be delivered (their job already lost its
+    /// client), so the job still finalizes and frees its slot.
+    fn skip(&self, state: &ServerState, n: usize) {
+        if n > 0 && self.remaining.fetch_sub(n, Ordering::AcqRel) == n {
+            self.finalize(state);
+        }
+    }
+
+    /// Terminates the job: sentinel to the client, accounting line to stdout, ledger row,
+    /// and the done signal that lets the session read its next job.
+    fn finalize(&self, state: &ServerState) {
+        let stats = JobStats {
+            cells: self.cells as u64,
+            verified: self.verified.load(Ordering::Relaxed),
+            rescued: self.rescued.load(Ordering::Relaxed),
+            assigned: self.assigned.load(Ordering::Relaxed),
+            redispatched: self.redispatched.load(Ordering::Relaxed),
+            queue_wait_micros: self.queue_wait.load(Ordering::Relaxed),
+        };
+        if !self.failed.load(Ordering::Relaxed) {
+            let observations = {
+                let observed = self.observed.lock().expect("job calibration poisoned");
+                observations_to_value(&observed.observations())
+            };
+            let sentinel = Raw(Value::Map(vec![
+                ("done".into(), Value::U64(self.cells as u64)),
+                ("observations".into(), observations),
+                (
+                    "stats".into(),
+                    Value::Map(vec![
+                        ("verified".into(), Value::U64(stats.verified)),
+                        ("rescued".into(), Value::U64(stats.rescued)),
+                        ("assigned".into(), Value::U64(stats.assigned)),
+                        ("redispatched".into(), Value::U64(stats.redispatched)),
+                        ("queue_wait_micros".into(), Value::U64(stats.queue_wait_micros)),
+                    ]),
+                ),
+            ]));
+            let text = serde_json::to_string(&sentinel).expect("sentinel serializes");
+            let mut writer = self.writer.lock().expect("client writer poisoned");
+            if let Err(e) = writeln!(writer, "{text}").and_then(|_| writer.flush()) {
+                eprintln!(
+                    "coord: client {} job {}: cannot write the sentinel: {e}",
+                    self.client, self.seq
+                );
+            }
+        }
+        let label = local_obs::label(&format!("client {}", self.client));
+        local_obs::record(local_obs::metrics::COORD_CELLS_VERIFIED, label, stats.verified);
+        local_obs::record(local_obs::metrics::COORD_CELLS_ASSIGNED, label, stats.assigned);
+        local_obs::record(
+            local_obs::metrics::COORD_QUEUE_WAIT_MICROS,
+            label,
+            stats.queue_wait_micros,
+        );
+        state.ledger.lock().expect("ledger poisoned").job_completed(&self.client, &stats);
+        println!(
+            "coord: client {} job {} done: cells {} = verified {} + rescued {}; assigned {}; \
+             redispatched {}; queue-wait {} us",
+            self.client,
+            self.seq,
+            stats.cells,
+            stats.verified,
+            stats.rescued,
+            stats.assigned,
+            stats.redispatched,
+            stats.queue_wait_micros
+        );
+        if !stats.reconciles() && !self.failed.load(Ordering::Relaxed) {
+            println!(
+                "coord: ACCOUNTING MISMATCH for client {} job {}: verified {} + rescued {} != \
+                 cells {}",
+                self.client, self.seq, stats.verified, stats.rescued, stats.cells
+            );
+        }
+        let _ = std::io::stdout().flush();
+        state.active_jobs.fetch_sub(1, Ordering::Relaxed);
+        let mut done = self.done.0.lock().expect("done flag poisoned");
+        *done = true;
+        self.done.1.notify_all();
+    }
+}
+
+/// One stripe of one job, queued for the fleet.
+struct StripeTask {
+    job: Arc<CoordJob>,
+    stripe: CellShard,
+    /// Wire index (position in the submitted job) of each stripe cell.
+    parents: Vec<usize>,
+    enqueued_micros: u64,
+}
+
+struct ServerState {
+    config: CoordinatorConfig,
+    /// The fleet transport: connect/retry/verify machinery shared with `--backend network`.
+    backend: NetworkBackend,
+    scheduler: FairScheduler<StripeTask>,
+    ledger: Mutex<ClientLedger>,
+    busy_peers: AtomicU64,
+    active_jobs: AtomicU64,
+    job_seq: AtomicU64,
+}
+
+/// The `sweep --coordinate` service: accepts client job submissions and multiplexes them
+/// onto a daemon fleet. See the [module docs](self) for the protocol and the contracts.
+pub struct CoordinatorServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl CoordinatorServer {
+    /// Binds the coordinator on `addr` with the given fleet configuration.
+    pub fn bind(addr: &str, config: CoordinatorConfig) -> Result<Self, String> {
+        if config.fleet.len() > MAX_PEERS {
+            return Err(format!(
+                "fleet of {} peers exceeds the {MAX_PEERS}-peer cap",
+                config.fleet.len()
+            ));
+        }
+        let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+        let backend = NetworkBackend::new(config.fleet.clone())
+            .rescue_threads(config.rescue_threads)
+            .io_deadline_ms(config.io_deadline_ms)
+            .connect_timeout_ms(config.connect_timeout_ms)
+            .retry(config.retry_base_ms, config.retry_cap_ms, config.max_connect_attempts)
+            .faults(config.faults.clone());
+        let scheduler = FairScheduler::new(config.fleet.len());
+        Ok(CoordinatorServer {
+            listener,
+            state: Arc::new(ServerState {
+                backend,
+                scheduler,
+                ledger: Mutex::new(ClientLedger::new()),
+                busy_peers: AtomicU64::new(0),
+                active_jobs: AtomicU64::new(0),
+                job_seq: AtomicU64::new(0),
+                config,
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, String> {
+        self.listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))
+    }
+
+    /// Serves forever: one fleet-worker thread per peer, one session thread per client
+    /// connection. Only returns if the listener breaks.
+    pub fn run(self) -> Result<(), String> {
+        for peer in 0..self.state.config.fleet.len() {
+            let state = Arc::clone(&self.state);
+            std::thread::spawn(move || fleet_worker(&state, peer));
+        }
+        for conn in self.listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    std::thread::spawn(move || client_session(stream, &state));
+                }
+                Err(e) => eprintln!("coord: accept failed: {e}"),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs `sweep --coordinate`: binds `addr`, announces `listening on <addr>` on stdout, and
+/// coordinates forever.
+pub fn coordinate_forever(addr: &str, config: CoordinatorConfig) -> Result<(), String> {
+    let server = CoordinatorServer::bind(addr, config)?;
+    println!("listening on {}", server.local_addr()?);
+    let _ = std::io::stdout().flush();
+    server.run()
+}
+
+/// One fleet peer's dispatch loop: pull the next fairly-scheduled stripe, run it on the
+/// peer through the network backend's verify machinery, and on failure re-queue the
+/// remainder for the surviving fleet (rescuing in-process whatever no live peer can take).
+/// A peer whose dispatch fails is retired for the coordinator's lifetime — the network
+/// backend has already burned the full reconnect budget by the time it reports failure.
+fn fleet_worker(state: &ServerState, peer: usize) {
+    while let Some(task) = state.scheduler.next(peer) {
+        let entry_attempted = task.attempted;
+        let task = task.payload;
+        let job = Arc::clone(&task.job);
+        let wait = local_obs::now_micros().saturating_sub(task.enqueued_micros);
+        job.queue_wait.fetch_add(wait, Ordering::Relaxed);
+        local_obs::counter_add(local_obs::metrics::COORD_QUEUE_WAIT_MICROS, wait);
+        if job.failed.load(Ordering::Relaxed) {
+            job.skip(state, task.stripe.cells.len());
+            continue;
+        }
+        job.assigned.fetch_add(task.stripe.cells.len() as u64, Ordering::Relaxed);
+        local_obs::counter_add(
+            local_obs::metrics::COORD_CELLS_ASSIGNED,
+            task.stripe.cells.len() as u64,
+        );
+        let busy = state.busy_peers.fetch_add(1, Ordering::Relaxed) + 1;
+        local_obs::gauge_max(local_obs::metrics::COORD_FLEET_BUSY, busy);
+        let redispatch = entry_attempted != 0;
+        let emit = |wire: usize, result: CellResult| {
+            if redispatch {
+                job.redispatched.fetch_add(1, Ordering::Relaxed);
+            }
+            job.deliver(state, wire, result, false);
+        };
+        let outcome = state.backend.run_stripe(peer, &task.stripe, &task.parents, &emit);
+        state.busy_peers.fetch_sub(1, Ordering::Relaxed);
+        let Err((missing, reason)) = outcome else { continue };
+        eprintln!(
+            "coord: peer {peer} ({}) failed client {} job {} ({reason}); retiring the peer \
+             and re-queuing {} cells",
+            state.config.fleet[peer],
+            job.client,
+            job.seq,
+            missing.len()
+        );
+        // Mark the peer dead *first*, then drain + re-queue under the new fleet view, so
+        // no task can be scheduled back onto the corpse in between.
+        let stranded = state.scheduler.peer_down(peer);
+        if !missing.is_empty() {
+            let remainder = StripeTask {
+                stripe: CellShard {
+                    base_seed: task.stripe.base_seed,
+                    code_version: task.stripe.code_version.clone(),
+                    cells: missing.iter().map(|&i| task.stripe.cells[i].clone()).collect(),
+                },
+                parents: missing.iter().map(|&i| task.parents[i]).collect(),
+                enqueued_micros: local_obs::now_micros(),
+                job: Arc::clone(&job),
+            };
+            let mut entry = entry_of(remainder);
+            entry.attempted = entry_attempted;
+            entry.mark_attempted(peer);
+            if let Err(entry) = state.scheduler.requeue(entry) {
+                rescue_task(state, entry.payload);
+            }
+        }
+        for entry in stranded {
+            rescue_task(state, entry.payload);
+        }
+        break;
+    }
+}
+
+/// Wraps a stripe task for the scheduler, costed by the default model's predictions.
+fn entry_of(task: StripeTask) -> TaskEntry<StripeTask> {
+    let model = CostModel::new();
+    let cost: f64 = task.stripe.cells.iter().map(|cell| model.predict(cell).max(1.0)).sum();
+    let client = task.job.client.clone();
+    TaskEntry::new(task, client, cost)
+}
+
+/// Recomputes a stripe in the coordinator's own process — the lossless path of last
+/// resort, shared with every other backend via [`rescue_missing`].
+fn rescue_task(state: &ServerState, task: StripeTask) {
+    let job = Arc::clone(&task.job);
+    if job.failed.load(Ordering::Relaxed) {
+        job.skip(state, task.stripe.cells.len());
+        return;
+    }
+    let all: Vec<usize> = (0..task.stripe.cells.len()).collect();
+    rescue_missing(&task.stripe, &all, state.config.rescue_threads, &job.observed, &|k, result| {
+        job.deliver(state, task.parents[k], result, true)
+    });
+}
+
+/// One client connection: job lines in, result streams out, one job in flight at a time
+/// (results of concurrent jobs on one socket would interleave unparseably — clients
+/// wanting parallel jobs open parallel connections, like [`CoordinatorBackend`] does).
+fn client_session(stream: TcpStream, state: &ServerState) {
+    let peer_name =
+        stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown peer".to_string());
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            eprintln!("coord [{peer_name}]: cannot clone socket: {e}");
+            return;
+        }
+    };
+    let writer = Arc::new(Mutex::new(stream));
+    let mut reader = reader;
+    let mut line = String::new();
+    let mut last_client = None;
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                if let Err(e) = serve_job(line.trim(), &peer_name, &writer, state, &mut last_client)
+                {
+                    eprintln!("coord [{peer_name}]: {e}");
+                    let reply = Raw(Value::Map(vec![("error".into(), Value::Str(e))]));
+                    let text = serde_json::to_string(&reply).expect("error line serializes");
+                    let mut writer = writer.lock().expect("client writer poisoned");
+                    let _ = writeln!(writer, "{text}");
+                    let _ = writer.flush();
+                    break;
+                }
+            }
+            Err(e) => {
+                eprintln!("coord [{peer_name}]: read failed: {e}");
+                break;
+            }
+        }
+    }
+    if let Some(client) = last_client {
+        let ledger = state.ledger.lock().expect("ledger poisoned");
+        if let Some(stats) = ledger.client(&client) {
+            println!("coord: client {client} disconnected: {stats}");
+            let _ = std::io::stdout().flush();
+        }
+    }
+}
+
+/// Parses one job line, decomposes it into LPT-ordered stripes, submits them to the fair
+/// scheduler (or rescues the whole job in-process when the fleet is gone), and blocks
+/// until the job's sentinel went out — keeping the client's liveness window fed with
+/// heartbeats the whole time when it asked for telemetry.
+fn serve_job(
+    request: &str,
+    peer_name: &str,
+    writer: &Arc<Mutex<TcpStream>>,
+    state: &ServerState,
+    last_client: &mut Option<String>,
+) -> Result<(), String> {
+    let value = serde_json::from_str(request).map_err(|e| format!("unreadable job: {e}"))?;
+    let shard = if let Some(shard) = value.get("shard") {
+        CellShard::from_value(shard).map_err(|e| format!("malformed shard: {e}"))?
+    } else if let Some(grid) = value.get("grid") {
+        let grid = ScenarioGrid::from_value(grid).map_err(|e| format!("malformed grid: {e}"))?;
+        CellShard::new(grid.base_seed, grid.cells())
+    } else {
+        return Err("job without a shard or a grid".to_string());
+    };
+    if shard.code_version != crate::cache::CODE_VERSION {
+        return Err(format!(
+            "code-version skew: job was built by {:?}, this coordinator is {:?}",
+            shard.code_version,
+            crate::cache::CODE_VERSION
+        ));
+    }
+    let telemetry_ms = value.get("telemetry").and_then(Value::as_u64);
+    let client = value
+        .get("client")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("anon@{peer_name}"));
+    *last_client = Some(client.clone());
+
+    let seq = state.job_seq.fetch_add(1, Ordering::Relaxed);
+    state.ledger.lock().expect("ledger poisoned").job_submitted(&client);
+    local_obs::counter_add(local_obs::metrics::COORD_JOBS, 1);
+    let active = state.active_jobs.fetch_add(1, Ordering::Relaxed) + 1;
+    local_obs::gauge_max(local_obs::metrics::COORD_JOBS_ACTIVE, active);
+    println!(
+        "coord: client {client} job {seq} accepted: {} cells from {peer_name}",
+        shard.cells.len()
+    );
+    let _ = std::io::stdout().flush();
+
+    let job = Arc::new(CoordJob {
+        client: client.clone(),
+        seq,
+        cells: shard.cells.len(),
+        writer: Arc::clone(writer),
+        telemetry_ms,
+        accepted_micros: local_obs::now_micros(),
+        remaining: AtomicUsize::new(shard.cells.len()),
+        verified: AtomicU64::new(0),
+        rescued: AtomicU64::new(0),
+        assigned: AtomicU64::new(0),
+        redispatched: AtomicU64::new(0),
+        queue_wait: AtomicU64::new(0),
+        observed: Mutex::new(CostModel::new()),
+        failed: AtomicBool::new(false),
+        done: (Mutex::new(false), Condvar::new()),
+    });
+
+    if shard.cells.is_empty() {
+        // Degenerate but legal: answer immediately with an empty sentinel.
+        job.finalize(state);
+        return Ok(());
+    }
+
+    let heartbeat = job.telemetry_ms.map(|ms| {
+        let job = Arc::clone(&job);
+        std::thread::spawn(move || heartbeat_loop(&job, ms))
+    });
+
+    // Decompose into instance-grouped stripes (empty stripes appear when the job has
+    // fewer distinct instances than the target count — drop them), then LPT between
+    // stripes so each client's costliest work is in flight earliest.
+    let target = (state.config.fleet.len() * state.config.stripes_per_peer).max(1);
+    let mut entries: Vec<TaskEntry<StripeTask>> = shard
+        .stripe(target)
+        .into_iter()
+        .filter(|(stripe, _)| !stripe.cells.is_empty())
+        .map(|(stripe, parents)| {
+            entry_of(StripeTask {
+                job: Arc::clone(&job),
+                stripe,
+                parents,
+                enqueued_micros: local_obs::now_micros(),
+            })
+        })
+        .collect();
+    entries.sort_by(|a, b| b.cost.total_cmp(&a.cost));
+
+    if let Err(entries) = state.scheduler.submit(entries) {
+        eprintln!("coord: no live fleet peers; rescuing client {client} job {seq} in-process");
+        for entry in entries {
+            rescue_task(state, entry.payload);
+        }
+    }
+
+    // One job in flight per connection: wait for the sentinel before reading the next
+    // job line.
+    let (lock, cvar) = &job.done;
+    let mut done = lock.lock().expect("done flag poisoned");
+    while !*done {
+        done = cvar.wait(done).expect("done flag poisoned");
+    }
+    drop(done);
+    if let Some(beater) = heartbeat {
+        let _ = beater.join();
+    }
+    if job.failed.load(Ordering::Relaxed) {
+        return Err(format!("client {client} went away mid-job"));
+    }
+    Ok(())
+}
+
+/// Feeds a client's shrunken liveness window while its job is queued or in flight:
+/// absolute progress every `interval_ms`, ending when the job finalizes.
+fn heartbeat_loop(job: &CoordJob, interval_ms: u64) {
+    let interval = Duration::from_millis(interval_ms.max(1));
+    let (lock, cvar) = &job.done;
+    loop {
+        let done = lock.lock().expect("done flag poisoned");
+        if *done {
+            return;
+        }
+        let (done, timeout) = cvar.wait_timeout(done, interval).expect("done flag poisoned");
+        let finished = *done;
+        drop(done);
+        if finished || job.failed.load(Ordering::Relaxed) {
+            return;
+        }
+        if !timeout.timed_out() {
+            continue;
+        }
+        let beat = WorkerTelemetry {
+            cells_done: (job.cells - job.remaining.load(Ordering::Relaxed)) as u64,
+            wall_micros: local_obs::now_micros().saturating_sub(job.accepted_micros),
+            counters: Vec::new(),
+        };
+        let line = Raw(Value::Map(vec![("telemetry".into(), beat.to_value())]));
+        let text = serde_json::to_string(&line).expect("heartbeat serializes");
+        let mut writer = job.writer.lock().expect("client writer poisoned");
+        // Best-effort: a heartbeat the client never reads must not fail the job.
+        let _ = writeln!(writer, "{text}");
+        let _ = writer.flush();
+    }
+}
+
+/// Adapter rendering a raw [`Value`] through the serde stub.
+struct Raw(Value);
+
+impl Serialize for Raw {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Submits sweeps to a `sweep --coordinate` service (`--submit ADDR` on the client).
+///
+/// A coordinator speaks the daemon wire protocol, so this is the network backend pointed
+/// at a single peer — the coordinator — with every request naming its owning client for
+/// the coordinator's per-client accounting. The single "peer" is the whole fleet: if the
+/// coordinator itself dies mid-job, the shard is rescued in-process on the client, the
+/// same lossless degradation every other backend has.
+pub struct CoordinatorBackend {
+    inner: NetworkBackend,
+}
+
+impl CoordinatorBackend {
+    /// A backend submitting to the coordinator at `addr`.
+    pub fn new(addr: impl Into<String>) -> Self {
+        CoordinatorBackend { inner: NetworkBackend::new(vec![addr.into()]) }
+    }
+
+    /// Names this client in every submission (default: anonymous, named by the
+    /// coordinator after the connection's source address).
+    pub fn client(mut self, name: impl Into<String>) -> Self {
+        self.inner = self.inner.client(name);
+        self
+    }
+
+    /// Sets how many threads the in-process rescue path uses when the coordinator cannot
+    /// serve the job (`0` = available parallelism).
+    pub fn rescue_threads(mut self, threads: usize) -> Self {
+        self.inner = self.inner.rescue_threads(threads);
+        self
+    }
+
+    /// Attaches a live progress meter; the coordinator is then asked for heartbeats.
+    pub fn progress(mut self, meter: ProgressMeter) -> Self {
+        self.inner = self.inner.progress(meter);
+        self
+    }
+
+    /// Sets the I/O liveness deadline in milliseconds.
+    pub fn io_deadline_ms(mut self, ms: u64) -> Self {
+        self.inner = self.inner.io_deadline_ms(ms);
+        self
+    }
+
+    /// Sets the per-attempt connect timeout in milliseconds.
+    pub fn connect_timeout_ms(mut self, ms: u64) -> Self {
+        self.inner = self.inner.connect_timeout_ms(ms);
+        self
+    }
+
+    /// Sets the reconnect policy towards the coordinator.
+    pub fn retry(mut self, base_ms: u64, cap_ms: u64, attempts: u32) -> Self {
+        self.inner = self.inner.retry(base_ms, cap_ms, attempts);
+        self
+    }
+
+    /// Sets the deterministic fault-injection plan (connect refusals towards the
+    /// coordinator).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.inner = self.inner.faults(plan);
+        self
+    }
+}
+
+impl ExecBackend for CoordinatorBackend {
+    fn name(&self) -> &'static str {
+        "coordinator"
+    }
+
+    fn parallelism(&self) -> usize {
+        // The coordinator's fleet size is its business; the report's deterministic view
+        // zeroes this field anyway.
+        1
+    }
+
+    fn run_shard(&self, shard: &CellShard, emit: &EmitFn) {
+        self.inner.run_shard(shard, emit);
+    }
+
+    fn calibration(&self) -> CostModel {
+        self.inner.calibration()
+    }
+}

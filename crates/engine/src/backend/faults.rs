@@ -136,8 +136,7 @@ impl FaultPlan {
                 .clauses
                 .iter()
                 .filter(|c| {
-                    c.worker == Some(i)
-                        && !matches!(c.action, FaultAction::RefuseConnect { .. })
+                    c.worker == Some(i) && !matches!(c.action, FaultAction::RefuseConnect { .. })
                 })
                 .map(|c| FaultClause { worker: None, action: c.action })
                 .collect(),
@@ -209,9 +208,8 @@ fn parse_clause(raw: &str) -> Result<FaultClause, String> {
     } else if let Some(k) = rest.strip_prefix("dup@") {
         FaultAction::Duplicate { at_cell: at(k, "dup")? }
     } else if let Some(k) = rest.strip_prefix("delay@") {
-        let (cell, ms) = k
-            .split_once('=')
-            .ok_or_else(|| format!("delay clause {raw:?} needs delay@K=MS"))?;
+        let (cell, ms) =
+            k.split_once('=').ok_or_else(|| format!("delay clause {raw:?} needs delay@K=MS"))?;
         FaultAction::Delay {
             at_cell: at(cell, "delay")?,
             ms: ms.parse().map_err(|e| format!("bad delay millis in {raw:?}: {e}"))?,
@@ -390,8 +388,8 @@ mod tests {
     fn backoff_grows_is_capped_and_deterministic() {
         let d1 = backoff_ms(0, 1, 25, 1000);
         let d4 = backoff_ms(0, 4, 25, 1000);
-        assert!(d1 >= 25 && d1 < 2 * 25);
-        assert!(d4 >= 200 && d4 < 2 * 200, "25 << 3 = 200, plus jitter");
+        assert!((25..2 * 25).contains(&d1));
+        assert!((200..2 * 200).contains(&d4), "25 << 3 = 200, plus jitter");
         assert!(backoff_ms(0, 10, 25, 1000) <= 1500, "capped plus jitter");
         assert_eq!(backoff_ms(3, 2, 25, 1000), backoff_ms(3, 2, 25, 1000));
         assert_ne!(backoff_ms(0, 2, 25, 1000), backoff_ms(1, 2, 25, 1000), "jitter per worker");

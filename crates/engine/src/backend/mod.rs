@@ -20,6 +20,7 @@
 //! function of its identity and results are emitted with their shard index: any backend, at
 //! any parallelism, produces byte-identical results (wall-clock fields aside).
 
+pub mod coordinator;
 pub mod faults;
 mod in_process;
 pub mod network;
@@ -27,6 +28,9 @@ mod process;
 pub(crate) mod stream;
 pub mod telemetry;
 
+pub use coordinator::{
+    coordinate_forever, CoordinatorBackend, CoordinatorConfig, CoordinatorServer,
+};
 pub use faults::{backoff_ms, FaultAction, FaultClause, FaultInjector, FaultPlan, LineFault};
 pub use in_process::InProcessBackend;
 pub use network::{serve_forever, NetworkBackend};
@@ -179,6 +183,12 @@ pub const BACKEND_ENTRIES: &[BackendEntry] = &[
         summary: "persistent `sweep --serve` TCP daemons; reconnect with capped backoff, \
                   heartbeat liveness, re-dispatch to healthy peers, in-process rescue",
         flags: "--connect, --threads, --io-deadline-ms, --faults",
+    },
+    BackendEntry {
+        name: "coordinator",
+        summary: "submits the sweep to a `sweep --coordinate` service that schedules many \
+                  clients fairly over a shared daemon fleet (same verify/rescue discipline)",
+        flags: "--submit, --client, --io-deadline-ms, --faults",
     },
 ];
 

@@ -35,9 +35,11 @@
 use super::faults::FaultInjector;
 use super::process::{observations_from_value, serve_shard};
 use super::stream::{LineOutcome, StripeStream};
+use super::telemetry::WorkerTelemetry;
 use super::{backoff_ms, liveness_window, CellShard, EmitFn, ExecBackend, FaultPlan};
 use crate::cost::CostModel;
 use crate::progress::ProgressMeter;
+use local_coord::ConcurrencyGate;
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
@@ -64,14 +66,22 @@ pub struct NetworkBackend {
     refused: Vec<AtomicU64>,
     /// Currently connected peers, for the connection-state gauge.
     connected: AtomicU64,
+    /// Per-peer connection state, so the shared gauge only moves on real transitions (a
+    /// refused connect to one peer must not decrement another peer's connection).
+    peer_up: Vec<AtomicBool>,
+    /// Client name forwarded with every request (coordinators use it for per-client
+    /// accounting; plain daemons ignore the key).
+    client_label: Option<String>,
 }
 
 impl NetworkBackend {
     /// A backend over the given daemon addresses (`host:port`, one stripe per peer).
     pub fn new(peers: Vec<String>) -> Self {
         let refused = peers.iter().map(|_| AtomicU64::new(0)).collect();
+        let peer_up = peers.iter().map(|_| AtomicBool::new(false)).collect();
         NetworkBackend {
             refused,
+            peer_up,
             peers,
             rescue_threads: 0,
             observed: Mutex::new(CostModel::new()),
@@ -84,7 +94,15 @@ impl NetworkBackend {
             max_connect_attempts: 5,
             faults: FaultPlan::from_env_lossy(),
             connected: AtomicU64::new(0),
+            client_label: None,
         }
+    }
+
+    /// Names this backend's owner in every request it ships. A coordinator peer books the
+    /// request's cells under this client; plain daemons ignore the key.
+    pub fn client(mut self, name: impl Into<String>) -> Self {
+        self.client_label = Some(name.into());
+        self
     }
 
     /// Sets how many threads the in-process rescue path uses when no peer can serve a cell
@@ -144,30 +162,18 @@ impl NetworkBackend {
     }
 
     /// Records a connection-state transition for `peer` (1 = connected, 0 = down) and keeps
-    /// the peak-concurrent-connections gauge current.
+    /// the peak-concurrent-connections gauge current. The shared count moves only on this
+    /// peer's *own* transitions: a failed connect to a peer that was never up (a scripted
+    /// refusal, say) must not eat another peer's live connection from the gauge.
     fn record_state(&self, peer: usize, connected: bool) {
-        let now = if connected {
-            let now = self.connected.fetch_add(1, Ordering::Relaxed) + 1;
+        let was = self.peer_up[peer].swap(connected, Ordering::Relaxed);
+        if connected {
             local_obs::counter_add(local_obs::metrics::NET_CONNECTS, 1);
-            now
-        } else {
-            // Saturating: a refused connect records "down" without ever having been up.
-            let mut now = self.connected.load(Ordering::Relaxed);
-            while now > 0 {
-                match self.connected.compare_exchange_weak(
-                    now,
-                    now - 1,
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => {
-                        now -= 1;
-                        break;
-                    }
-                    Err(seen) => now = seen,
-                }
-            }
-            now
+        }
+        let now = match (was, connected) {
+            (false, true) => self.connected.fetch_add(1, Ordering::Relaxed) + 1,
+            (true, false) => self.connected.fetch_sub(1, Ordering::Relaxed).saturating_sub(1),
+            _ => self.connected.load(Ordering::Relaxed),
         };
         local_obs::gauge_max(local_obs::metrics::WORKER_STATE, now);
         let label = local_obs::label(&format!("peer {peer} {}", self.peers[peer]));
@@ -221,8 +227,9 @@ impl NetworkBackend {
 
     /// Dispatches one stripe to one peer over a fresh connection. Returns the stripe
     /// indices still missing plus the failure reason when the stream cannot be trusted to
-    /// completion.
-    fn run_stripe(
+    /// completion. (`pub(super)` so the coordinator can drive single-stripe dispatches with
+    /// its own scheduling policy while reusing this connect/verify/rescue machinery.)
+    pub(super) fn run_stripe(
         &self,
         peer: usize,
         stripe: &CellShard,
@@ -252,7 +259,11 @@ impl NetworkBackend {
         if let Some(ms) = telemetry {
             request.push(("telemetry".to_string(), Value::U64(ms)));
         }
-        let request = serde_json::to_string(&Line(Value::Map(request))).expect("request serializes");
+        if let Some(name) = &self.client_label {
+            request.push(("client".to_string(), Value::Str(name.clone())));
+        }
+        let request =
+            serde_json::to_string(&Line(Value::Map(request))).expect("request serializes");
         let mut writer = &stream;
         if let Err(e) = writeln!(writer, "{request}").and_then(|_| writer.flush()) {
             self.record_state(peer, false);
@@ -271,8 +282,7 @@ impl NetworkBackend {
                     break;
                 }
                 Ok(_) => {
-                    let mut accept =
-                        |index: usize, result| emit(parent_indices[index], result);
+                    let mut accept = |index: usize, result| emit(parent_indices[index], result);
                     let text = line.trim_end_matches(['\n', '\r']);
                     match verifier.consume(text, self.progress.as_ref(), &mut accept) {
                         Ok(LineOutcome::Progress) => {}
@@ -372,12 +382,11 @@ impl ExecBackend for NetworkBackend {
         // Degraded phase: walk each failed stripe's remainder through the healthy peers;
         // whatever none of them can serve is rescued in-process. Sequential on purpose —
         // this is the slow path, and determinism of the *report* never depended on it.
-        for (stripe_index, mut remaining) in failures.into_inner().expect("failure list poisoned")
-        {
+        for (stripe_index, mut remaining) in failures.into_inner().expect("failure list poisoned") {
             let (stripe, parent_indices) = &stripes[stripe_index];
             while !remaining.is_empty() {
-                let Some(peer) = (0..self.peers.len())
-                    .find(|&p| healthy[p].load(Ordering::Relaxed))
+                let Some(peer) =
+                    (0..self.peers.len()).find(|&p| healthy[p].load(Ordering::Relaxed))
                 else {
                     break;
                 };
@@ -388,13 +397,20 @@ impl ExecBackend for NetworkBackend {
                 };
                 let sub_parents: Vec<usize> =
                     remaining.iter().map(|&i| parent_indices[i]).collect();
-                local_obs::counter_add(
-                    local_obs::metrics::REDISPATCHED_CELLS,
-                    remaining.len() as u64,
-                );
+                // Count a cell as re-dispatched only once it actually lands on the retry
+                // peer: counting up front would book the same cell once per failed attempt
+                // and double-book cells that end up rescued in-process instead.
+                let attempted = remaining.len() as u64;
                 match self.run_stripe(peer, &sub, &sub_parents, emit) {
-                    Ok(()) => remaining.clear(),
+                    Ok(()) => {
+                        local_obs::counter_add(local_obs::metrics::REDISPATCHED_CELLS, attempted);
+                        remaining.clear();
+                    }
                     Err((still_missing, reason)) => {
+                        local_obs::counter_add(
+                            local_obs::metrics::REDISPATCHED_CELLS,
+                            attempted - still_missing.len() as u64,
+                        );
                         healthy[peer].store(false, Ordering::Relaxed);
                         eprintln!(
                             "sweep network backend: re-dispatch to peer {peer} ({}) failed \
@@ -454,12 +470,16 @@ impl Serialize for Line {
 
 /// Runs the `sweep --serve` daemon loop: binds `addr`, announces `listening on <addr>` on
 /// stdout (so scripts binding port 0 can learn the port), and serves shard requests
-/// forever — any number of connections, any number of requests per connection, executions
-/// serialized so the daemon's fault script and observability counters follow one
-/// deterministic emission order. Stream faults scripted in the daemon's own `LOCAL_FAULTS`
-/// apply to its result stream; `kill`/`truncate` clauses terminate the daemon process,
-/// exactly like the real failures they simulate. Only returns on bind failure.
-pub fn serve_forever(addr: &str, threads: usize) -> Result<(), String> {
+/// forever — any number of connections, any number of requests per connection. Up to
+/// `max_concurrent` plain shard requests execute concurrently (`0` = auto: the machine's
+/// thread budget divided by the per-shard thread count); requests that need a
+/// deterministic process-wide view — an armed fault script (its result-line counter is
+/// process-cumulative) or a telemetry request (which resets the obs epoch) — run
+/// exclusively, so fault indices and counter attribution keep one deterministic emission
+/// order. Stream faults scripted in the daemon's own `LOCAL_FAULTS` apply to its result
+/// stream; `kill`/`truncate` clauses terminate the daemon process, exactly like the real
+/// failures they simulate. Only returns on bind failure.
+pub fn serve_forever(addr: &str, threads: usize, max_concurrent: usize) -> Result<(), String> {
     let listener = TcpListener::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let local = listener.local_addr().map_err(|e| format!("cannot read bound address: {e}"))?;
     println!("listening on {local}");
@@ -468,13 +488,20 @@ pub fn serve_forever(addr: &str, threads: usize) -> Result<(), String> {
     if faults.is_armed() {
         eprintln!("sweep serve: fault injection armed");
     }
-    let serve_lock = Arc::new(Mutex::new(()));
+    let capacity = if max_concurrent > 0 {
+        max_concurrent
+    } else {
+        let budget = crate::pool::resolve_worker_count(0);
+        let per_shard = crate::pool::resolve_worker_count(threads);
+        (budget / per_shard.max(1)).max(1)
+    };
+    let gate = Arc::new(ConcurrencyGate::new(capacity));
     for conn in listener.incoming() {
         match conn {
             Ok(stream) => {
                 let faults = Arc::clone(&faults);
-                let serve_lock = Arc::clone(&serve_lock);
-                std::thread::spawn(move || serve_connection(stream, threads, &faults, &serve_lock));
+                let gate = Arc::clone(&gate);
+                std::thread::spawn(move || serve_connection(stream, threads, &faults, &gate));
             }
             Err(e) => eprintln!("sweep serve: accept failed: {e}"),
         }
@@ -489,12 +516,10 @@ fn serve_connection(
     stream: TcpStream,
     threads: usize,
     faults: &FaultInjector,
-    serve_lock: &Mutex<()>,
+    gate: &ConcurrencyGate,
 ) {
-    let client = stream
-        .peer_addr()
-        .map(|a| a.to_string())
-        .unwrap_or_else(|_| "unknown peer".to_string());
+    let client =
+        stream.peer_addr().map(|a| a.to_string()).unwrap_or_else(|_| "unknown peer".to_string());
     let _ = stream.set_nodelay(true);
     let mut reader = match stream.try_clone() {
         Ok(clone) => BufReader::new(clone),
@@ -510,10 +535,7 @@ fn serve_connection(
         match reader.read_line(&mut line) {
             Ok(0) => return,
             Ok(_) => {
-                // One shard at a time per daemon: deterministic fault indices and counter
-                // attribution, and no thread oversubscription on the worker machine.
-                let _guard = serve_lock.lock().expect("serve lock poisoned");
-                if let Err(e) = serve_request(line.trim(), threads, faults, &mut writer) {
+                if let Err(e) = serve_request(line.trim(), threads, faults, gate, &mut writer) {
                     eprintln!("sweep serve [{client}]: {e}");
                     let reply = Line(Value::Map(vec![("error".into(), Value::Str(e))]));
                     let text = serde_json::to_string(&reply).expect("error line serializes");
@@ -530,11 +552,16 @@ fn serve_connection(
     }
 }
 
-/// Parses and executes one shard request against this daemon's build.
+/// Parses and executes one shard request against this daemon's build, inside the daemon's
+/// concurrency gate: plain requests share up to the gate's capacity, while fault-scripted
+/// or telemetry requests hold the gate alone (the fault counter and the obs epoch are
+/// process-wide). While queued behind the gate, a telemetry request heartbeats its client
+/// so the client's shrunken liveness window does not declare this daemon dead.
 fn serve_request(
     request: &str,
     threads: usize,
     faults: &FaultInjector,
+    gate: &ConcurrencyGate,
     out: &mut (impl Write + Send),
 ) -> Result<(), String> {
     let value = serde_json::from_str(request).map_err(|e| format!("unreadable request: {e}"))?;
@@ -543,6 +570,21 @@ fn serve_request(
     )
     .map_err(|e| format!("malformed shard: {e}"))?;
     let telemetry = value.get("telemetry").and_then(Value::as_u64);
+    let keepalive = |out: &mut dyn Write| {
+        if telemetry.is_none() {
+            return;
+        }
+        let beat = WorkerTelemetry { cells_done: 0, wall_micros: 0, counters: Vec::new() };
+        let line = Line(Value::Map(vec![("telemetry".into(), beat.to_value())]));
+        let text = serde_json::to_string(&line).expect("heartbeat serializes");
+        let _ = writeln!(out, "{text}");
+        let _ = out.flush();
+    };
+    let _slot = if faults.is_armed() || telemetry.is_some() {
+        gate.acquire_exclusive(|| keepalive(out))
+    } else {
+        gate.acquire(|| keepalive(out))
+    };
     if telemetry.is_some() {
         // Per-request span/counter epoch: a long-lived daemon must not replay its whole
         // history into every span dump. (The fault injector's cumulative result-line

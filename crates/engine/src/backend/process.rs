@@ -275,9 +275,7 @@ impl ProcessBackend {
         let shipped = serde_json::to_string(stripe).expect("shard serializes");
         let writer_thread = std::thread::spawn(move || -> Result<(), String> {
             match child_stdin {
-                Some(mut stdin) => {
-                    stdin.write_all(shipped.as_bytes()).map_err(|e| e.to_string())
-                }
+                Some(mut stdin) => stdin.write_all(shipped.as_bytes()).map_err(|e| e.to_string()),
                 None => Err("stdin was not piped".into()),
             }
         });
@@ -299,8 +297,7 @@ impl ProcessBackend {
         loop {
             match line_rx.recv_timeout(deadline) {
                 Ok(Ok(line)) => {
-                    let mut accept =
-                        |index: usize, result| emit(parent_indices[index], result);
+                    let mut accept = |index: usize, result| emit(parent_indices[index], result);
                     match stream.consume(&line, self.progress.as_ref(), &mut accept) {
                         Ok(LineOutcome::Progress) => {}
                         Ok(LineOutcome::Finished) => break,
@@ -341,8 +338,7 @@ impl ProcessBackend {
         if failure.is_none() {
             // The worker finished cleanly, so its pipes have hit EOF; join the tails.
             let _ = reader_thread.join();
-            let write_result =
-                writer_thread.join().unwrap_or(Err("writer thread panicked".into()));
+            let write_result = writer_thread.join().unwrap_or(Err("writer thread panicked".into()));
             if let Some(thread) = stderr_thread {
                 let _ = thread.join();
             }
@@ -594,7 +590,7 @@ pub(super) fn serve_shard(
 }
 
 /// Renders calibration observation sums for the sentinel line.
-fn observations_to_value(observations: &[(String, String, f64, f64)]) -> Value {
+pub(super) fn observations_to_value(observations: &[(String, String, f64, f64)]) -> Value {
     Value::Seq(
         observations
             .iter()

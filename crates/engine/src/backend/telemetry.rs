@@ -20,9 +20,7 @@ use std::time::Duration;
 /// deadline.
 pub fn liveness_window(io_deadline: Duration, heartbeat_ms: Option<u64>) -> Duration {
     match heartbeat_ms {
-        Some(ms) => {
-            io_deadline.min(Duration::from_millis((ms.saturating_mul(20)).max(2_000)))
-        }
+        Some(ms) => io_deadline.min(Duration::from_millis((ms.saturating_mul(20)).max(2_000))),
         None => io_deadline,
     }
 }

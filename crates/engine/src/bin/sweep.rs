@@ -46,12 +46,14 @@
 //!
 //! There is also a hidden `--worker` mode — the receiving end of the process backend's
 //! shard protocol (shard JSON on stdin, newline-delimited results + sentinel on stdout) —
-//! and a `--serve ADDR` mode, the same protocol as a persistent TCP daemon for `--backend
-//! network`; see `local_engine::backend` for the framing.
+//! a `--serve ADDR` mode, the same protocol as a persistent TCP daemon for `--backend
+//! network`, and a `--coordinate ADDR` mode that schedules many clients' submissions
+//! (`--submit`) fairly over a `--connect` daemon fleet; see `local_engine::backend` for
+//! the framing and `local_engine::backend::coordinator` for the job protocol.
 
 use local_engine::backend::{
-    serve_forever, worker_serve, FaultInjector, FaultPlan, InProcessBackend, NetworkBackend,
-    ProcessBackend,
+    coordinate_forever, serve_forever, worker_serve, CoordinatorBackend, CoordinatorConfig,
+    FaultInjector, FaultPlan, InProcessBackend, NetworkBackend, ProcessBackend,
 };
 use local_engine::{
     default_workloads, parse_sizes, parse_workload, render_listing, CostModel, ProgressMeter,
@@ -66,6 +68,7 @@ enum BackendKind {
     InProcess,
     Process,
     Network,
+    Coordinator,
 }
 
 struct Args {
@@ -77,6 +80,8 @@ struct Args {
     threads: Option<usize>,
     workers: usize,
     connect: Vec<String>,
+    submit: Option<String>,
+    client: Option<String>,
     io_deadline_ms: Option<u64>,
     faults: Option<FaultPlan>,
     base_seed: u64,
@@ -111,6 +116,8 @@ fn parse_args() -> Result<Args, String> {
         threads: None,
         workers: 0,
         connect: Vec::new(),
+        submit: None,
+        client: None,
         io_deadline_ms: None,
         faults: None,
         base_seed: 0,
@@ -165,10 +172,11 @@ fn parse_args() -> Result<Args, String> {
                     "in-process" => BackendKind::InProcess,
                     "process" => BackendKind::Process,
                     "network" => BackendKind::Network,
+                    "coordinator" => BackendKind::Coordinator,
                     other => {
                         return Err(format!(
-                            "unknown backend: {other:?} (expected in-process, process, or \
-                             network — sweep --list enumerates them)"
+                            "unknown backend: {other:?} (expected in-process, process, \
+                             network, or coordinator — sweep --list enumerates them)"
                         ))
                     }
                 };
@@ -179,6 +187,11 @@ fn parse_args() -> Result<Args, String> {
                 args.connect =
                     value("--connect")?.split(',').map(|a| a.trim().to_string()).collect();
             }
+            "--submit" => {
+                args.submit = Some(value("--submit")?);
+                args.backend = BackendKind::Coordinator;
+            }
+            "--client" => args.client = Some(value("--client")?),
             "--io-deadline-ms" => {
                 args.io_deadline_ms = Some(
                     value("--io-deadline-ms")?
@@ -229,6 +242,11 @@ fn parse_args() -> Result<Args, String> {
                     with sweep --serve ADDR)"
             .to_string());
     }
+    if args.backend == BackendKind::Coordinator && args.submit.is_none() {
+        return Err("--backend coordinator needs --submit host:port (start one with sweep \
+                    --coordinate ADDR --connect …)"
+            .to_string());
+    }
     Ok(args)
 }
 
@@ -237,13 +255,18 @@ sweep — parallel batched experiment engine for uniform LOCAL algorithms
 
 USAGE:
   sweep [--problems LIST|all] [--families LIST|all] [--sizes 200,400 | 100..10000]
-        [--seeds N] [--backend in-process|process|network] [--threads N] [--workers N]
-        [--connect HOST:PORT,…] [--io-deadline-ms MS] [--faults SCRIPT]
+        [--seeds N] [--backend in-process|process|network|coordinator] [--threads N]
+        [--workers N] [--connect HOST:PORT,…] [--submit HOST:PORT] [--client NAME]
+        [--io-deadline-ms MS] [--faults SCRIPT]
         [--base-seed S] [--out report.json] [--csv cells.csv] [--list] [--dry-run]
         [--deterministic] [--profile] [--folded stacks.folded]
         [--cache-dir DIR | --no-cache] [--stream]
         [--trace trace.json] [--trace-events events.ndjson] [--progress]
-  sweep --serve ADDR [--threads N]          run a persistent worker daemon
+  sweep --serve ADDR [--threads N] [--max-concurrent-shards N]
+                                            run a persistent worker daemon
+  sweep --coordinate ADDR --connect HOST:PORT,… [--threads N] [--io-deadline-ms MS]
+        [--stripes-per-peer N] [--faults SCRIPT]
+                                            run a multi-client coordinator over a fleet
 
   --list       print every registered workload, family, and execution backend (with the
                flags that configure it) straight from the registries, then exit.
@@ -259,8 +282,24 @@ USAGE:
                in-process rescue path's thread count (default 0).
   --workers    worker processes for --backend process; 0 = available parallelism.
   --connect    comma list of daemon addresses for --backend network (one stripe per peer).
+  --submit     submit the sweep to a `sweep --coordinate` service at HOST:PORT (implies
+               --backend coordinator); verified results stream back cell by cell and the
+               report is byte-identical (--deterministic) to an in-process run.
+  --client     name this client in coordinator submissions, for the coordinator's
+               per-client fairness and accounting (default: anonymous, by source address).
   --serve      bind ADDR (host:port; port 0 picks one), print `listening on <addr>`, and
                serve shard requests forever; --threads caps each shard's parallelism.
+  --max-concurrent-shards
+               how many plain shard requests a daemon serves concurrently (default 0 =
+               thread budget / per-shard threads). Fault-scripted and telemetry requests
+               still run exclusively, keeping their ordering deterministic.
+  --coordinate bind ADDR, print `listening on <addr>`, and schedule job submissions from
+               any number of clients over the --connect fleet: deficit-round-robin fair by
+               predicted cost between clients, LPT within a job, dead peers' stripes
+               re-queued to survivors and rescued in-process as the last resort.
+  --stripes-per-peer
+               stripes each job is decomposed into per fleet peer (default 4): finer
+               stripes interleave clients more fairly, coarser amortize dispatch overhead.
   --io-deadline-ms
                liveness deadline for worker I/O (default 600000): a stream silent this
                long is declared dead and its cells rescued. When heartbeats flow the
@@ -318,11 +357,59 @@ fn worker_main(threads: usize, telemetry_ms: Option<u64>) -> ExitCode {
 
 /// The `--serve` mode: a persistent worker daemon on a TCP address, the receiving end of
 /// `--backend network`. Runs until killed.
-fn serve_main(addr: &str, threads: usize) -> ExitCode {
-    match serve_forever(addr, threads) {
+fn serve_main(addr: &str, threads: usize, max_concurrent: usize) -> ExitCode {
+    match serve_forever(addr, threads, max_concurrent) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("sweep --serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `--coordinate` mode: a multi-client scheduling service over a `--connect` daemon
+/// fleet. Runs until killed.
+fn coordinate_main(raw: &[String], addr: &str) -> ExitCode {
+    let get = |flag: &str| raw.iter().position(|a| a == flag).and_then(|i| raw.get(i + 1));
+    let mut config = CoordinatorConfig {
+        fleet: get("--connect")
+            .map(|v| v.split(',').map(|a| a.trim().to_string()).collect())
+            .unwrap_or_default(),
+        ..CoordinatorConfig::default()
+    };
+    if let Some(n) = get("--threads").and_then(|v| v.parse().ok()) {
+        config.rescue_threads = n;
+    }
+    if let Some(ms) = get("--io-deadline-ms").and_then(|v| v.parse().ok()) {
+        config.io_deadline_ms = ms;
+    }
+    if let Some(n) = get("--stripes-per-peer").and_then(|v| v.parse::<usize>().ok()) {
+        config.stripes_per_peer = n.max(1);
+    }
+    config.faults = match get("--faults") {
+        Some(script) => match FaultPlan::parse(script) {
+            Ok(plan) => plan,
+            Err(e) => {
+                eprintln!("sweep --coordinate: bad --faults: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => FaultPlan::from_env_lossy(),
+    };
+    // The coordinator always arms observability: per-client accounting gauges are part of
+    // its contract, not an opt-in.
+    local_obs::enable();
+    local_obs::set_track_name("coordinator");
+    if config.fleet.is_empty() {
+        eprintln!(
+            "sweep --coordinate: empty fleet (no --connect); every job will be rescued \
+             in-process"
+        );
+    }
+    match coordinate_forever(addr, config) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sweep --coordinate: {message}");
             ExitCode::FAILURE
         }
     }
@@ -373,10 +460,13 @@ fn dry_run(grid: &ScenarioGrid, cache: Option<&SweepCache>) -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    // The worker and serve modes are not regular flags: they must not drag the full sweep
-    // arg surface into the protocol, so they are dispatched before normal parsing. A worker
-    // honours only `--threads N` and `--telemetry MS` (the parent's heartbeat request); a
-    // daemon honours `--serve ADDR` and `--threads N` (telemetry is per-request).
+    // The worker, serve, and coordinate modes are not regular flags: they must not drag
+    // the full sweep arg surface into the protocol, so they are dispatched before normal
+    // parsing. A worker honours only `--threads N` and `--telemetry MS` (the parent's
+    // heartbeat request); a daemon honours `--serve ADDR`, `--threads N`, and
+    // `--max-concurrent-shards N` (telemetry is per-request); a coordinator honours
+    // `--coordinate ADDR`, `--connect`, `--threads`, `--io-deadline-ms`,
+    // `--stripes-per-peer`, and `--faults`.
     let raw: Vec<String> = std::env::args().skip(1).collect();
     if raw.iter().any(|a| a == "--worker") {
         let threads = raw
@@ -403,7 +493,20 @@ fn main() -> ExitCode {
             .and_then(|j| raw.get(j + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(0);
-        return serve_main(addr, threads);
+        let max_concurrent = raw
+            .iter()
+            .position(|a| a == "--max-concurrent-shards")
+            .and_then(|j| raw.get(j + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        return serve_main(addr, threads, max_concurrent);
+    }
+    if let Some(i) = raw.iter().position(|a| a == "--coordinate") {
+        let Some(addr) = raw.get(i + 1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("sweep --coordinate: missing bind address (try --coordinate 127.0.0.1:0)");
+            return ExitCode::FAILURE;
+        };
+        return coordinate_main(&raw, addr);
     }
 
     let args = match parse_args() {
@@ -425,6 +528,7 @@ fn main() -> ExitCode {
     if args.trace.is_some()
         || args.trace_events.is_some()
         || args.backend == BackendKind::Network
+        || args.backend == BackendKind::Coordinator
         || !fault_plan.is_empty()
     {
         local_obs::enable();
@@ -461,6 +565,11 @@ fn main() -> ExitCode {
         BackendKind::Network => {
             format!("{} network peers ({})", args.connect.len(), args.connect.join(", "))
         }
+        BackendKind::Coordinator => format!(
+            "coordinator at {} (client {})",
+            args.submit.as_deref().unwrap_or("?"),
+            args.client.as_deref().unwrap_or("anonymous")
+        ),
     };
     eprintln!(
         "sweep: {} cells ({} problems × {} families × {} sizes × {} seeds), {}, {}",
@@ -493,6 +602,22 @@ fn main() -> ExitCode {
             let mut backend = NetworkBackend::new(args.connect.clone())
                 .rescue_threads(args.threads.unwrap_or(0))
                 .faults(fault_plan.clone());
+            if let Some(ms) = args.io_deadline_ms {
+                backend = backend.io_deadline_ms(ms);
+            }
+            if let Some(meter) = &meter {
+                backend = backend.progress(meter.clone());
+            }
+            sweep.backend(backend)
+        }
+        BackendKind::Coordinator => {
+            let mut backend =
+                CoordinatorBackend::new(args.submit.clone().expect("--submit checked at parse"))
+                    .rescue_threads(args.threads.unwrap_or(0))
+                    .faults(fault_plan.clone());
+            if let Some(name) = &args.client {
+                backend = backend.client(name.clone());
+            }
             if let Some(ms) = args.io_deadline_ms {
                 backend = backend.io_deadline_ms(ms);
             }
@@ -555,7 +680,10 @@ fn main() -> ExitCode {
         report.total_wall_micros as f64 / 1000.0,
         invalid
     );
-    if args.backend == BackendKind::Network || !fault_plan.is_empty() {
+    if args.backend == BackendKind::Network
+        || args.backend == BackendKind::Coordinator
+        || !fault_plan.is_empty()
+    {
         // The resilience counters: how the sweep degraded and recovered. Printed whenever
         // the machinery that can increment them was in play, so soak scripts can assert on
         // the line's presence and values.

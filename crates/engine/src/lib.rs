@@ -63,8 +63,8 @@ pub mod scheduler;
 pub mod workloads;
 
 pub use backend::{
-    CellShard, ExecBackend, FaultInjector, FaultPlan, InProcessBackend, NetworkBackend,
-    ProcessBackend,
+    CellShard, CoordinatorBackend, CoordinatorConfig, CoordinatorServer, ExecBackend,
+    FaultInjector, FaultPlan, InProcessBackend, NetworkBackend, ProcessBackend,
 };
 pub use cache::{SweepCache, CODE_VERSION};
 pub use cost::CostModel;

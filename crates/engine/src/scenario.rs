@@ -197,6 +197,70 @@ impl ScenarioGrid {
     }
 }
 
+// The wire representation of a grid (the coordinator's job protocol) spells workloads and
+// families by stable name, exactly like [`Scenario`]'s: a submitted grid means the same
+// cells — in the same canonical order — on whichever build re-expands it.
+impl Serialize for ScenarioGrid {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "problems".into(),
+                Value::Seq(
+                    self.problems.iter().map(|p| Value::Str(p.name().to_string())).collect(),
+                ),
+            ),
+            (
+                "families".into(),
+                Value::Seq(
+                    self.families.iter().map(|f| Value::Str(f.name().to_string())).collect(),
+                ),
+            ),
+            (
+                "sizes".into(),
+                Value::Seq(self.sizes.iter().map(|&n| Value::U64(n as u64)).collect()),
+            ),
+            ("replicates".into(), Value::U64(self.replicates)),
+            ("base_seed".into(), Value::U64(self.base_seed)),
+        ])
+    }
+}
+
+impl Deserialize for ScenarioGrid {
+    fn from_value(value: &Value) -> Result<Self, String> {
+        let field =
+            |key: &str| value.get(key).ok_or_else(|| format!("grid is missing field {key:?}"));
+        let names = |key: &str| -> Result<Vec<String>, String> {
+            let seq =
+                field(key)?.as_seq().ok_or_else(|| format!("expected a list of {key} names"))?;
+            seq.iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("expected a {key} name, got {v:?}"))
+                })
+                .collect()
+        };
+        let problems = names("problems")?
+            .iter()
+            .map(|name| parse_workload(name).ok_or_else(|| format!("unknown problem: {name:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        let families = names("families")?
+            .iter()
+            .map(|name| parse_family(name).ok_or_else(|| format!("unknown family: {name:?}")))
+            .collect::<Result<Vec<_>, _>>()?;
+        if problems.is_empty() || families.is_empty() {
+            return Err("grid with an empty problem or family axis".into());
+        }
+        Ok(ScenarioGrid {
+            problems,
+            families,
+            sizes: Vec::<usize>::from_value(field("sizes")?)?,
+            replicates: u64::from_value(field("replicates")?)?.max(1),
+            base_seed: u64::from_value(field("base_seed")?)?,
+        })
+    }
+}
+
 fn expand_ladder(lo: usize, hi: usize) -> Vec<usize> {
     // Honour the requested start exactly (generators themselves round tiny sizes up);
     // only guard against a zero start, which could never double.
@@ -312,6 +376,33 @@ mod tests {
         assert_eq!(parse_sizes("2..8").unwrap(), vec![2, 4, 8]);
         assert!(parse_sizes("..").is_err());
         assert!(parse_sizes("a,b").is_err());
+    }
+
+    #[test]
+    fn grids_round_trip_the_wire_with_cells_in_canonical_order() {
+        let grid = ScenarioGrid::new()
+            .problems([workload("mis"), workload("luby-mis")])
+            .families([Family::Grid.into(), family("gnp-d16")])
+            .sizes([48usize, 64])
+            .replicates(2)
+            .base_seed(9);
+        let wire = serde_json::to_string(&grid).unwrap();
+        let back = ScenarioGrid::from_value(&serde_json::from_str(&wire).unwrap()).unwrap();
+        assert_eq!(back.cell_count(), grid.cell_count());
+        assert_eq!(back.cells(), grid.cells());
+        assert_eq!(back.base_seed, grid.base_seed);
+    }
+
+    #[test]
+    fn malformed_grids_are_rejected() {
+        for bad in [
+            r#"{"problems":["mis"],"families":[],"sizes":[48],"replicates":1,"base_seed":0}"#,
+            r#"{"problems":["no-such"],"families":["grid"],"sizes":[48],"replicates":1,"base_seed":0}"#,
+            r#"{"families":["grid"],"sizes":[48],"replicates":1,"base_seed":0}"#,
+        ] {
+            let value = serde_json::from_str(bad).unwrap();
+            assert!(ScenarioGrid::from_value(&value).is_err(), "accepted {bad}");
+        }
     }
 
     #[test]

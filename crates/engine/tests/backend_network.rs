@@ -101,9 +101,8 @@ fn two_network_daemons_match_one_in_process_thread_byte_for_byte() {
     let reference = run_grid(&grid, &SweepConfig::with_threads(1));
     let a = Daemon::spawn(None);
     let b = Daemon::spawn(None);
-    let candidate = Sweep::over(&grid)
-        .backend(NetworkBackend::new(vec![a.addr.clone(), b.addr.clone()]))
-        .run();
+    let candidate =
+        Sweep::over(&grid).backend(NetworkBackend::new(vec![a.addr.clone(), b.addr.clone()])).run();
     assert_eq!(candidate.threads, 2, "the report records the peer count");
     assert_reports_identical(&reference, &candidate, "network backend");
 }
@@ -119,7 +118,11 @@ fn one_connection_serves_many_shards_and_stays_deterministic() {
     for round in 0..2 {
         let candidate =
             Sweep::over(&grid).backend(NetworkBackend::new(vec![daemon.addr.clone()])).run();
-        assert_reports_identical(&reference, &candidate, &format!("persistent daemon round {round}"));
+        assert_reports_identical(
+            &reference,
+            &candidate,
+            &format!("persistent daemon round {round}"),
+        );
     }
 }
 
@@ -135,8 +138,7 @@ fn a_daemon_killed_mid_sweep_loses_nothing() {
     let (retries0, redispatched0, rescued0, _) = counters();
     let candidate = Sweep::over(&grid)
         .backend(
-            NetworkBackend::new(vec![healthy.addr.clone(), doomed.addr.clone()])
-                .retry(5, 50, 2),
+            NetworkBackend::new(vec![healthy.addr.clone(), doomed.addr.clone()]).retry(5, 50, 2),
         )
         .run();
     assert_reports_identical(&reference, &candidate, "killed daemon");
@@ -148,6 +150,43 @@ fn a_daemon_killed_mid_sweep_loses_nothing() {
     // The healthy peer absorbs everything; nothing should need the in-process fallback.
     assert_eq!(rescued1, rescued0, "no irreducible remainder with a healthy peer up");
     let _ = retries0;
+}
+
+#[test]
+fn overlapping_peer_deaths_count_each_redispatch_and_rescue_exactly_once() {
+    let _guard = SERIAL.lock().unwrap();
+    local_obs::enable();
+    // 12 equal-cost cells (one instance each) stripe 6/6 across two peers. Peer 0 dies
+    // before its 3rd result line, leaving 4 cells. Peer 1 serves its own 6, then dies two
+    // lines into the re-dispatched remainder (its process-cumulative counter hits 8). The
+    // accounting must book exactly the 2 cells that *landed* on the retry peer as
+    // re-dispatched — not the 4 attempted — and exactly the 2 irreducible cells as
+    // rescued. Mid-stream deaths are not connect failures, so no retry is booked at all.
+    let grid = ScenarioGrid::new()
+        .problems([workload("mis")])
+        .families([family("sparse-gnp")])
+        .sizes([48usize])
+        .replicates(12)
+        .base_seed(9);
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    let first_to_die = Daemon::spawn(Some("kill@2"));
+    let second_to_die = Daemon::spawn(Some("kill@8"));
+    let (retries0, redispatched0, rescued0, _) = counters();
+    let candidate = Sweep::over(&grid)
+        .backend(
+            NetworkBackend::new(vec![first_to_die.addr.clone(), second_to_die.addr.clone()])
+                .retry(5, 50, 2),
+        )
+        .run();
+    assert_reports_identical(&reference, &candidate, "double kill");
+    let (retries1, redispatched1, rescued1, _) = counters();
+    assert_eq!(retries1 - retries0, 0, "mid-stream deaths must not book connect retries");
+    assert_eq!(
+        redispatched1 - redispatched0,
+        2,
+        "only the cells that landed on the retry peer count as re-dispatched"
+    );
+    assert_eq!(rescued1 - rescued0, 2, "exactly the irreducible remainder is rescued");
 }
 
 #[test]
@@ -241,8 +280,7 @@ fn a_dead_peer_in_a_fleet_shifts_its_stripe_to_the_living() {
     let live = Daemon::spawn(None);
     let candidate = Sweep::over(&grid)
         .backend(
-            NetworkBackend::new(vec![live.addr.clone(), "127.0.0.1:1".to_string()])
-                .retry(1, 5, 2),
+            NetworkBackend::new(vec![live.addr.clone(), "127.0.0.1:1".to_string()]).retry(1, 5, 2),
         )
         .run();
     assert_reports_identical(&reference, &candidate, "half-dead fleet");

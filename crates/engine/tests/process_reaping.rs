@@ -76,8 +76,7 @@ fn a_panicking_emit_still_kills_and_reaps_the_worker() {
     let grid = small_grid();
     let cells: Vec<Scenario> = grid.cells();
     let shard = CellShard::new(grid.base_seed, cells);
-    let backend =
-        ProcessBackend::with_command(1, vec![env!("CARGO_BIN_EXE_sweep").to_string()]);
+    let backend = ProcessBackend::with_command(1, vec![env!("CARGO_BIN_EXE_sweep").to_string()]);
     // The emit sink panics on the first result: the dispatcher thread unwinds mid-stream
     // with the worker still running. The reap guard must kill and wait for it during the
     // unwind — an early drop must not leak a zombie.

@@ -101,6 +101,22 @@ pub mod metrics {
     /// Value: per-worker connection state transition, labeled by the worker
     /// (`1` = connected/healthy, `0` = declared dead).
     pub const WORKER_STATE: MetricId = MetricId(19);
+    /// Counter: sweep jobs accepted by the multi-client coordinator.
+    pub const COORD_JOBS: MetricId = MetricId(20);
+    /// Gauge (max): peak number of jobs simultaneously admitted (queued or running)
+    /// by the coordinator.
+    pub const COORD_JOBS_ACTIVE: MetricId = MetricId(21);
+    /// Counter: cells the coordinator dispatched to fleet daemons (re-dispatches of a
+    /// failed peer's remainder count again — this is assignments, not cells).
+    pub const COORD_CELLS_ASSIGNED: MetricId = MetricId(22);
+    /// Counter: cells verified off a fleet stream and forwarded to the submitting client.
+    pub const COORD_CELLS_VERIFIED: MetricId = MetricId(23);
+    /// Counter: summed microseconds stripes spent queued before dispatch; also recorded
+    /// per dispatch as a value event labeled by the client.
+    pub const COORD_QUEUE_WAIT_MICROS: MetricId = MetricId(24);
+    /// Gauge (max): peak number of fleet peers simultaneously serving a stripe
+    /// (fleet utilization high-water mark).
+    pub const COORD_FLEET_BUSY: MetricId = MetricId(25);
 
     /// Names, indexed by [`MetricId`]. Order is append-only: these names are wire- and
     /// trace-visible, so existing entries must never be renamed or reordered.
@@ -125,6 +141,12 @@ pub mod metrics {
         "redispatched-cells",
         "faults-injected",
         "worker-state",
+        "coord-jobs",
+        "coord-jobs-active",
+        "coord-cells-assigned",
+        "coord-cells-verified",
+        "coord-queue-wait-micros",
+        "coord-fleet-busy-peers",
     ];
 }
 
