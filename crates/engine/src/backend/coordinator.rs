@@ -33,7 +33,8 @@ use super::{rescue_missing, CellShard, EmitFn, ExecBackend, FaultPlan};
 use crate::cost::CostModel;
 use crate::progress::ProgressMeter;
 use crate::report::CellResult;
-use crate::scenario::ScenarioGrid;
+use crate::scenario::{Scenario, ScenarioGrid};
+use crate::store::ResultStore;
 use local_coord::{ClientLedger, FairScheduler, JobStats, TaskEntry, MAX_PEERS};
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, BufReader, Write};
@@ -65,6 +66,11 @@ pub struct CoordinatorConfig {
     pub stripes_per_peer: usize,
     /// Coordinator-side fault plan (`refuse*N` clauses towards the fleet).
     pub faults: FaultPlan,
+    /// Shared result store. When set, every job is probed before striping — stored cells
+    /// are streamed back immediately without touching the fleet — and every freshly
+    /// computed cell (verified or rescued) is written back, so the whole fleet's work
+    /// accumulates under one coordinator-side store.
+    pub store: Option<Arc<dyn ResultStore>>,
 }
 
 impl Default for CoordinatorConfig {
@@ -79,8 +85,17 @@ impl Default for CoordinatorConfig {
             max_connect_attempts: 5,
             stripes_per_peer: 4,
             faults: FaultPlan::default(),
+            store: None,
         }
     }
+}
+
+/// The writeback half of a job's store attachment: the store handle plus the submitted
+/// cells by wire index, so [`CoordJob::deliver`] can persist fresh results.
+struct JobPersist {
+    store: Arc<dyn ResultStore>,
+    base_seed: u64,
+    cells: Vec<Scenario>,
 }
 
 /// One client job in flight: the submitted cells, the socket to stream results back on,
@@ -101,15 +116,41 @@ struct CoordJob {
     /// Per-job calibration observed from verified and rescued cells, shipped home in the
     /// sentinel exactly like a daemon's.
     observed: Mutex<CostModel>,
+    /// Store writeback attachment (`None` when the coordinator runs storeless).
+    persist: Option<JobPersist>,
     /// The client's socket broke: stop writing, keep accounting, never block the fleet.
     failed: AtomicBool,
     done: (Mutex<bool>, Condvar),
 }
 
 impl CoordJob {
-    /// Streams one verified or rescued cell back to the client and books it. The caller
-    /// that drops `remaining` to zero finalizes the job.
-    fn deliver(&self, state: &ServerState, wire: usize, result: CellResult, rescued: bool) {
+    /// Streams one verified, rescued, or store-served cell back to the client and books
+    /// it. `fresh` marks a result computed during this job (fleet-verified or rescued, as
+    /// opposed to replayed from the store) — fresh cells are written back to the store so
+    /// the fleet's work accumulates. The caller that drops `remaining` to zero finalizes
+    /// the job.
+    fn deliver(
+        &self,
+        state: &ServerState,
+        wire: usize,
+        result: CellResult,
+        rescued: bool,
+        fresh: bool,
+    ) {
+        if fresh {
+            if let Some(persist) = &self.persist {
+                if let Err(e) =
+                    persist.store.store(&persist.cells[wire], persist.base_seed, &result)
+                {
+                    eprintln!(
+                        "coord: cannot store cell {} of client {} job {}: {e}",
+                        persist.cells[wire].label(),
+                        self.client,
+                        self.seq
+                    );
+                }
+            }
+        }
         if !self.failed.load(Ordering::Relaxed) {
             let line = Raw(Value::Map(vec![
                 ("index".into(), Value::U64(wire as u64)),
@@ -344,7 +385,7 @@ fn fleet_worker(state: &ServerState, peer: usize) {
             if redispatch {
                 job.redispatched.fetch_add(1, Ordering::Relaxed);
             }
-            job.deliver(state, wire, result, false);
+            job.deliver(state, wire, result, false, true);
         };
         let outcome = state.backend.run_stripe(peer, &task.stripe, &task.parents, &emit);
         state.busy_peers.fetch_sub(1, Ordering::Relaxed);
@@ -403,7 +444,7 @@ fn rescue_task(state: &ServerState, task: StripeTask) {
     }
     let all: Vec<usize> = (0..task.stripe.cells.len()).collect();
     rescue_missing(&task.stripe, &all, state.config.rescue_threads, &job.observed, &|k, result| {
-        job.deliver(state, task.parents[k], result, true)
+        job.deliver(state, task.parents[k], result, true, true)
     });
 }
 
@@ -516,6 +557,11 @@ fn serve_job(
         redispatched: AtomicU64::new(0),
         queue_wait: AtomicU64::new(0),
         observed: Mutex::new(CostModel::new()),
+        persist: state.config.store.as_ref().map(|store| JobPersist {
+            store: Arc::clone(store),
+            base_seed: shard.base_seed,
+            cells: shard.cells.clone(),
+        }),
         failed: AtomicBool::new(false),
         done: (Mutex::new(false), Condvar::new()),
     });
@@ -531,29 +577,63 @@ fn serve_job(
         std::thread::spawn(move || heartbeat_loop(&job, ms))
     });
 
-    // Decompose into instance-grouped stripes (empty stripes appear when the job has
-    // fewer distinct instances than the target count — drop them), then LPT between
-    // stripes so each client's costliest work is in flight earliest.
-    let target = (state.config.fleet.len() * state.config.stripes_per_peer).max(1);
-    let mut entries: Vec<TaskEntry<StripeTask>> = shard
-        .stripe(target)
-        .into_iter()
-        .filter(|(stripe, _)| !stripe.cells.is_empty())
-        .map(|(stripe, parents)| {
-            entry_of(StripeTask {
-                job: Arc::clone(&job),
-                stripe,
-                parents,
-                enqueued_micros: local_obs::now_micros(),
-            })
-        })
-        .collect();
-    entries.sort_by(|a, b| b.cost.total_cmp(&a.cost));
+    // Probe the shared store first: stored cells stream back immediately (booked as
+    // verified — they went through full verification when first computed) and never
+    // touch the fleet. Only the misses are striped.
+    let mut missed: Vec<usize> = (0..shard.cells.len()).collect();
+    if let Some(store) = &state.config.store {
+        missed.clear();
+        let mut hits = 0u64;
+        for (i, cell) in shard.cells.iter().enumerate() {
+            match store.load(cell, shard.base_seed) {
+                Some(result) => {
+                    hits += 1;
+                    job.deliver(state, i, result, false, false);
+                }
+                None => missed.push(i),
+            }
+        }
+        if hits > 0 {
+            println!(
+                "coord: client {client} job {seq}: {hits} of {} cells served from {}",
+                shard.cells.len(),
+                store.describe()
+            );
+            let _ = std::io::stdout().flush();
+        }
+    }
 
-    if let Err(entries) = state.scheduler.submit(entries) {
-        eprintln!("coord: no live fleet peers; rescuing client {client} job {seq} in-process");
-        for entry in entries {
-            rescue_task(state, entry.payload);
+    // Decompose the missed remainder into instance-grouped stripes (empty stripes appear
+    // when the job has fewer distinct instances than the target count — drop them), then
+    // LPT between stripes so each client's costliest work is in flight earliest. Stripe
+    // parents index the sub-shard, so remap them back to the job's wire indices.
+    if !missed.is_empty() {
+        let sub = CellShard {
+            base_seed: shard.base_seed,
+            code_version: shard.code_version.clone(),
+            cells: missed.iter().map(|&i| shard.cells[i].clone()).collect(),
+        };
+        let target = (state.config.fleet.len() * state.config.stripes_per_peer).max(1);
+        let mut entries: Vec<TaskEntry<StripeTask>> = sub
+            .stripe(target)
+            .into_iter()
+            .filter(|(stripe, _)| !stripe.cells.is_empty())
+            .map(|(stripe, parents)| {
+                entry_of(StripeTask {
+                    job: Arc::clone(&job),
+                    stripe,
+                    parents: parents.into_iter().map(|p| missed[p]).collect(),
+                    enqueued_micros: local_obs::now_micros(),
+                })
+            })
+            .collect();
+        entries.sort_by(|a, b| b.cost.total_cmp(&a.cost));
+
+        if let Err(entries) = state.scheduler.submit(entries) {
+            eprintln!("coord: no live fleet peers; rescuing client {client} job {seq} in-process");
+            for entry in entries {
+                rescue_task(state, entry.payload);
+            }
         }
     }
 

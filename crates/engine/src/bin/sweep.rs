@@ -35,8 +35,13 @@
 //! * `--folded F`  write the sweep's phase times as folded stacks (flamegraph format) to `F`.
 //! * `--cache-dir D`  incremental result cache location (default `target/sweep-cache`); a
 //!   re-sweep executes only cells whose inputs changed. `--no-cache` disables it.
-//! * `--stream`    stream cells to the cache instead of holding them in memory (large
-//!   grids); per-cell CSV is then produced by reading the cache back. Requires the cache.
+//! * `--store D`   segmented binary result store replacing the JSON cache at scale: CRC-
+//!   checked append-only segment files instead of one JSON file per cell, behind the same
+//!   incremental-re-sweep semantics. `sweep store import CACHE_DIR --store D` migrates a
+//!   cache; `sweep store bench` measures both on a synthetic grid.
+//! * `--stream`    stream cells to the result store instead of holding them in memory
+//!   (large grids); per-cell CSV is then produced by reading the store back. Requires a
+//!   cache or store.
 //! * `--trace F`   enable the observability layer and write a Chrome trace-event JSON of
 //!   the sweep (phase spans, counters, one track per thread/worker) to `F` — loadable in
 //!   Perfetto or `chrome://tracing`.
@@ -56,12 +61,15 @@ use local_engine::backend::{
     FaultInjector, FaultPlan, InProcessBackend, NetworkBackend, ProcessBackend,
 };
 use local_engine::{
-    default_workloads, parse_sizes, parse_workload, render_listing, CostModel, ProgressMeter,
-    ScenarioGrid, Sweep, SweepCache, WorkloadSpec,
+    default_workloads, parse_sizes, parse_workload, render_listing, BinaryStore, CellResult,
+    CostModel, ProgressMeter, ResultStore, Scenario, ScenarioGrid, Sweep, SweepCache, WorkloadSpec,
+    CODE_VERSION,
 };
 use local_graphs::{builtin_families, parse_family, FamilySpec};
+use serde::{Deserialize, Value};
 use std::io::Read;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 #[derive(Clone, PartialEq)]
 enum BackendKind {
@@ -92,6 +100,10 @@ struct Args {
     profile: bool,
     folded: Option<String>,
     cache_dir: Option<String>,
+    /// `--cache-dir` was given explicitly (as opposed to the default location), which
+    /// conflicts with `--store`.
+    cache_dir_explicit: bool,
+    store_dir: Option<String>,
     stream: bool,
     trace: Option<String>,
     trace_events: Option<String>,
@@ -128,6 +140,8 @@ fn parse_args() -> Result<Args, String> {
         profile: false,
         folded: None,
         cache_dir: Some("target/sweep-cache".to_string()),
+        cache_dir_explicit: false,
+        store_dir: None,
         stream: false,
         trace: None,
         trace_events: None,
@@ -219,8 +233,12 @@ fn parse_args() -> Result<Args, String> {
             "--deterministic" => args.deterministic = true,
             "--profile" => args.profile = true,
             "--folded" => args.folded = Some(value("--folded")?),
-            "--cache-dir" => args.cache_dir = Some(value("--cache-dir")?),
+            "--cache-dir" => {
+                args.cache_dir = Some(value("--cache-dir")?);
+                args.cache_dir_explicit = true;
+            }
             "--no-cache" => args.cache_dir = None,
+            "--store" => args.store_dir = Some(value("--store")?),
             "--stream" => args.stream = true,
             "--trace" => args.trace = Some(value("--trace")?),
             "--trace-events" => args.trace_events = Some(value("--trace-events")?),
@@ -232,9 +250,15 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag: {other} (try --help)")),
         }
     }
-    if args.stream && args.cache_dir.is_none() {
-        return Err("--stream needs the cache (drop --no-cache): streamed cells live in the \
-                    cache, not in memory"
+    if args.store_dir.is_some() && args.cache_dir_explicit {
+        return Err("--store and --cache-dir are two locations for the same results: pick \
+                    one (the binary store supersedes the JSON cache; `sweep store import` \
+                    migrates an existing cache)"
+            .to_string());
+    }
+    if args.stream && args.cache_dir.is_none() && args.store_dir.is_none() {
+        return Err("--stream needs a result store (drop --no-cache or add --store DIR): \
+                    streamed cells live on disk, not in memory"
             .to_string());
     }
     if args.backend == BackendKind::Network && args.connect.is_empty() {
@@ -260,13 +284,17 @@ USAGE:
         [--io-deadline-ms MS] [--faults SCRIPT]
         [--base-seed S] [--out report.json] [--csv cells.csv] [--list] [--dry-run]
         [--deterministic] [--profile] [--folded stacks.folded]
-        [--cache-dir DIR | --no-cache] [--stream]
+        [--cache-dir DIR | --no-cache | --store DIR] [--stream]
         [--trace trace.json] [--trace-events events.ndjson] [--progress]
   sweep --serve ADDR [--threads N] [--max-concurrent-shards N]
                                             run a persistent worker daemon
   sweep --coordinate ADDR --connect HOST:PORT,… [--threads N] [--io-deadline-ms MS]
-        [--stripes-per-peer N] [--faults SCRIPT]
+        [--stripes-per-peer N] [--faults SCRIPT] [--store DIR]
                                             run a multi-client coordinator over a fleet
+  sweep store import CACHE_DIR --store DIR [--base-seed S]
+                                            migrate a JSON cache into the binary store
+  sweep store bench [--cells N] [--dir DIR] [--json PATH]
+                                            benchmark the store against the JSON cache
 
   --list       print every registered workload, family, and execution backend (with the
                flags that configure it) straight from the registries, then exit.
@@ -320,8 +348,16 @@ USAGE:
   --cache-dir  incremental result cache (default target/sweep-cache): a re-sweep executes
                only changed cells and serves the rest from disk, byte-identically.
   --no-cache   disable the cache.
-  --stream     fold cells into summaries as they complete and keep them only in the cache
-               (flat memory for very large grids). Requires the cache.
+  --store      segmented binary result store in DIR, replacing the JSON cache for
+               million-cell sweeps: append-only CRC-checked segment files with an index
+               rebuilt by one sequential scan on open, torn tails truncated on recovery.
+               Same identity keys and incremental semantics as the cache, byte-identical
+               reports. On a coordinator, a shared store serves repeat submissions and
+               accumulates every client's fresh results. Conflicts with --cache-dir.
+  --stream     fold cells into summaries as they complete and keep them only in the
+               result store (flat memory for very large grids). With --store the re-sweep
+               summary path is fully columnar: no CellResult rows are materialized for
+               stored cells (the summary line prints `rows materialized 0`).
   --trace F    enable observability and write a Chrome trace-event JSON (phase spans,
                counters, one track per thread/worker) to F; open it in Perfetto or
                chrome://tracing. Under --backend process, workers stream their spans home.
@@ -396,6 +432,15 @@ fn coordinate_main(raw: &[String], addr: &str) -> ExitCode {
         },
         None => FaultPlan::from_env_lossy(),
     };
+    if let Some(dir) = get("--store") {
+        match BinaryStore::open(dir) {
+            Ok(store) => config.store = Some(Arc::new(store)),
+            Err(e) => {
+                eprintln!("sweep --coordinate: cannot open --store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // The coordinator always arms observability: per-client accounting gauges are part of
     // its contract, not an opt-in.
     local_obs::enable();
@@ -415,15 +460,311 @@ fn coordinate_main(raw: &[String], addr: &str) -> ExitCode {
     }
 }
 
+/// Why one JSON cache entry was not imported into the binary store.
+enum ImportSkip {
+    /// The entry's code version is not this binary's [`CODE_VERSION`]; its result is not
+    /// reproducible by this code and must not be served.
+    Version,
+    /// The entry's recorded execution seed disagrees with the seed its cell derives under
+    /// the requested base seed — it belongs to a different `--base-seed`.
+    Seed,
+    /// Not a parseable cache entry at all (torn file, foreign JSON, unknown label).
+    Unreadable,
+    /// The store already holds this cell (an earlier import or sweep wrote it).
+    Present,
+}
+
+/// Imports one JSON cache entry into the store. `Err` is fatal (the store write failed);
+/// `Ok(Err(skip))` records why the entry was passed over.
+fn import_entry(
+    store: &BinaryStore,
+    path: &std::path::Path,
+    base_seed: u64,
+) -> Result<Result<(), ImportSkip>, String> {
+    let unreadable = |_| ImportSkip::Unreadable;
+    let parse = || -> Result<(Scenario, CellResult), ImportSkip> {
+        let text = std::fs::read_to_string(path).map_err(|_| ImportSkip::Unreadable)?;
+        let value = serde_json::from_str(&text).map_err(unreadable)?;
+        if value.get("code_version").and_then(Value::as_str) != Some(CODE_VERSION) {
+            return Err(ImportSkip::Version);
+        }
+        let label = value.get("label").and_then(Value::as_str).ok_or(ImportSkip::Unreadable)?;
+        // A label spells the full cell identity: `problem/family/nSIZE/rREPLICATE`.
+        let parts: Vec<&str> = label.split('/').collect();
+        let [problem, family, n, replicate] = parts[..] else {
+            return Err(ImportSkip::Unreadable);
+        };
+        let cell = Scenario {
+            problem: parse_workload(problem).ok_or(ImportSkip::Unreadable)?,
+            family: parse_family(family).ok_or(ImportSkip::Unreadable)?,
+            n: n.strip_prefix('n').and_then(|v| v.parse().ok()).ok_or(ImportSkip::Unreadable)?,
+            replicate: replicate
+                .strip_prefix('r')
+                .and_then(|v| v.parse().ok())
+                .ok_or(ImportSkip::Unreadable)?,
+        };
+        let result = value
+            .get("cell")
+            .and_then(|cell| CellResult::from_value(cell).ok())
+            .ok_or(ImportSkip::Unreadable)?;
+        Ok((cell, result))
+    };
+    let (cell, result) = match parse() {
+        Ok(parsed) => parsed,
+        Err(skip) => return Ok(Err(skip)),
+    };
+    if cell.cell_seed(base_seed) != result.seed {
+        return Ok(Err(ImportSkip::Seed));
+    }
+    if store.load_columns(&cell, base_seed).is_some() {
+        return Ok(Err(ImportSkip::Present));
+    }
+    ResultStore::store(store, &cell, base_seed, &result)
+        .map_err(|e| format!("cannot store {}: {e}", cell.label()))?;
+    Ok(Ok(()))
+}
+
+/// `sweep store import CACHE_DIR --store DIR [--base-seed S]`: converts a legacy JSON
+/// cache into the segmented binary store, entry by entry, verifying each entry's code
+/// version and derived seed so a foreign or stale entry can never be served later.
+fn store_import(cache_dir: &str, store_dir: &str, base_seed: u64) -> Result<(), String> {
+    let store =
+        BinaryStore::open(store_dir).map_err(|e| format!("cannot open store {store_dir}: {e}"))?;
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(cache_dir)
+        .map_err(|e| format!("cannot read cache {cache_dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| path.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    paths.sort();
+    let (mut imported, mut version, mut seed, mut unreadable, mut present) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for path in &paths {
+        match import_entry(&store, path, base_seed)? {
+            Ok(()) => imported += 1,
+            Err(ImportSkip::Version) => version += 1,
+            Err(ImportSkip::Seed) => seed += 1,
+            Err(ImportSkip::Unreadable) => unreadable += 1,
+            Err(ImportSkip::Present) => present += 1,
+        }
+    }
+    let stats = store.stats();
+    println!(
+        "store import: {imported} cells imported into {} ({} segments, {} bytes appended); \
+         skipped {version} foreign-version, {seed} seed-mismatched (base seed {base_seed}), \
+         {unreadable} unreadable, {present} already present",
+        store.dir().display(),
+        stats.segments,
+        stats.bytes_appended
+    );
+    Ok(())
+}
+
+/// A deterministic synthetic result for `sweep store bench` — realistic field shapes
+/// without running any algorithm.
+fn synthetic_result(cell: &Scenario, seed: u64) -> CellResult {
+    let r = cell.replicate;
+    let uniform_rounds = 40 + r % 17;
+    let nonuniform_rounds = 20 + r % 7;
+    CellResult {
+        problem: cell.problem.name().to_string(),
+        family: cell.family.name().to_string(),
+        requested_n: cell.n,
+        n: cell.n,
+        edges: cell.n * 3,
+        replicate: r,
+        seed,
+        uniform_rounds,
+        uniform_messages: uniform_rounds * cell.n as u64,
+        nonuniform_rounds,
+        nonuniform_messages: nonuniform_rounds * cell.n as u64,
+        overhead_ratio: uniform_rounds as f64 / nonuniform_rounds.max(1) as f64,
+        subiterations: 3,
+        solved: true,
+        valid: true,
+        wall_micros: 100 + r % 900,
+        attempt_micros: 80 + r % 700,
+        prune_micros: 10 + r % 90,
+        instance_micros: 5,
+    }
+}
+
+/// `sweep store bench [--cells N] [--dir DIR] [--json PATH]`: measures binary-store
+/// append / reopen / columnar-scan / row-scan throughput against the JSON cache on the
+/// same synthetic grid, and optionally writes the numbers as a JSON benchmark artifact.
+fn store_bench(cells: usize, dir: &str, json: Option<&str>) -> Result<(), String> {
+    use std::time::Instant;
+    let base = std::path::PathBuf::from(dir);
+    let store_dir = base.join("bench-store");
+    let cache_dir = base.join("bench-cache");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    // One synthetic grid: replicate is the only varying axis, so cell identities (and
+    // store keys) are unique while staying cheap to generate at 10^5+ scale.
+    let scenarios: Vec<Scenario> = (0..cells)
+        .map(|r| Scenario {
+            problem: parse_workload("mis").expect("mis is registered"),
+            family: parse_family("sparse-gnp").expect("sparse-gnp is registered"),
+            n: 64,
+            replicate: r as u64,
+        })
+        .collect();
+    let results: Vec<CellResult> =
+        scenarios.iter().map(|cell| synthetic_result(cell, cell.cell_seed(0))).collect();
+
+    let timed = |label: &str, f: &mut dyn FnMut() -> Result<(), String>| -> Result<f64, String> {
+        let started = Instant::now();
+        f()?;
+        let secs = started.elapsed().as_secs_f64().max(1e-9);
+        println!(
+            "store bench: {label:<22} {:>10.3} s  ({:>12.0} cells/s)",
+            secs,
+            cells as f64 / secs
+        );
+        Ok(secs)
+    };
+
+    let cache = SweepCache::new(&cache_dir);
+    let json_write = timed("json-cache write", &mut || {
+        for (cell, result) in scenarios.iter().zip(&results) {
+            cache.store(cell, 0, result).map_err(|e| format!("cache write failed: {e}"))?;
+        }
+        Ok(())
+    })?;
+    let json_read = timed("json-cache row scan", &mut || {
+        for cell in &scenarios {
+            cache.load(cell, 0).ok_or("cache read missed a written cell")?;
+        }
+        Ok(())
+    })?;
+
+    let store =
+        BinaryStore::open(&store_dir).map_err(|e| format!("cannot open bench store: {e}"))?;
+    let bin_append = timed("store append", &mut || {
+        for (cell, result) in scenarios.iter().zip(&results) {
+            ResultStore::store(&store, cell, 0, result)
+                .map_err(|e| format!("store append failed: {e}"))?;
+        }
+        Ok(())
+    })?;
+    let segments = store.stats().segments;
+    drop(store);
+    let mut reopened = None;
+    let bin_open = timed("store reopen (index)", &mut || {
+        reopened = Some(
+            BinaryStore::open(&store_dir).map_err(|e| format!("cannot reopen bench store: {e}"))?,
+        );
+        Ok(())
+    })?;
+    let store = reopened.expect("reopen populated the store");
+    let bin_columns = timed("store columnar scan", &mut || {
+        for cell in &scenarios {
+            store.load_columns(cell, 0).ok_or("columnar scan missed a written cell")?;
+        }
+        Ok(())
+    })?;
+    let bin_rows = timed("store row scan", &mut || {
+        for cell in &scenarios {
+            ResultStore::load(&store, cell, 0).ok_or("row scan missed a written cell")?;
+        }
+        Ok(())
+    })?;
+
+    // The headline ratio: one write-everything-then-summarize pass, JSON cache over
+    // binary store (columnar readback) — >1 means the store is faster end to end.
+    let ratio = (json_write + json_read) / (bin_append + bin_open + bin_columns);
+    println!(
+        "store bench: {cells} cells in {segments} segments; index rebuild {} us; \
+         json-cache/store wall ratio {ratio:.2}x",
+        store.stats().index_rebuild_micros
+    );
+    if let Some(path) = json {
+        let artifact = format!(
+            "{{\n  \"cells\": {cells},\n  \"segments\": {segments},\n  \
+             \"store_append_cells_per_s\": {:.0},\n  \"store_reopen_s\": {bin_open:.6},\n  \
+             \"store_columnar_scan_cells_per_s\": {:.0},\n  \
+             \"store_row_scan_cells_per_s\": {:.0},\n  \
+             \"json_cache_write_cells_per_s\": {:.0},\n  \
+             \"json_cache_row_scan_cells_per_s\": {:.0},\n  \
+             \"json_cache_over_store_wall_ratio\": {ratio:.3}\n}}\n",
+            cells as f64 / bin_append,
+            cells as f64 / bin_columns,
+            cells as f64 / bin_rows,
+            cells as f64 / json_write,
+            cells as f64 / json_read,
+        );
+        std::fs::write(path, artifact).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote benchmark JSON to {path}");
+    }
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    Ok(())
+}
+
+/// The `sweep store …` subcommand family: `import` migrates a JSON cache into the binary
+/// store, `bench` measures the store against the JSON cache on a synthetic grid.
+fn store_main(raw: &[String]) -> ExitCode {
+    let get = |flag: &str| raw.iter().position(|a| a == flag).and_then(|i| raw.get(i + 1));
+    let outcome = match raw.first().map(String::as_str) {
+        Some("import") => {
+            let Some(cache_dir) = raw.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!(
+                    "sweep store import: missing cache directory (usage: sweep store import \
+                     CACHE_DIR --store DIR [--base-seed S])"
+                );
+                return ExitCode::FAILURE;
+            };
+            let Some(store_dir) = get("--store") else {
+                eprintln!("sweep store import: missing --store DIR");
+                return ExitCode::FAILURE;
+            };
+            let base_seed = match get("--base-seed").map(|v| v.parse::<u64>()) {
+                Some(Ok(seed)) => seed,
+                Some(Err(e)) => {
+                    eprintln!("sweep store import: bad --base-seed: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => 0,
+            };
+            store_import(cache_dir, store_dir, base_seed)
+        }
+        Some("bench") => {
+            let cells = match get("--cells").map(|v| v.parse::<usize>()) {
+                Some(Ok(cells)) => cells.max(1),
+                Some(Err(e)) => {
+                    eprintln!("sweep store bench: bad --cells: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => 10_000,
+            };
+            let dir = get("--dir").map(String::as_str).unwrap_or("target/store-bench");
+            store_bench(cells, dir, get("--json").map(String::as_str))
+        }
+        _ => {
+            eprintln!(
+                "sweep store: expected a subcommand — import CACHE_DIR --store DIR \
+                 [--base-seed S], or bench [--cells N] [--dir DIR] [--json PATH]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("sweep store: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// `--dry-run`: predict, order, print — execute nothing. The printed plan mirrors a real
-/// sweep exactly: cached cells are served from disk (and calibrate the model), so only the
+/// sweep exactly: stored cells are served from disk (and calibrate the model), so only the
 /// *missed* cells appear in the LPT execution order.
-fn dry_run(grid: &ScenarioGrid, cache: Option<&SweepCache>) -> ExitCode {
+fn dry_run(grid: &ScenarioGrid, store: Option<&dyn ResultStore>) -> ExitCode {
     let cells = grid.cells();
     let mut model = CostModel::new();
     let mut missed = Vec::new();
     for (i, cell) in cells.iter().enumerate() {
-        match cache.and_then(|cache| cache.load(cell, grid.base_seed)) {
+        match store.and_then(|store| store.load(cell, grid.base_seed)) {
             Some(hit) => model.observe(&hit),
             None => missed.push(i),
         }
@@ -468,6 +809,9 @@ fn main() -> ExitCode {
     // `--coordinate ADDR`, `--connect`, `--threads`, `--io-deadline-ms`,
     // `--stripes-per-peer`, and `--faults`.
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("store") {
+        return store_main(&raw[1..]);
+    }
     if raw.iter().any(|a| a == "--worker") {
         let threads = raw
             .iter()
@@ -541,10 +885,29 @@ fn main() -> ExitCode {
         .sizes(args.sizes)
         .replicates(args.seeds)
         .base_seed(args.base_seed);
-    let cache = args.cache_dir.as_ref().map(SweepCache::new);
+    // One result store behind the trait: the segmented binary store when --store is
+    // given, the legacy one-file-per-cell JSON cache otherwise. The concrete binary
+    // handle is kept alongside for its stats counters (summary line, --progress HUD).
+    let binary: Option<Arc<BinaryStore>> = match &args.store_dir {
+        Some(dir) => match BinaryStore::open(dir) {
+            Ok(store) => Some(Arc::new(store)),
+            Err(e) => {
+                eprintln!("sweep: cannot open --store {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let store: Option<Arc<dyn ResultStore>> = match &binary {
+        Some(binary) => Some(Arc::clone(binary) as Arc<dyn ResultStore>),
+        None => args
+            .cache_dir
+            .as_ref()
+            .map(|dir| Arc::new(SweepCache::new(dir)) as Arc<dyn ResultStore>),
+    };
 
     if args.dry_run {
-        let code = dry_run(&grid, cache.as_ref());
+        let code = dry_run(&grid, store.as_deref());
         if let Err(message) = write_trace_outputs(&args.trace, &args.trace_events) {
             eprintln!("sweep: {message}");
             return ExitCode::FAILURE;
@@ -583,6 +946,18 @@ fn main() -> ExitCode {
     );
 
     let meter = args.progress.then(ProgressMeter::new);
+    if let (Some(meter), Some(binary)) = (&meter, &binary) {
+        let handle = Arc::clone(binary);
+        meter.set_store_status(Arc::new(move || {
+            let stats = handle.stats();
+            format!(
+                "store: {} seg, {} rec, {} hit",
+                stats.segments,
+                stats.records_indexed + stats.records_appended,
+                handle.hits()
+            )
+        }));
+    }
     let mut sweep = Sweep::over(&grid);
     sweep = match args.backend {
         BackendKind::InProcess => sweep.backend(InProcessBackend::new(args.threads.unwrap_or(0))),
@@ -630,8 +1005,8 @@ fn main() -> ExitCode {
     if let Some(meter) = &meter {
         sweep = sweep.progress(meter.clone());
     }
-    if let Some(cache) = cache.clone() {
-        sweep = sweep.cache(cache);
+    if let Some(store) = store.clone() {
+        sweep = sweep.store(store);
     }
     if args.stream {
         sweep = sweep.streaming();
@@ -655,7 +1030,7 @@ fn main() -> ExitCode {
         };
         if args.stream {
             for cell in grid.cells() {
-                if let Some(c) = cache.as_ref().and_then(|cache| cache.load(&cell, grid.base_seed))
+                if let Some(c) = store.as_ref().and_then(|store| store.load(&cell, grid.base_seed))
                 {
                     fold(&c);
                 }
@@ -680,6 +1055,23 @@ fn main() -> ExitCode {
         report.total_wall_micros as f64 / 1000.0,
         invalid
     );
+    if let Some(binary) = &binary {
+        // The store's on-disk shape and this run's traffic. A fully-columnar streamed
+        // re-sweep prints `rows materialized 0` — soak scripts assert on it.
+        let stats = binary.stats();
+        println!(
+            "store: {} segments, {} records ({} appended, {} bytes written), index rebuild \
+             {} us, {} hits, {} misses, rows materialized {}",
+            stats.segments,
+            stats.records_indexed + stats.records_appended,
+            stats.records_appended,
+            stats.bytes_appended,
+            stats.index_rebuild_micros,
+            binary.hits(),
+            binary.misses(),
+            binary.rows_materialized()
+        );
+    }
     if args.backend == BackendKind::Network
         || args.backend == BackendKind::Coordinator
         || !fault_plan.is_empty()
@@ -719,10 +1111,11 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &args.csv {
         let csv = if args.stream {
-            // Streamed cells live in the cache only: rebuild the rows in canonical order.
+            // Streamed cells live in the result store only: rebuild the rows in canonical
+            // order.
             match streamed_csv(
                 &grid,
-                cache.as_ref().expect("--stream implies cache"),
+                store.as_deref().expect("--stream implies a store"),
                 args.profile,
                 args.deterministic,
             ) {
@@ -748,7 +1141,7 @@ fn main() -> ExitCode {
         let folded = if local_obs::is_enabled() {
             local_obs::snapshot().to_folded()
         } else if args.stream {
-            match streamed_folded(&grid, cache.as_ref().expect("--stream implies cache")) {
+            match streamed_folded(&grid, store.as_deref().expect("--stream implies a store")) {
                 Ok(folded) => folded,
                 Err(message) => {
                     eprintln!("sweep: {message}");
@@ -804,20 +1197,20 @@ fn write_trace_outputs(
     Ok(())
 }
 
-/// Reads every cell of `grid` back from the cache (a streamed sweep just wrote them) and
-/// renders CSV rows in canonical order, never holding more than one cell.
+/// Reads every cell of `grid` back from the result store (a streamed sweep just wrote
+/// them) and renders CSV rows in canonical order, never holding more than one cell.
 fn streamed_csv(
     grid: &ScenarioGrid,
-    cache: &SweepCache,
+    store: &dyn ResultStore,
     profile: bool,
     deterministic: bool,
 ) -> Result<String, String> {
     let mut out = local_engine::CellResult::csv_header(profile);
     out.push('\n');
     for cell in grid.cells() {
-        let mut result = cache
-            .load(&cell, grid.base_seed)
-            .ok_or_else(|| format!("cache is missing streamed cell {}", cell.label()))?;
+        let mut result = store.load(&cell, grid.base_seed).ok_or_else(|| {
+            format!("{} is missing streamed cell {}", store.describe(), cell.label())
+        })?;
         if deterministic {
             result = result.deterministic_view();
         }
@@ -827,18 +1220,18 @@ fn streamed_csv(
     Ok(out)
 }
 
-/// Folded stacks for a streamed sweep, reading cells back from the cache one at a time.
-fn streamed_folded(grid: &ScenarioGrid, cache: &SweepCache) -> Result<String, String> {
+/// Folded stacks for a streamed sweep, reading cells back from the store one at a time.
+fn streamed_folded(grid: &ScenarioGrid, store: &dyn ResultStore) -> Result<String, String> {
     let mut missing = None;
     let folded = local_engine::report::folded_stacks(grid.cells().into_iter().filter_map(|cell| {
-        let loaded = cache.load(&cell, grid.base_seed);
+        let loaded = store.load(&cell, grid.base_seed);
         if loaded.is_none() && missing.is_none() {
             missing = Some(cell.label());
         }
         loaded
     }));
     match missing {
-        Some(label) => Err(format!("cache is missing streamed cell {label}")),
+        Some(label) => Err(format!("{} is missing streamed cell {label}", store.describe())),
         None => Ok(folded),
     }
 }

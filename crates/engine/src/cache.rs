@@ -17,9 +17,13 @@
 //!   the whole cache at once. Stale files are left on disk and simply never read again;
 //!   delete the directory to reclaim space.
 //!
-//! The store is deliberately plain — one file per cell, atomic-enough via rename-free
-//! single `write` calls, no index — so concurrent workers can write distinct cells without
-//! coordination and a crashed sweep leaves a valid partial cache.
+//! The store is deliberately plain — one file per cell, written to a temp file and
+//! renamed into place, no index — so concurrent workers can write distinct cells without
+//! coordination and a writer killed mid-write can never leave a torn file behind (a torn
+//! file would otherwise parse as a miss *forever*, silently re-executing its cell on every
+//! sweep). At million-cell scale the one-file-per-cell layout hits filesystem-metadata
+//! limits; `crate::store::BinaryStore` is the segmented replacement behind the same
+//! [`crate::store::ResultStore`] trait.
 
 use crate::report::CellResult;
 use crate::scenario::Scenario;
@@ -111,6 +115,11 @@ impl SweepCache {
     /// Persists `result` as the cached outcome of `cell`. Creates the cache directory on
     /// first use. Errors are returned (the scheduler downgrades them to warnings — the cache
     /// is an accelerator, not a correctness dependency).
+    ///
+    /// The write is atomic: the entry lands in a process-unique temp file first and is
+    /// renamed onto its final name, so a writer killed mid-write leaves no torn file (which
+    /// would parse as a permanent miss) and concurrent writers of the same cell can only
+    /// race whole, identical entries.
     pub fn store(
         &self,
         cell: &Scenario,
@@ -125,7 +134,10 @@ impl SweepCache {
         ]);
         let text = serde_json::to_string_pretty(&Wrapped(envelope))
             .map_err(|e| std::io::Error::other(e.to_string()))?;
-        std::fs::write(self.path(self.key(cell, base_seed)), text)
+        let path = self.path(self.key(cell, base_seed));
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, &path)
     }
 }
 
@@ -243,6 +255,42 @@ mod tests {
         let path = cache.path(cache.key(&cell, 1));
         std::fs::write(&path, "{ not json").unwrap();
         assert!(cache.load(&cell, 1).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entries_miss_and_a_restore_repairs_them() {
+        // A file torn at any prefix (the failure mode the temp+rename write prevents) must
+        // read as a miss, and storing again must fully repair the entry.
+        let dir = temp_dir("truncated");
+        let cache = SweepCache::new(&dir);
+        let cell = sample_cell();
+        cache.store(&cell, 1, &sample_result()).unwrap();
+        let path = cache.path(cache.key(&cell, 1));
+        let full = std::fs::read_to_string(&path).unwrap();
+        for cut in [0, 1, full.len() / 2, full.len() - 1] {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(cache.load(&cell, 1).is_none(), "cut at {cut} must miss");
+            cache.store(&cell, 1, &sample_result()).unwrap();
+            assert_eq!(cache.load(&cell, 1), Some(sample_result()), "re-store must repair");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stores_leave_no_temp_files_behind() {
+        let dir = temp_dir("no-temps");
+        let cache = SweepCache::new(&dir);
+        let cell = sample_cell();
+        cache.store(&cell, 1, &sample_result()).unwrap();
+        cache.store(&cell, 1, &sample_result()).unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| !name.ends_with(".json"))
+            .collect();
+        assert!(leftovers.is_empty(), "non-JSON leftovers: {leftovers:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

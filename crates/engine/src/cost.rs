@@ -67,6 +67,20 @@ impl CostModel {
         );
     }
 
+    /// Feeds one observed cell back by its scenario and wall time alone — the columnar
+    /// twin of [`CostModel::observe`] for store scans that never materialize a
+    /// [`CellResult`]. The scenario carries canonical specs already, so this is numerically
+    /// identical to `observe` on the result the scenario produced.
+    pub fn observe_scenario(&mut self, cell: &Scenario, wall_micros: u64) {
+        let predicted = CostModel::base_cost(&cell.problem, &cell.family, cell.n);
+        self.observe_group(
+            cell.problem.name(),
+            cell.family.name(),
+            wall_micros.max(1) as f64,
+            predicted,
+        );
+    }
+
     /// Feeds one pre-summed calibration group back into the model. This is the merge
     /// primitive of distributed calibration: a worker process sums its own observations per
     /// `(problem, family)` and ships the sums home, where [`CostModel::merge`] folds them in
@@ -237,6 +251,18 @@ mod tests {
                 < 0.5
         );
         assert_eq!(model.predict(&d4), before);
+    }
+
+    #[test]
+    fn observe_scenario_is_numerically_identical_to_observe() {
+        let scenario = cell("mis", "gnp-avg8", 128);
+        let result = sample(&scenario, 4.0);
+        let mut by_result = CostModel::new();
+        by_result.observe(&result);
+        let mut by_scenario = CostModel::new();
+        by_scenario.observe_scenario(&scenario, result.wall_micros);
+        assert_eq!(by_result.observations(), by_scenario.observations());
+        assert_eq!(by_result.predict(&scenario), by_scenario.predict(&scenario));
     }
 
     #[test]

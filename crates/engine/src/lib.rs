@@ -24,6 +24,10 @@
 //!   [`local_graphs::InstanceKey`], and the [`ProcessBackend`] that fans serialized
 //!   [`CellShard`]s out to `sweep --worker` subprocesses and merges their result streams
 //!   (re-running in-process whatever a failed worker leaves behind).
+//! * [`store`] — persistence behind the [`ResultStore`] trait: the JSON-file
+//!   [`SweepCache`] and the [`BinaryStore`] (the `local-store` append-only segmented
+//!   store) both serve and absorb cells for every backend; the binary store also answers
+//!   columnar probes so streamed summaries fold without materializing rows.
 //! * [`report`] — aggregation: per-cell [`CellResult`]s folded into per-group
 //!   [`GroupSummary`]s (mean/p50/p99 rounds, uniform-over-non-uniform overhead ratios),
 //!   serialized to JSON or CSV.
@@ -60,6 +64,7 @@ pub mod registry;
 pub mod report;
 pub mod scenario;
 pub mod scheduler;
+pub mod store;
 pub mod workloads;
 
 pub use backend::{
@@ -72,7 +77,10 @@ pub use progress::ProgressMeter;
 pub use registry::{
     default_workloads, parse_workload, render_listing, workload, WorkloadEntry, WORKLOAD_ENTRIES,
 };
-pub use report::{folded_stacks, summarize, CellResult, GroupSummary, Report, SummaryAccumulator};
+pub use report::{
+    folded_stacks, summarize, CellColumns, CellResult, GroupSummary, Report, SummaryAccumulator,
+};
 pub use scenario::{parse_sizes, Scenario, ScenarioGrid};
 pub use scheduler::{run_cell, run_cell_in, run_grid, Instance, Sweep, SweepConfig};
+pub use store::{report_from_store, BinaryStore, ResultStore};
 pub use workloads::{MeasuredRun, Workload, WorkloadSpec};

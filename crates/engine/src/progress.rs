@@ -33,6 +33,9 @@ struct Inner {
     predicted_done: Mutex<f64>,
     /// Per-worker completed-cell counts, keyed by worker label.
     workers: Mutex<BTreeMap<String, u64>>,
+    /// Live result-store status callback (segments/records/hit counters), appended at the
+    /// end of the status line when a store is attached.
+    store_status: Mutex<Option<Arc<dyn Fn() -> String + Send + Sync>>>,
     last_render: Mutex<Instant>,
 }
 
@@ -60,6 +63,7 @@ impl ProgressMeter {
                 predicted: Mutex::new(Vec::new()),
                 predicted_done: Mutex::new(0.0),
                 workers: Mutex::new(BTreeMap::new()),
+                store_status: Mutex::new(None),
                 last_render: Mutex::new(Instant::now() - Duration::from_secs(1)),
             }),
         }
@@ -95,6 +99,12 @@ impl ProgressMeter {
         *entry = (*entry).max(cells_done);
     }
 
+    /// Attaches a result-store status callback; its output is appended verbatim to the
+    /// end of every rendered status line (e.g. `store: 2 seg, 120 rec, 80 hit`).
+    pub fn set_store_status(&self, status: Arc<dyn Fn() -> String + Send + Sync>) {
+        *self.inner.store_status.lock().expect("store status poisoned") = Some(status);
+    }
+
     /// Renders a final status line and moves to a fresh line.
     pub fn finish(&self) {
         self.render(true);
@@ -122,6 +132,11 @@ impl ProgressMeter {
             for (worker, cells) in workers.iter() {
                 line.push_str(&format!(" {worker}:{cells}"));
             }
+        }
+        drop(workers);
+        let store_status = self.inner.store_status.lock().expect("store status poisoned");
+        if let Some(status) = store_status.as_ref() {
+            line.push_str(&format!(" | {}", status()));
         }
         line
     }
@@ -203,6 +218,16 @@ mod tests {
         let elapsed = meter.inner.started.elapsed().as_secs_f64();
         let ratio = eta / elapsed.max(1e-9);
         assert!((9.0..11.0).contains(&ratio), "eta/elapsed = {ratio}");
+    }
+
+    #[test]
+    fn store_status_is_appended_at_the_end_of_the_line() {
+        let meter = ProgressMeter::new();
+        meter.begin(4, 1, vec![100.0; 3]);
+        meter.set_store_status(Arc::new(|| "store: 1 seg, 2 rec, 1 hit".to_string()));
+        let line = meter.status_line();
+        assert!(line.starts_with("sweep: 1/4 cells"), "{line}");
+        assert!(line.ends_with(" | store: 1 seg, 2 rec, 1 hit"), "{line}");
     }
 
     #[test]

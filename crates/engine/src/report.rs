@@ -112,6 +112,45 @@ impl CellResult {
     }
 }
 
+/// The per-cell numeric columns a summary consumes — everything a
+/// [`SummaryAccumulator`] needs, without the strings or phase timings of a full
+/// [`CellResult`]. The binary result store decodes these directly from fixed offsets in a
+/// record, so columnar report scans never materialize `CellResult` rows at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellColumns {
+    /// Rounds of the transformed uniform algorithm.
+    pub uniform_rounds: u64,
+    /// Messages delivered by the uniform algorithm's black-box attempts.
+    pub uniform_messages: u64,
+    /// Rounds of the non-uniform baseline.
+    pub nonuniform_rounds: u64,
+    /// Messages delivered by the non-uniform baseline.
+    pub nonuniform_messages: u64,
+    /// `uniform_rounds / max(nonuniform_rounds, 1)`.
+    pub overhead_ratio: f64,
+    /// Wall-clock execution time of the cell, in microseconds.
+    pub wall_micros: u64,
+    /// Whether the uniform driver terminated on its own.
+    pub solved: bool,
+    /// Whether the outputs validated.
+    pub valid: bool,
+}
+
+impl From<&CellResult> for CellColumns {
+    fn from(cell: &CellResult) -> CellColumns {
+        CellColumns {
+            uniform_rounds: cell.uniform_rounds,
+            uniform_messages: cell.uniform_messages,
+            nonuniform_rounds: cell.nonuniform_rounds,
+            nonuniform_messages: cell.nonuniform_messages,
+            overhead_ratio: cell.overhead_ratio,
+            wall_micros: cell.wall_micros,
+            solved: cell.solved,
+            valid: cell.valid,
+        }
+    }
+}
+
 /// The summary of one `(problem, family)` group of cells.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct GroupSummary {
@@ -159,7 +198,9 @@ fn csv_escape(field: &str) -> String {
     }
 }
 
-/// `q`-th percentile (nearest-rank) of an already sorted slice.
+/// `q`-th percentile (nearest-rank) of an already sorted slice — the reference
+/// the histogram walk in [`percentile_hist`] is checked against.
+#[cfg(test)]
 fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
@@ -170,16 +211,19 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 
 /// Streaming group statistics: everything a [`GroupSummary`] needs, kept per group while
 /// cells are folded in one at a time and the full results are dropped (or never held — the
-/// streaming scheduler writes them straight to the sweep cache).
+/// streaming scheduler writes them straight to the result store).
 ///
-/// Memory is `O(groups + cells)` *words* (one `u64` of rounds per cell for the exact
-/// percentiles), not `O(cells)` full `CellResult`s with their strings.
+/// Rounds are kept as a value→count histogram rather than one word per cell, so memory is
+/// `O(groups × distinct round values)` — effectively `O(columns)` for million-cell sweeps,
+/// where round counts repeat heavily — while the exact nearest-rank percentiles are
+/// unchanged.
 #[derive(Debug, Default)]
 struct GroupStats {
     cells: usize,
     valid_cells: usize,
     solved_cells: usize,
-    rounds: Vec<u64>,
+    rounds_hist: std::collections::BTreeMap<u64, u64>,
+    rounds_sum: u64,
     overhead_sum: f64,
     overhead_max: f64,
     message_ratio_sum: f64,
@@ -188,19 +232,88 @@ struct GroupStats {
     wall_micros: u64,
 }
 
-/// Folds [`CellResult`]s into per-`(problem, family)` [`GroupSummary`]s incrementally, in
+impl GroupStats {
+    fn apply(&mut self, stat: CellStat) {
+        self.cells += 1;
+        self.valid_cells += usize::from(stat.valid);
+        self.solved_cells += usize::from(stat.solved);
+        *self.rounds_hist.entry(stat.rounds).or_default() += 1;
+        self.rounds_sum += stat.rounds;
+        self.overhead_sum += stat.overhead_ratio;
+        self.overhead_max = self.overhead_max.max(stat.overhead_ratio);
+        self.message_ratio_sum += stat.message_ratio;
+        self.uniform_messages += stat.uniform_messages;
+        self.nonuniform_messages += stat.nonuniform_messages;
+        self.wall_micros += stat.wall_micros;
+    }
+}
+
+/// `q`-th percentile (nearest-rank) over a value→count histogram holding `total` samples;
+/// identical to [`percentile`] over the expanded sorted multiset.
+fn percentile_hist(hist: &std::collections::BTreeMap<u64, u64>, total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut cumulative = 0u64;
+    for (&value, &count) in hist {
+        cumulative += count;
+        if cumulative >= rank {
+            return value;
+        }
+    }
+    hist.keys().next_back().copied().unwrap_or(0)
+}
+
+/// A cell waiting for its canonical position to come up (see
+/// [`SummaryAccumulator::fold_columns_at`]); ordered by position only.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    position: usize,
+    slot: usize,
+    stat: CellStat,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.position == other.position
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.position.cmp(&other.position)
+    }
+}
+
+/// Folds cells into per-`(problem, family)` [`GroupSummary`]s incrementally, in
 /// first-appearance order of the groups. [`summarize`] is the one-shot wrapper; the
 /// streaming scheduler feeds cells as they complete (after pre-registering the groups in
 /// canonical order so completion order cannot reorder the report).
+///
+/// Cells are applied to the group statistics strictly in canonical-position order: an
+/// advancing cursor applies in-order arrivals immediately, and out-of-order arrivals wait
+/// in a min-heap keyed by position. Floating-point accumulation order — and therefore the
+/// summary bytes — are identical no matter what order cells complete in, while memory
+/// stays proportional to the reorder window instead of the whole sweep.
 #[derive(Debug, Default)]
 pub struct SummaryAccumulator {
     index: std::collections::HashMap<(String, String), usize>,
     groups: Vec<((String, String), GroupStats)>,
-    /// Compact per-cell records `(canonical position, group slot, stats)`; folded into the
-    /// groups at [`SummaryAccumulator::finish`] in position order, so the floating-point
-    /// accumulation order — and therefore the summary bytes — are identical no matter what
-    /// order cells complete in.
-    records: Vec<(usize, usize, CellStat)>,
+    /// Next canonical position to apply.
+    cursor: usize,
+    /// Cells folded so far (assigns sequential positions for plain [`SummaryAccumulator::fold`]).
+    submitted: usize,
+    /// Out-of-order arrivals, min-heap by canonical position.
+    pending: std::collections::BinaryHeap<std::cmp::Reverse<Pending>>,
 }
 
 /// The per-cell scalars a summary needs — a fixed few words instead of a [`CellResult`]
@@ -241,53 +354,71 @@ impl SummaryAccumulator {
 
     /// Folds one finished cell into its group, at the next sequential position.
     pub fn fold(&mut self, cell: &CellResult) {
-        let position = self.records.len();
+        let position = self.submitted;
         self.fold_at(position, cell);
     }
 
     /// Folds one finished cell with an explicit canonical position (streaming schedulers
     /// pass the cell's grid index, so out-of-order completion cannot perturb the report).
     pub fn fold_at(&mut self, position: usize, cell: &CellResult) {
-        let slot = self.slot(&cell.problem, &cell.family);
-        self.records.push((
-            position,
-            slot,
-            CellStat {
-                rounds: cell.uniform_rounds,
-                overhead_ratio: cell.overhead_ratio,
-                message_ratio: cell.uniform_messages as f64
-                    / cell.nonuniform_messages.max(1) as f64,
-                uniform_messages: cell.uniform_messages,
-                nonuniform_messages: cell.nonuniform_messages,
-                wall_micros: cell.wall_micros,
-                valid: cell.valid,
-                solved: cell.solved,
-            },
-        ));
+        self.fold_columns_at(position, &cell.problem, &cell.family, &CellColumns::from(cell));
+    }
+
+    /// Folds one cell from its numeric columns alone — the columnar path: store scans
+    /// decode [`CellColumns`] straight off fixed record offsets and feed them here, so a
+    /// full-grid report never materializes a [`CellResult`] row.
+    pub fn fold_columns_at(
+        &mut self,
+        position: usize,
+        problem: &str,
+        family: &str,
+        columns: &CellColumns,
+    ) {
+        let slot = self.slot(problem, family);
+        let stat = CellStat {
+            rounds: columns.uniform_rounds,
+            overhead_ratio: columns.overhead_ratio,
+            message_ratio: columns.uniform_messages as f64
+                / columns.nonuniform_messages.max(1) as f64,
+            uniform_messages: columns.uniform_messages,
+            nonuniform_messages: columns.nonuniform_messages,
+            wall_micros: columns.wall_micros,
+            valid: columns.valid,
+            solved: columns.solved,
+        };
+        self.submitted += 1;
+        if position == self.cursor {
+            self.groups[slot].1.apply(stat);
+            self.cursor += 1;
+            while let Some(&std::cmp::Reverse(next)) = self.pending.peek() {
+                if next.position != self.cursor {
+                    break;
+                }
+                self.pending.pop();
+                self.groups[next.slot].1.apply(next.stat);
+                self.cursor += 1;
+            }
+        } else {
+            self.pending.push(std::cmp::Reverse(Pending { position, slot, stat }));
+        }
+    }
+
+    /// Cells folded so far.
+    pub fn folded(&self) -> usize {
+        self.submitted
     }
 
     /// Finishes into the per-group summaries (groups that registered but received no cells
-    /// are dropped — they summarize nothing).
+    /// are dropped — they summarize nothing). Any cells still waiting out of order are
+    /// applied in position order first, tolerating position gaps.
     pub fn finish(mut self) -> Vec<GroupSummary> {
-        self.records.sort_by_key(|&(position, _, _)| position);
-        for &(_, slot, stat) in &self.records {
-            let stats = &mut self.groups[slot].1;
-            stats.cells += 1;
-            stats.valid_cells += usize::from(stat.valid);
-            stats.solved_cells += usize::from(stat.solved);
-            stats.rounds.push(stat.rounds);
-            stats.overhead_sum += stat.overhead_ratio;
-            stats.overhead_max = stats.overhead_max.max(stat.overhead_ratio);
-            stats.message_ratio_sum += stat.message_ratio;
-            stats.uniform_messages += stat.uniform_messages;
-            stats.nonuniform_messages += stat.nonuniform_messages;
-            stats.wall_micros += stat.wall_micros;
+        while let Some(std::cmp::Reverse(next)) = self.pending.pop() {
+            self.groups[next.slot].1.apply(next.stat);
         }
         self.groups
             .into_iter()
             .filter(|(_, stats)| stats.cells > 0)
-            .map(|((problem, family), mut stats)| {
-                stats.rounds.sort_unstable();
+            .map(|((problem, family), stats)| {
                 let count = stats.cells.max(1);
                 GroupSummary {
                     problem,
@@ -295,10 +426,18 @@ impl SummaryAccumulator {
                     cells: stats.cells,
                     valid_cells: stats.valid_cells,
                     solved_cells: stats.solved_cells,
-                    mean_uniform_rounds: stats.rounds.iter().sum::<u64>() as f64 / count as f64,
-                    p50_uniform_rounds: percentile(&stats.rounds, 0.50),
-                    p99_uniform_rounds: percentile(&stats.rounds, 0.99),
-                    max_uniform_rounds: stats.rounds.last().copied().unwrap_or(0),
+                    mean_uniform_rounds: stats.rounds_sum as f64 / count as f64,
+                    p50_uniform_rounds: percentile_hist(
+                        &stats.rounds_hist,
+                        stats.cells as u64,
+                        0.50,
+                    ),
+                    p99_uniform_rounds: percentile_hist(
+                        &stats.rounds_hist,
+                        stats.cells as u64,
+                        0.99,
+                    ),
+                    max_uniform_rounds: stats.rounds_hist.keys().next_back().copied().unwrap_or(0),
                     mean_overhead_ratio: stats.overhead_sum / count as f64,
                     max_overhead_ratio: stats.overhead_max,
                     total_uniform_messages: stats.uniform_messages,
@@ -619,6 +758,105 @@ mod tests {
         assert_eq!(super::csv_escape("mis"), "mis");
         assert_eq!(super::csv_escape("a,b"), "\"a,b\"");
         assert_eq!(super::csv_escape("q\"t"), "\"q\"\"t\"");
+    }
+
+    #[test]
+    fn histogram_percentiles_match_the_sorted_slice_reference() {
+        let samples: Vec<Vec<u64>> = vec![
+            vec![],
+            vec![7],
+            vec![3, 3, 3],
+            (1..=100).collect(),
+            vec![5, 1, 5, 2, 5, 9, 9, 1],
+            (0..1000).map(|i| i % 17).collect(),
+        ];
+        for sample in samples {
+            let mut sorted = sample.clone();
+            sorted.sort_unstable();
+            let mut hist = std::collections::BTreeMap::new();
+            for &v in &sample {
+                *hist.entry(v).or_insert(0u64) += 1;
+            }
+            for q in [0.0, 0.01, 0.25, 0.50, 0.75, 0.99, 1.0] {
+                assert_eq!(
+                    percentile_hist(&hist, sample.len() as u64, q),
+                    percentile(&sorted, q),
+                    "q={q} sample={sorted:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_order_folds_match_in_order_folds_bytewise() {
+        // Ratios chosen so f64 accumulation order matters if the cursor discipline breaks.
+        let cells: Vec<CellResult> = (0..40)
+            .map(|i| {
+                cell(
+                    "mis",
+                    if i % 3 == 0 { "grid" } else { "path" },
+                    (i * 13) % 29 + 1,
+                    0.1 + (i as f64) * 0.317,
+                    i % 5 != 0,
+                )
+            })
+            .collect();
+        let mut in_order = SummaryAccumulator::new();
+        for c in &cells {
+            in_order.register(&c.problem, &c.family);
+        }
+        for (i, c) in cells.iter().enumerate() {
+            in_order.fold_at(i, c);
+        }
+        let mut scrambled = SummaryAccumulator::new();
+        for c in &cells {
+            scrambled.register(&c.problem, &c.family);
+        }
+        // A deterministic permutation with plenty of reordering (stride coprime to 40).
+        for k in 0..cells.len() {
+            let i = (k * 23) % cells.len();
+            scrambled.fold_at(i, &cells[i]);
+        }
+        assert_eq!(scrambled.folded(), cells.len());
+        let a = in_order.finish();
+        let b = scrambled.finish();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn columnar_folds_match_row_folds_bytewise() {
+        let cells: Vec<CellResult> = (0..24)
+            .map(|i| cell("mis", "grid", (i * 7) % 13 + 1, 0.3 + i as f64 * 0.211, i % 4 != 0))
+            .collect();
+        let mut rows = SummaryAccumulator::new();
+        let mut columns = SummaryAccumulator::new();
+        for (i, c) in cells.iter().enumerate() {
+            rows.fold_at(i, c);
+            columns.fold_columns_at(i, &c.problem, &c.family, &CellColumns::from(c));
+        }
+        let a = rows.finish();
+        let b = columns.finish();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string_pretty(&a).unwrap(),
+            serde_json::to_string_pretty(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn finish_tolerates_position_gaps() {
+        // Streaming over a partial grid (some positions never folded) must still finish.
+        let mut accumulator = SummaryAccumulator::new();
+        accumulator.fold_at(3, &cell("mis", "grid", 10, 2.0, true));
+        accumulator.fold_at(1, &cell("mis", "grid", 30, 4.0, true));
+        let summaries = accumulator.finish();
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].cells, 2);
+        assert_eq!(summaries[0].max_uniform_rounds, 30);
     }
 
     #[test]

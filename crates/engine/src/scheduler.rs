@@ -20,11 +20,12 @@ use crate::cost::CostModel;
 use crate::progress::ProgressMeter;
 use crate::report::{CellResult, Report, SummaryAccumulator};
 use crate::scenario::{Scenario, ScenarioGrid};
+use crate::store::ResultStore;
 use local_graphs::{GraphParams, InstanceKey};
 use local_obs::metrics as obs_metrics;
 use local_runtime::{Graph, Session};
 use std::collections::BTreeSet;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Execution settings of one sweep.
@@ -33,29 +34,36 @@ pub struct SweepConfig {
     /// Worker threads (1 = fully sequential, no worker threads spawned). 0 means "use the
     /// machine's available parallelism".
     pub threads: usize,
-    /// The incremental result cache: cells whose key is already present are served from
-    /// disk, freshly executed cells are written back. `None` disables caching entirely.
-    pub cache: Option<SweepCache>,
+    /// The incremental result store: cells whose key is already present are served from
+    /// disk, freshly executed cells are written back. Either persistence backend fits —
+    /// the legacy JSON [`SweepCache`] or the segmented [`crate::store::BinaryStore`].
+    /// `None` disables result persistence entirely.
+    pub store: Option<Arc<dyn ResultStore>>,
     /// Stream results instead of accumulating them: every executed cell goes straight to
-    /// the cache and is folded into the summaries, and [`Report::cells`] stays empty — the
-    /// sweep's memory footprint no longer grows with the grid. Requires `cache`.
+    /// the store and is folded into the summaries, and [`Report::cells`] stays empty — the
+    /// sweep's memory footprint no longer grows with the grid. Requires `store`.
     pub stream: bool,
 }
 
 impl SweepConfig {
-    /// A configuration with the given thread count (no cache, no streaming); 0 means "use
+    /// A configuration with the given thread count (no store, no streaming); 0 means "use
     /// the machine's available parallelism", as documented on [`SweepConfig::threads`].
     pub fn with_threads(threads: usize) -> Self {
-        SweepConfig { threads, cache: None, stream: false }
+        SweepConfig { threads, store: None, stream: false }
     }
 
-    /// Attaches an incremental sweep cache.
-    pub fn with_cache(mut self, cache: SweepCache) -> Self {
-        self.cache = Some(cache);
+    /// Attaches the legacy JSON sweep cache as the result store.
+    pub fn with_cache(self, cache: SweepCache) -> Self {
+        self.with_store(Arc::new(cache))
+    }
+
+    /// Attaches a result store.
+    pub fn with_store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
-    /// Enables streaming mode (cells go to the cache, not the report).
+    /// Enables streaming mode (cells go to the store, not the report).
     pub fn streaming(mut self) -> Self {
         self.stream = true;
         self
@@ -110,19 +118,19 @@ impl Instance {
 pub struct Sweep<'a> {
     grid: &'a ScenarioGrid,
     backend: Box<dyn ExecBackend + 'a>,
-    cache: Option<SweepCache>,
+    store: Option<Arc<dyn ResultStore>>,
     stream: bool,
     progress: Option<ProgressMeter>,
 }
 
 impl<'a> Sweep<'a> {
     /// A sweep over `grid` with the default backend (in-process, available parallelism),
-    /// no cache, and no streaming.
+    /// no store, and no streaming.
     pub fn over(grid: &'a ScenarioGrid) -> Self {
         Sweep {
             grid,
             backend: Box::new(InProcessBackend::new(0)),
-            cache: None,
+            store: None,
             stream: false,
             progress: None,
         }
@@ -134,16 +142,22 @@ impl<'a> Sweep<'a> {
         self
     }
 
-    /// Attaches an incremental result cache: hits are served from disk (and calibrate the
+    /// Attaches the legacy JSON sweep cache as the incremental result store; see
+    /// [`Sweep::store`].
+    pub fn cache(self, cache: SweepCache) -> Self {
+        self.store(Arc::new(cache))
+    }
+
+    /// Attaches an incremental result store: hits are served from disk (and calibrate the
     /// cost model), fresh results are written back — no matter which backend executed them.
-    pub fn cache(mut self, cache: SweepCache) -> Self {
-        self.cache = Some(cache);
+    pub fn store(mut self, store: Arc<dyn ResultStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
-    /// Enables streaming mode: executed cells go straight to the cache and fold into the
+    /// Enables streaming mode: executed cells go straight to the store and fold into the
     /// summaries at their canonical position; [`Report::cells`] stays empty and memory
-    /// stays flat no matter how large the grid is. Requires a cache.
+    /// stays flat no matter how large the grid is. Requires a store.
     pub fn streaming(mut self) -> Self {
         self.stream = true;
         self
@@ -157,10 +171,10 @@ impl<'a> Sweep<'a> {
     }
 
     /// Applies a [`SweepConfig`]: an [`InProcessBackend`] with its thread count, plus its
-    /// cache and streaming settings.
+    /// store and streaming settings.
     pub fn config(mut self, cfg: &SweepConfig) -> Self {
         self.backend = Box::new(InProcessBackend::new(cfg.threads));
-        self.cache = cfg.cache.clone();
+        self.store = cfg.store.clone();
         self.stream = cfg.stream;
         self
     }
@@ -172,11 +186,13 @@ impl<'a> Sweep<'a> {
 
     /// Runs the sweep and also returns the merged, fully calibrated [`CostModel`].
     ///
-    /// The pipeline is cache- and cost-aware, and backend-agnostic:
+    /// The pipeline is store- and cost-aware, and backend-agnostic:
     ///
-    /// 1. **Cache probe.** With a cache attached, every cell's key is looked up first; hits
+    /// 1. **Store probe.** With a store attached, every cell's key is looked up first; hits
     ///    are served from disk (byte-identical to re-execution — seeds are pure functions
     ///    of cell identity) and *calibrate the cost model* with their observed wall times.
+    ///    In streaming mode the probe is **columnar**: hits fold their summary columns
+    ///    straight into the accumulator, and no hit ever materializes a [`CellResult`] row.
     /// 2. **Cost-ordered sharding.** Missed cells are ordered slowest-first under the
     ///    [`CostModel`] (LPT scheduling minimizes makespan for any pulling executor) and
     ///    packaged into one [`CellShard`] for the backend.
@@ -184,36 +200,70 @@ impl<'a> Sweep<'a> {
     ///    sweep scatters them to canonical positions (collecting mode) or folds them into
     ///    pre-registered summaries (streaming mode), so neither completion order nor the
     ///    choice of backend can perturb the report. Freshly executed cells are written back
-    ///    to the cache as they arrive.
+    ///    to the store as they arrive.
     /// 4. **Calibration merge.** Observations flow home from every worker — thread or
     ///    subprocess — and are merged into the model, which a caller can carry into its
-    ///    next sweep (and which the cache persists implicitly via stored wall times).
+    ///    next sweep (and which the store persists implicitly via stored wall times).
     pub fn run_calibrated(self) -> (Report, CostModel) {
-        // Streaming stores cells nowhere but the cache; without one they would be silently
+        // Streaming stores cells nowhere but the store; without one they would be silently
         // lost, so refuse loudly up front (the CLI rejects the combination at parse time).
         assert!(
-            !self.stream || self.cache.is_some(),
-            "streaming mode requires a cache: streamed cells live in the cache, not in memory"
+            !self.stream || self.store.is_some(),
+            "streaming mode requires a result store: streamed cells live there, not in memory"
         );
         let started = Instant::now();
         let grid = self.grid;
         let cells = grid.cells();
 
-        // Phase 1: probe the incremental cache and calibrate the cost model with the hits.
-        let mut cached: Vec<Option<CellResult>> = match &self.cache {
-            Some(cache) => cells.iter().map(|cell| cache.load(cell, grid.base_seed)).collect(),
-            None => vec![None; cells.len()],
+        // Streaming pre-registers every group in canonical order before anything folds, so
+        // completion order cannot reorder the report.
+        let mut streaming = if self.stream {
+            let mut accumulator = SummaryAccumulator::new();
+            for cell in &cells {
+                accumulator.register(cell.problem.name(), cell.family.name());
+            }
+            Some(accumulator)
+        } else {
+            None
         };
-        let cache_hits = cached.iter().filter(|c| c.is_some()).count();
+
+        // Phase 1: probe the incremental store and calibrate the cost model with the hits.
+        // Streaming probes columns only — hits fold and are dropped, never materialized as
+        // rows; collecting mode keeps the full rows for the report.
+        let mut cached: Vec<Option<CellResult>> = vec![None; cells.len()];
+        let mut hit = vec![false; cells.len()];
         let mut model = CostModel::new();
-        for hit in cached.iter().flatten() {
-            model.observe(hit);
+        if let Some(store) = &self.store {
+            for (i, cell) in cells.iter().enumerate() {
+                match &mut streaming {
+                    Some(accumulator) => {
+                        if let Some(columns) = store.load_columns(cell, grid.base_seed) {
+                            model.observe_scenario(cell, columns.wall_micros);
+                            accumulator.fold_columns_at(
+                                i,
+                                cell.problem.name(),
+                                cell.family.name(),
+                                &columns,
+                            );
+                            hit[i] = true;
+                        }
+                    }
+                    None => {
+                        if let Some(result) = store.load(cell, grid.base_seed) {
+                            model.observe(&result);
+                            cached[i] = Some(result);
+                            hit[i] = true;
+                        }
+                    }
+                }
+            }
         }
+        let cache_hits = hit.iter().filter(|&&h| h).count();
 
         // Phase 2: order the missed cells slowest-first and package them as one shard.
         // `distinct_instances` counts the keys the backend will have to realize; keys are
         // pure functions of cell identity, so no instance is generated here.
-        let missed: Vec<usize> = (0..cells.len()).filter(|&i| cached[i].is_none()).collect();
+        let missed: Vec<usize> = (0..cells.len()).filter(|&i| !hit[i]).collect();
         let distinct_instances = missed
             .iter()
             .map(|&i| cells[i].instance_key(grid.base_seed))
@@ -236,33 +286,24 @@ impl<'a> Sweep<'a> {
             }
         };
 
-        // Phase 3: hand the shard to the backend; write fresh results to the cache and
+        // Phase 3: hand the shard to the backend; write fresh results to the store and
         // land them at their canonical position as they are emitted.
-        let store = |k: usize, result: &CellResult| {
-            if let Some(cache) = &self.cache {
+        let persist = |k: usize, result: &CellResult| {
+            if let Some(store) = &self.store {
                 let cell = &cells[order[k]];
-                if let Err(e) = cache.store(cell, grid.base_seed, result) {
-                    eprintln!("sweep cache: cannot store {}: {e}", cell.label());
+                if let Err(e) = store.store(cell, grid.base_seed, result) {
+                    eprintln!("result store: cannot store {}: {e}", cell.label());
                 }
             }
         };
 
-        if self.stream {
-            // Streaming: pre-register every group in canonical order (completion order must
-            // not reorder the report), fold cells as they finish, and drop them.
-            let mut accumulator = SummaryAccumulator::new();
-            for cell in &cells {
-                accumulator.register(cell.problem.name(), cell.family.name());
-            }
-            for (i, hit) in cached.iter().enumerate() {
-                if let Some(hit) = hit {
-                    accumulator.fold_at(i, hit);
-                }
-            }
+        if let Some(accumulator) = streaming {
+            // Streaming: hits already folded columnar during the probe; fold fresh cells as
+            // they finish, and drop them.
             let folded = std::sync::atomic::AtomicUsize::new(0);
             let accumulator = Mutex::new(accumulator);
             self.backend.run_shard(&shard, &|k, result| {
-                store(k, &result);
+                persist(k, &result);
                 // Folded under the cell's canonical grid index, so completion order cannot
                 // perturb the summary bytes.
                 accumulator
@@ -295,7 +336,7 @@ impl<'a> Sweep<'a> {
         let slots: Vec<Mutex<Option<CellResult>>> =
             order.iter().map(|_| Mutex::new(None)).collect();
         self.backend.run_shard(&shard, &|k, result| {
-            store(k, &result);
+            persist(k, &result);
             *slots[k].lock().expect("result slot poisoned") = Some(result);
             tick(k);
         });

@@ -254,3 +254,59 @@ fn a_late_client_is_served_before_the_early_clients_job_finishes() {
         "alpha's first cell must arrive before beta's job finishes (fair interleaving)"
     );
 }
+
+#[test]
+fn a_store_backed_coordinator_serves_repeat_submissions_without_the_fleet() {
+    use local_engine::{BinaryStore, ResultStore};
+    use std::sync::Arc;
+
+    let _guard = SERIAL.lock().unwrap();
+    local_obs::enable();
+    let dir = std::env::temp_dir().join(format!("coordinator-store-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let grid = ScenarioGrid::new()
+        .problems([workload("mis")])
+        .families([family("sparse-gnp"), Family::Grid.into()])
+        .sizes([30usize, 42])
+        .replicates(2)
+        .base_seed(13);
+    let reference = run_grid(&grid, &SweepConfig::with_threads(1));
+    let store = Arc::new(BinaryStore::open(&dir).expect("store opens"));
+
+    let daemon = Daemon::spawn(None);
+    let config = CoordinatorConfig {
+        fleet: vec![daemon.addr.clone()],
+        rescue_threads: 1,
+        retry_base_ms: 5,
+        retry_cap_ms: 50,
+        max_connect_attempts: 2,
+        store: Some(Arc::clone(&store) as Arc<dyn ResultStore>),
+        ..CoordinatorConfig::default()
+    };
+    let server = CoordinatorServer::bind("127.0.0.1:0", config).expect("coordinator binds");
+    let coordinator = server.local_addr().expect("coordinator has an address").to_string();
+    thread::spawn(move || server.run());
+
+    // First submission runs on the fleet; every fresh cell is written back to the store.
+    let first = Sweep::over(&grid)
+        .backend(CoordinatorBackend::new(coordinator.clone()).client("first"))
+        .run();
+    assert_reports_identical(&reference, &first, "first store-backed submission");
+    assert_eq!(
+        store.stats().records_appended,
+        grid.cell_count() as u64,
+        "every fleet-verified cell must be written back"
+    );
+
+    // Kill the whole fleet. A repeat submission must still be answered, entirely from
+    // the store — no rescue, no daemon.
+    drop(daemon);
+    let (_, rescued0, _) = counters();
+    let second =
+        Sweep::over(&grid).backend(CoordinatorBackend::new(coordinator).client("second")).run();
+    assert_reports_identical(&reference, &second, "store-served submission");
+    let (_, rescued1, _) = counters();
+    assert_eq!(rescued1 - rescued0, 0, "store hits must not touch the rescue path");
+    assert_eq!(store.hits(), grid.cell_count() as u64, "the repeat job hits every cell");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,190 @@
+//! Incremental re-sweeps through the segmented binary store (`--store`): a second
+//! identical sweep is 100 % store hits and byte-identical to the first; the store-backed
+//! report is byte-identical (deterministic view) to the JSON cache's; a streamed re-sweep
+//! summarizes through the columnar path without materializing a single `CellResult` row;
+//! `sweep store import` migrates a JSON cache so the store re-serves its exact bytes; and
+//! the process backend writes through the store like the in-process pool does.
+
+use local_engine::backend::ProcessBackend;
+use local_engine::{
+    report_from_store, run_grid, workload, BinaryStore, ResultStore, ScenarioGrid, Sweep,
+    SweepCache, SweepConfig,
+};
+use local_graphs::{family, Family};
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("store-resweep-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The same grid `cache_resweep.rs` uses, so the two suites pin the same behavior to the
+/// same workload mix: 2 problems × 2 families × 2 sizes × 2 seeds = 16 cells.
+fn small_grid() -> ScenarioGrid {
+    ScenarioGrid::new()
+        .problems([workload("mis"), workload("luby-mis")])
+        .families([Family::SparseGnp.into(), family("gnp-d10")])
+        .sizes([36usize, 48])
+        .replicates(2)
+        .base_seed(5)
+}
+
+fn open_store(dir: &PathBuf) -> Arc<BinaryStore> {
+    Arc::new(BinaryStore::open(dir).expect("store opens"))
+}
+
+#[test]
+fn second_sweep_through_the_store_is_all_hits_and_byte_identical() {
+    let dir = temp_dir("identical");
+    let grid = small_grid();
+    let store = open_store(&dir);
+    let cfg = SweepConfig::with_threads(2).with_store(Arc::clone(&store) as Arc<dyn ResultStore>);
+
+    let first = run_grid(&grid, &cfg);
+    assert_eq!(first.cache_hits, 0, "a cold store must not hit");
+    assert!(first.cells.iter().all(|c| c.valid && c.solved));
+    assert_eq!(
+        store.stats().records_appended,
+        grid.cell_count() as u64,
+        "every executed cell is appended"
+    );
+
+    let second = run_grid(&grid, &cfg);
+    assert_eq!(second.cache_hits, second.cell_count, "a re-sweep must be 100% store hits");
+    assert_eq!(second.distinct_instances, 0, "hits must not regenerate instances");
+    // The merged report is byte-identical: stored cells carry their original measurements.
+    assert_eq!(first.to_csv_with(true), second.to_csv_with(true));
+    assert_eq!(first.summaries, second.summaries);
+    assert_eq!(first.to_folded(), second.to_folded());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_and_json_cache_reports_are_byte_identical() {
+    let cache_dir = temp_dir("vs-cache-json");
+    let store_dir = temp_dir("vs-cache-bin");
+    let grid = small_grid();
+    let through_cache =
+        run_grid(&grid, &SweepConfig::with_threads(2).with_cache(SweepCache::new(&cache_dir)));
+    let through_store = run_grid(
+        &grid,
+        &SweepConfig::with_threads(2).with_store(open_store(&store_dir) as Arc<dyn ResultStore>),
+    );
+    // Two live runs differ only in wall clocks; under the deterministic view the two
+    // persistence backends must be indistinguishable down to the output bytes.
+    assert_eq!(
+        through_cache.deterministic_view().to_json(),
+        through_store.deterministic_view().to_json()
+    );
+    assert_eq!(
+        through_cache.deterministic_view().to_csv_with(true),
+        through_store.deterministic_view().to_csv_with(true)
+    );
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn streamed_columnar_resweep_materializes_no_rows() {
+    let dir = temp_dir("columnar");
+    let grid = small_grid();
+    // Cold streaming run to populate the store.
+    let first = run_grid(
+        &grid,
+        &SweepConfig::with_threads(2)
+            .with_store(open_store(&dir) as Arc<dyn ResultStore>)
+            .streaming(),
+    );
+    assert!(first.cells.is_empty(), "streaming mode must not hold cells in memory");
+
+    // Streamed re-sweep on a fresh handle: every cell is served through the columnar
+    // probe, so the handle must never build a single CellResult row.
+    let reopened = open_store(&dir);
+    let second = run_grid(
+        &grid,
+        &SweepConfig::with_threads(2)
+            .with_store(Arc::clone(&reopened) as Arc<dyn ResultStore>)
+            .streaming(),
+    );
+    assert_eq!(second.cache_hits, second.cell_count, "a re-sweep must be 100% store hits");
+    assert_eq!(
+        reopened.rows_materialized(),
+        0,
+        "the columnar re-sweep path must not materialize rows"
+    );
+    assert_eq!(first.summaries, second.summaries, "columnar folds must match the first run");
+
+    // report_from_store folds the same stored columns in the same canonical order, so its
+    // summaries are byte-identical to the streamed re-sweep's — again without rows.
+    let offline = report_from_store(&grid, reopened.as_ref()).expect("every cell is stored");
+    assert_eq!(offline.summaries, second.summaries);
+    assert_eq!(offline.cache_hits, grid.cell_count());
+    assert_eq!(reopened.rows_materialized(), 0, "report_from_store must stay columnar");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_import_migrates_a_json_cache_byte_identically() {
+    let cache_dir = temp_dir("import-json");
+    let store_dir = temp_dir("import-bin");
+    let grid = small_grid();
+    let seeded =
+        run_grid(&grid, &SweepConfig::with_threads(2).with_cache(SweepCache::new(&cache_dir)));
+
+    let import = |expect_imported: &str| {
+        let output = Command::new(env!("CARGO_BIN_EXE_sweep"))
+            .args([
+                "store",
+                "import",
+                cache_dir.to_str().expect("utf-8 temp dir"),
+                "--store",
+                store_dir.to_str().expect("utf-8 temp dir"),
+                "--base-seed",
+                "5",
+            ])
+            .output()
+            .expect("sweep store import runs");
+        assert!(output.status.success(), "import failed: {output:?}");
+        let stdout = String::from_utf8(output.stdout).expect("utf-8 output");
+        assert!(stdout.contains(expect_imported), "unexpected import accounting: {stdout}");
+    };
+    import(&format!("store import: {} cells imported", grid.cell_count()));
+    // A second import is a no-op: every entry is already present.
+    import("store import: 0 cells imported");
+
+    // A re-sweep through the migrated store serves the seed run's exact cells.
+    let resweep = run_grid(
+        &grid,
+        &SweepConfig::with_threads(2).with_store(open_store(&store_dir) as Arc<dyn ResultStore>),
+    );
+    assert_eq!(resweep.cache_hits, resweep.cell_count, "migrated cells must all hit");
+    assert_eq!(seeded.to_csv_with(true), resweep.to_csv_with(true));
+    assert_eq!(seeded.summaries, resweep.summaries);
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let _ = std::fs::remove_dir_all(&store_dir);
+}
+
+#[test]
+fn the_process_backend_writes_through_the_store() {
+    let dir = temp_dir("process");
+    let grid = small_grid();
+    let store = open_store(&dir);
+    let first = Sweep::over(&grid)
+        .backend(ProcessBackend::with_command(2, vec![env!("CARGO_BIN_EXE_sweep").to_string()]))
+        .store(Arc::clone(&store) as Arc<dyn ResultStore>)
+        .run();
+    assert_eq!(first.cache_hits, 0, "a cold store must not hit");
+    assert_eq!(store.stats().records_appended, grid.cell_count() as u64);
+
+    // The in-process re-sweep is served entirely from what the worker processes wrote.
+    let second = run_grid(
+        &grid,
+        &SweepConfig::with_threads(2).with_store(Arc::clone(&store) as Arc<dyn ResultStore>),
+    );
+    assert_eq!(second.cache_hits, second.cell_count);
+    assert_eq!(first.to_csv_with(true), second.to_csv_with(true));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -117,6 +117,18 @@ pub mod metrics {
     /// Gauge (max): peak number of fleet peers simultaneously serving a stripe
     /// (fleet utilization high-water mark).
     pub const COORD_FLEET_BUSY: MetricId = MetricId(25);
+    /// Gauge (max): segment files in the binary result store.
+    pub const STORE_SEGMENTS: MetricId = MetricId(26);
+    /// Counter: records appended to the binary result store.
+    pub const STORE_RECORDS: MetricId = MetricId(27);
+    /// Counter: bytes appended to the binary result store (record preludes included).
+    pub const STORE_BYTES: MetricId = MetricId(28);
+    /// Counter: microseconds the opening scan spent rebuilding the store index.
+    pub const STORE_INDEX_REBUILD_MICROS: MetricId = MetricId(29);
+    /// Counter: result-store lookups that found a stored cell.
+    pub const STORE_HITS: MetricId = MetricId(30);
+    /// Counter: result-store lookups that missed.
+    pub const STORE_MISSES: MetricId = MetricId(31);
 
     /// Names, indexed by [`MetricId`]. Order is append-only: these names are wire- and
     /// trace-visible, so existing entries must never be renamed or reordered.
@@ -147,6 +159,12 @@ pub mod metrics {
         "coord-cells-verified",
         "coord-queue-wait-micros",
         "coord-fleet-busy-peers",
+        "store-segments",
+        "store-records-appended",
+        "store-bytes-written",
+        "store-index-rebuild-micros",
+        "store-hits",
+        "store-misses",
     ];
 }
 
